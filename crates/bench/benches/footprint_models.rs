@@ -1,0 +1,52 @@
+//! Criterion bench: throughput of the carbon/water footprint models (Eq. 1–6),
+//! which are evaluated for every (job, region) candidate every round.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use waterwise_sustain::{
+    FootprintEstimator, JobResourceUsage, KilowattHours, Seconds,
+};
+use waterwise_telemetry::{ConditionsProvider, SyntheticTelemetry, ALL_REGIONS};
+
+fn bench_footprints(c: &mut Criterion) {
+    let telemetry = SyntheticTelemetry::with_seed(11);
+    let estimator = FootprintEstimator::paper_default();
+    let usage = JobResourceUsage::new(KilowattHours::new(0.08), Seconds::new(900.0));
+
+    c.bench_function("footprint_estimate_5_regions", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for (h, &region) in ALL_REGIONS.iter().enumerate() {
+                let conditions = telemetry.conditions(region, Seconds::from_hours(h as f64));
+                let fp = estimator.estimate(usage, conditions);
+                total += fp.total_carbon().value() + fp.total_water().value();
+            }
+            total
+        })
+    });
+
+    c.bench_function("water_intensity_eq6", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for hour in 0..24 {
+                let conditions =
+                    telemetry.conditions(ALL_REGIONS[hour % 5], Seconds::from_hours(hour as f64));
+                total += estimator.water_intensity(conditions).value();
+            }
+            total
+        })
+    });
+
+    c.bench_function("telemetry_conditions_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for hour in 0..168 {
+                let c = telemetry.conditions(ALL_REGIONS[hour % 5], Seconds::from_hours(hour as f64));
+                acc += c.carbon_intensity.value();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_footprints);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: MILP solver scaling with batch size.
+//!
+//! Supports the Fig. 13 overhead claim: the assignment MILP WaterWise builds
+//! (jobs × regions binary variables, assignment + capacity + delay rows)
+//! solves in milliseconds at realistic batch sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waterwise_milp::{LinExpr, Model, Sense};
+
+/// Build a WaterWise-shaped assignment MILP with `jobs` jobs and 5 regions.
+fn assignment_model(jobs: usize) -> Model {
+    let regions = 5usize;
+    let mut model = Model::new("bench-assignment");
+    let mut vars = Vec::with_capacity(jobs * regions);
+    for m in 0..jobs {
+        for n in 0..regions {
+            vars.push(model.add_binary(format!("x_{m}_{n}")));
+        }
+    }
+    let x = |m: usize, n: usize| vars[m * regions + n];
+    for m in 0..jobs {
+        let expr = LinExpr::sum((0..regions).map(|n| LinExpr::from(x(m, n))));
+        model.add_constraint(format!("assign_{m}"), expr, Sense::Equal, 1.0);
+    }
+    for n in 0..regions {
+        let expr = LinExpr::sum((0..jobs).map(|m| LinExpr::from(x(m, n))));
+        model.add_constraint(
+            format!("cap_{n}"),
+            expr,
+            Sense::LessEqual,
+            (jobs as f64 / 2.0).ceil(),
+        );
+    }
+    let mut objective = LinExpr::zero();
+    for m in 0..jobs {
+        for n in 0..regions {
+            // Deterministic pseudo-random costs in [0, 1).
+            let cost = (((m * 2654435761 + n * 40503) % 1000) as f64) / 1000.0;
+            objective.add_term(x(m, n), cost);
+        }
+        // Delay-tolerance-style row: a weighted sum bounded by a constant.
+        let expr = LinExpr::sum(
+            (0..regions).map(|n| LinExpr::from(x(m, n)) * ((n as f64 + 1.0) * 0.01)),
+        );
+        model.add_constraint(format!("delay_{m}"), expr, Sense::LessEqual, 0.5);
+    }
+    model.minimize(objective);
+    model
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_assignment_solve");
+    group.sample_size(10);
+    for &jobs in &[8usize, 16, 32, 64] {
+        let model = assignment_model(jobs);
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &model, |b, model| {
+            b.iter(|| {
+                let solution = model.solve().expect("solvable");
+                assert!(solution.status.has_solution());
+                solution.objective
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_milp);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: discrete-event simulator throughput — how many trace
+//! hours per second the engine replays under the baseline and WaterWise
+//! schedulers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waterwise_core::{Campaign, CampaignConfig, SchedulerKind};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    for kind in [SchedulerKind::Baseline, SchedulerKind::WaterWise] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &kind,
+            |b, &kind| {
+                let campaign = Campaign::new(CampaignConfig::small_demo(5));
+                b.iter(|| {
+                    let outcome = campaign.run(kind).expect("campaign runs");
+                    outcome.summary.total_jobs
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: workload-trace generation throughput (Borg-like and
+//! Alibaba-like arrival processes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use waterwise_traces::{TraceConfig, TraceGenerator};
+
+fn bench_traces(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for &days in &[0.1f64, 0.5] {
+        group.bench_with_input(BenchmarkId::new("borg", days), &days, |b, &days| {
+            b.iter(|| TraceGenerator::new(TraceConfig::borg(days, 7)).generate().len())
+        });
+        group.bench_with_input(BenchmarkId::new("alibaba", days), &days, |b, &days| {
+            b.iter(|| {
+                TraceGenerator::new(TraceConfig::alibaba(days, 7))
+                    .generate()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

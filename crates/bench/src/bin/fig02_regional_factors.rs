@@ -1,0 +1,6 @@
+//! Regenerates Fig. 2 of the WaterWise paper. See EXPERIMENTS.md.
+
+fn main() {
+    let scale = waterwise_bench::ExperimentScale::from_env();
+    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig02_regional_factors(scale));
+}

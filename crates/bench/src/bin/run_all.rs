@@ -1,0 +1,27 @@
+//! Runs every experiment in sequence (the full paper reproduction).
+//!
+//! `WATERWISE_DAYS` / `WATERWISE_SEED` rescale the campaigns; see the crate
+//! docs of `waterwise-bench`.
+
+use waterwise_bench::experiments as ex;
+
+fn main() {
+    let scale = ex::ExperimentScale::from_env();
+    eprintln!("running the full WaterWise experiment suite at scale {scale:?}");
+    ex::print_tables(&ex::fig01_energy_sources());
+    ex::print_tables(&ex::fig02_regional_factors(scale));
+    ex::print_tables(&ex::fig03_greedy_opportunity(scale));
+    ex::print_tables(&ex::fig05_waterwise_google(scale));
+    ex::print_tables(&ex::fig06_wri_dataset(scale));
+    ex::print_tables(&ex::fig07_ecovisor(scale));
+    ex::print_tables(&ex::fig08_weight_sensitivity(scale));
+    ex::print_tables(&ex::fig09_alibaba(scale));
+    ex::print_tables(&ex::fig10_loadbalancers(scale));
+    ex::print_tables(&ex::fig11_utilization(scale));
+    ex::print_tables(&ex::fig12_region_availability(scale));
+    ex::print_tables(&ex::fig13_overhead(scale));
+    ex::print_tables(&ex::table2_service_time(scale));
+    ex::print_tables(&ex::table3_comm_overhead(scale));
+    ex::print_tables(&ex::sens_perturbation(scale));
+    ex::print_tables(&ex::sens_request_rate(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Sec. 6 estimate-error sensitivity study of the WaterWise paper. See EXPERIMENTS.md.
+
+fn main() {
+    let scale = waterwise_bench::ExperimentScale::from_env();
+    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::sens_perturbation(scale));
+}

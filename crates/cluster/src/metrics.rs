@@ -1,0 +1,302 @@
+//! Per-job outcomes and campaign-level summary metrics.
+
+use serde::{Deserialize, Serialize};
+use waterwise_sustain::{Co2Grams, FootprintBreakdown, Liters, Seconds};
+use waterwise_telemetry::Region;
+use waterwise_traces::JobId;
+
+/// The recorded outcome of one job execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Which job.
+    pub job: JobId,
+    /// The job's home region.
+    pub home_region: Region,
+    /// Where it actually executed.
+    pub executed_region: Region,
+    /// Submission time.
+    pub submit_time: Seconds,
+    /// Time the job started executing.
+    pub start_time: Seconds,
+    /// Time the job finished.
+    pub completion_time: Seconds,
+    /// Actual execution time charged.
+    pub execution_time: Seconds,
+    /// Execution footprint (carbon + water) under the conditions at start.
+    pub footprint: FootprintBreakdown,
+    /// Additional footprint caused by the inter-region package transfer
+    /// (zero when the job ran in its home region).
+    pub transfer_footprint: FootprintBreakdown,
+    /// Transfer latency incurred (zero when the job ran at home).
+    pub transfer_time: Seconds,
+    /// Whether the job violated its delay tolerance.
+    pub violated_tolerance: bool,
+}
+
+impl JobOutcome {
+    /// Service time: completion − submission.
+    pub fn service_time(&self) -> Seconds {
+        Seconds::new(self.completion_time.value() - self.submit_time.value())
+    }
+
+    /// Service time normalized to the execution time (1.0 = no stretch), the
+    /// metric of Table 2.
+    pub fn service_stretch(&self) -> f64 {
+        if self.execution_time.value() <= 0.0 {
+            1.0
+        } else {
+            self.service_time().value() / self.execution_time.value()
+        }
+    }
+
+    /// Total carbon including transfer overhead.
+    pub fn total_carbon(&self) -> Co2Grams {
+        self.footprint.total_carbon() + self.transfer_footprint.total_carbon()
+    }
+
+    /// Total effective water including transfer overhead.
+    pub fn total_water(&self) -> Liters {
+        self.footprint.total_water() + self.transfer_footprint.total_water()
+    }
+
+    /// Whether the job was migrated away from its home region.
+    pub fn migrated(&self) -> bool {
+        self.home_region != self.executed_region
+    }
+}
+
+/// One sample of scheduler decision-making overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadSample {
+    /// Simulation time of the scheduling round.
+    pub sim_time: Seconds,
+    /// Wall-clock time the scheduler took to decide.
+    pub wall_clock: Seconds,
+    /// Number of pending jobs offered in the round.
+    pub batch_size: usize,
+}
+
+/// Aggregated results of one campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSummary {
+    /// Number of jobs that completed.
+    pub total_jobs: usize,
+    /// Total carbon footprint (execution + transfer) in gCO2.
+    pub total_carbon: Co2Grams,
+    /// Total effective water footprint (execution + transfer) in liters.
+    pub total_water: Liters,
+    /// Mean service-time stretch (Table 2, "service time normalized to
+    /// execution time").
+    pub mean_service_stretch: f64,
+    /// Fraction of jobs that violated their delay tolerance (Table 2).
+    pub violation_fraction: f64,
+    /// Fraction of jobs executed away from their home region.
+    pub migration_fraction: f64,
+    /// Number of jobs executed per region (indexed by [`Region::index`]).
+    pub jobs_per_region: [usize; 5],
+    /// Mean utilization across regions (busy server-seconds / capacity).
+    pub mean_utilization: f64,
+    /// Mean scheduler decision time per round (wall clock).
+    pub mean_decision_time: Seconds,
+    /// Decision time as a fraction of the mean job execution time (Fig. 13's
+    /// y-axis).
+    pub decision_overhead_fraction: f64,
+}
+
+impl CampaignSummary {
+    /// Compute a summary from per-job outcomes plus engine-level statistics.
+    pub fn from_outcomes(
+        outcomes: &[JobOutcome],
+        overhead: &[OverheadSample],
+        mean_utilization: f64,
+    ) -> Self {
+        let total_jobs = outcomes.len();
+        let total_carbon = outcomes.iter().map(|o| o.total_carbon()).sum();
+        let total_water = outcomes.iter().map(|o| o.total_water()).sum();
+        let mean_service_stretch = if total_jobs == 0 {
+            1.0
+        } else {
+            outcomes.iter().map(|o| o.service_stretch()).sum::<f64>() / total_jobs as f64
+        };
+        let violation_fraction = if total_jobs == 0 {
+            0.0
+        } else {
+            outcomes.iter().filter(|o| o.violated_tolerance).count() as f64 / total_jobs as f64
+        };
+        let migration_fraction = if total_jobs == 0 {
+            0.0
+        } else {
+            outcomes.iter().filter(|o| o.migrated()).count() as f64 / total_jobs as f64
+        };
+        let mut jobs_per_region = [0usize; 5];
+        for o in outcomes {
+            jobs_per_region[o.executed_region.index()] += 1;
+        }
+        let mean_decision_time = if overhead.is_empty() {
+            Seconds::zero()
+        } else {
+            Seconds::new(
+                overhead.iter().map(|s| s.wall_clock.value()).sum::<f64>() / overhead.len() as f64,
+            )
+        };
+        let mean_execution = if total_jobs == 0 {
+            0.0
+        } else {
+            outcomes.iter().map(|o| o.execution_time.value()).sum::<f64>() / total_jobs as f64
+        };
+        let decision_overhead_fraction = if mean_execution <= 0.0 {
+            0.0
+        } else {
+            mean_decision_time.value() / mean_execution
+        };
+        Self {
+            total_jobs,
+            total_carbon,
+            total_water,
+            mean_service_stretch,
+            violation_fraction,
+            migration_fraction,
+            jobs_per_region,
+            mean_utilization,
+            mean_decision_time,
+            decision_overhead_fraction,
+        }
+    }
+
+    /// Percentage carbon saving of this campaign relative to a baseline
+    /// (positive = this campaign emits less).
+    pub fn carbon_saving_vs(&self, baseline: &CampaignSummary) -> f64 {
+        saving_percent(baseline.total_carbon.value(), self.total_carbon.value())
+    }
+
+    /// Percentage water saving of this campaign relative to a baseline.
+    pub fn water_saving_vs(&self, baseline: &CampaignSummary) -> f64 {
+        saving_percent(baseline.total_water.value(), self.total_water.value())
+    }
+
+    /// Distribution of executed jobs across regions as fractions.
+    pub fn region_distribution(&self) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        if self.total_jobs == 0 {
+            return out;
+        }
+        for (i, n) in self.jobs_per_region.iter().enumerate() {
+            out[i] = *n as f64 / self.total_jobs as f64;
+        }
+        out
+    }
+}
+
+/// Percentage saving of `candidate` relative to `baseline` (positive when the
+/// candidate is smaller).
+pub fn saving_percent(baseline: f64, candidate: f64) -> f64 {
+    if baseline <= 0.0 {
+        0.0
+    } else {
+        (baseline - candidate) / baseline * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwise_sustain::{CarbonFootprint, WaterFootprint};
+
+    fn outcome(job: u64, home: Region, executed: Region, carbon: f64, water: f64) -> JobOutcome {
+        JobOutcome {
+            job: JobId(job),
+            home_region: home,
+            executed_region: executed,
+            submit_time: Seconds::new(0.0),
+            start_time: Seconds::new(10.0),
+            completion_time: Seconds::new(110.0),
+            execution_time: Seconds::new(100.0),
+            footprint: FootprintBreakdown {
+                carbon: CarbonFootprint {
+                    operational: Co2Grams::new(carbon),
+                    embodied: Co2Grams::zero(),
+                },
+                water: WaterFootprint {
+                    offsite: Liters::new(water),
+                    onsite: Liters::zero(),
+                    embodied: Liters::zero(),
+                },
+            },
+            transfer_footprint: FootprintBreakdown::default(),
+            transfer_time: Seconds::zero(),
+            violated_tolerance: false,
+        }
+    }
+
+    #[test]
+    fn service_stretch_and_migration() {
+        let o = outcome(1, Region::Oregon, Region::Zurich, 10.0, 5.0);
+        assert!((o.service_stretch() - 1.1).abs() < 1e-12);
+        assert!(o.migrated());
+        assert!(!outcome(2, Region::Oregon, Region::Oregon, 1.0, 1.0).migrated());
+    }
+
+    #[test]
+    fn summary_aggregates_totals() {
+        let outcomes = vec![
+            outcome(1, Region::Oregon, Region::Oregon, 100.0, 50.0),
+            outcome(2, Region::Oregon, Region::Zurich, 200.0, 30.0),
+        ];
+        let s = CampaignSummary::from_outcomes(&outcomes, &[], 0.15);
+        assert_eq!(s.total_jobs, 2);
+        assert!((s.total_carbon.value() - 300.0).abs() < 1e-9);
+        assert!((s.total_water.value() - 80.0).abs() < 1e-9);
+        assert!((s.migration_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(s.jobs_per_region[Region::Oregon.index()], 1);
+        assert_eq!(s.jobs_per_region[Region::Zurich.index()], 1);
+        let dist: f64 = s.region_distribution().iter().sum();
+        assert!((dist - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_are_relative_to_baseline() {
+        let baseline = CampaignSummary::from_outcomes(
+            &[outcome(1, Region::Oregon, Region::Oregon, 200.0, 100.0)],
+            &[],
+            0.1,
+        );
+        let better = CampaignSummary::from_outcomes(
+            &[outcome(1, Region::Oregon, Region::Zurich, 150.0, 80.0)],
+            &[],
+            0.1,
+        );
+        assert!((better.carbon_saving_vs(&baseline) - 25.0).abs() < 1e-9);
+        assert!((better.water_saving_vs(&baseline) - 20.0).abs() < 1e-9);
+        // A baseline with zero footprint yields zero saving rather than NaN.
+        assert_eq!(saving_percent(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn empty_campaign_is_safe() {
+        let s = CampaignSummary::from_outcomes(&[], &[], 0.0);
+        assert_eq!(s.total_jobs, 0);
+        assert_eq!(s.violation_fraction, 0.0);
+        assert_eq!(s.mean_service_stretch, 1.0);
+        assert_eq!(s.decision_overhead_fraction, 0.0);
+    }
+
+    #[test]
+    fn overhead_statistics() {
+        let outcomes = vec![outcome(1, Region::Oregon, Region::Oregon, 1.0, 1.0)];
+        let overhead = vec![
+            OverheadSample {
+                sim_time: Seconds::new(0.0),
+                wall_clock: Seconds::new(0.2),
+                batch_size: 10,
+            },
+            OverheadSample {
+                sim_time: Seconds::new(60.0),
+                wall_clock: Seconds::new(0.4),
+                batch_size: 20,
+            },
+        ];
+        let s = CampaignSummary::from_outcomes(&outcomes, &overhead, 0.2);
+        assert!((s.mean_decision_time.value() - 0.3).abs() < 1e-12);
+        assert!((s.decision_overhead_fraction - 0.003).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! The scheduler abstraction: what a placement policy sees each round and
+//! what it must return.
+//!
+//! Concrete schedulers (WaterWise, the greedy-optimal oracles, Round-Robin,
+//! Least-Load, Ecovisor) live in `waterwise-core`; the simulator only depends
+//! on this trait.
+
+use crate::network::TransferModel;
+use crate::state::RegionView;
+use serde::{Deserialize, Serialize};
+use waterwise_sustain::Seconds;
+use waterwise_telemetry::Region;
+use waterwise_traces::{JobId, JobSpec};
+
+/// A job that has arrived and is waiting for a placement decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingJob {
+    /// The job's trace record (the scheduler must use the *estimated*
+    /// execution time and energy it contains).
+    pub spec: JobSpec,
+    /// When the decision controller first received the job (the `T_start`
+    /// of the urgency score, Eq. 14).
+    pub received_at: Seconds,
+    /// How many scheduling rounds this job has already been deferred.
+    pub deferrals: u32,
+}
+
+impl PendingJob {
+    /// Time the job has spent waiting for a decision as of `now`.
+    pub fn waiting_time(&self, now: Seconds) -> Seconds {
+        Seconds::new((now.value() - self.received_at.value()).max(0.0))
+    }
+}
+
+/// Everything a scheduler may look at when making its decision. Notably it
+/// contains *no future information*; the greedy-optimal oracles of the paper
+/// receive their future knowledge through their own provider handle instead.
+#[derive(Debug, Clone)]
+pub struct SchedulingContext<'a> {
+    /// Current simulation time.
+    pub now: Seconds,
+    /// Jobs awaiting placement (includes jobs deferred from earlier rounds).
+    pub pending: &'a [PendingJob],
+    /// Per-region state snapshot.
+    pub regions: &'a [RegionView],
+    /// The configured delay tolerance (fraction of execution time).
+    pub delay_tolerance: f64,
+    /// The transfer model (for latency-aware decisions).
+    pub transfer: &'a TransferModel,
+}
+
+impl SchedulingContext<'_> {
+    /// The participating regions, in the order of `regions`.
+    pub fn region_list(&self) -> Vec<Region> {
+        self.regions.iter().map(|v| v.region).collect()
+    }
+
+    /// Total remaining capacity across all regions.
+    pub fn total_remaining_capacity(&self) -> usize {
+        self.regions.iter().map(|v| v.remaining_capacity()).sum()
+    }
+
+    /// The view of a specific region, if it participates in the campaign.
+    pub fn region_view(&self, region: Region) -> Option<&RegionView> {
+        self.regions.iter().find(|v| v.region == region)
+    }
+}
+
+/// One placement decision: run `job` in `region`, starting as soon as the
+/// package transfer completes and a server frees up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Which job to place.
+    pub job: JobId,
+    /// The region that will execute it.
+    pub region: Region,
+}
+
+/// The outcome of one scheduling round.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulingDecision {
+    /// Placements to enact this round. Pending jobs not mentioned remain in
+    /// the pending pool and will be offered again next round (the `J_delay`
+    /// of Algorithm 1).
+    pub assignments: Vec<Assignment>,
+}
+
+impl SchedulingDecision {
+    /// A decision that assigns nothing (defer everything).
+    pub fn defer_all() -> Self {
+        Self::default()
+    }
+
+    /// Build a decision from `(job, region)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (JobId, Region)>) -> Self {
+        Self {
+            assignments: pairs
+                .into_iter()
+                .map(|(job, region)| Assignment { job, region })
+                .collect(),
+        }
+    }
+}
+
+/// A placement policy. Called once per scheduling round.
+pub trait Scheduler: Send {
+    /// Short name used in logs, tables, and experiment output.
+    fn name(&self) -> &str;
+
+    /// Decide placements for (a subset of) the pending jobs.
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwise_sustain::KilowattHours;
+    use waterwise_traces::Benchmark;
+
+    fn pending(id: u64, received: f64) -> PendingJob {
+        PendingJob {
+            spec: JobSpec {
+                id: JobId(id),
+                benchmark: Benchmark::Dedup,
+                submit_time: Seconds::new(received),
+                home_region: Region::Oregon,
+                actual_execution_time: Seconds::new(100.0),
+                actual_energy: KilowattHours::new(0.01),
+                estimated_execution_time: Seconds::new(100.0),
+                estimated_energy: KilowattHours::new(0.01),
+                package_bytes: 1,
+            },
+            received_at: Seconds::new(received),
+            deferrals: 0,
+        }
+    }
+
+    #[test]
+    fn waiting_time_is_non_negative() {
+        let p = pending(1, 50.0);
+        assert_eq!(p.waiting_time(Seconds::new(80.0)).value(), 30.0);
+        assert_eq!(p.waiting_time(Seconds::new(10.0)).value(), 0.0);
+    }
+
+    #[test]
+    fn context_helpers() {
+        let pendings = vec![pending(1, 0.0)];
+        let regions = vec![
+            RegionView {
+                region: Region::Zurich,
+                total_servers: 5,
+                busy_servers: 1,
+                queued_jobs: 0,
+                inbound_jobs: 0,
+            },
+            RegionView {
+                region: Region::Mumbai,
+                total_servers: 5,
+                busy_servers: 5,
+                queued_jobs: 2,
+                inbound_jobs: 0,
+            },
+        ];
+        let transfer = TransferModel::paper_default();
+        let ctx = SchedulingContext {
+            now: Seconds::new(10.0),
+            pending: &pendings,
+            regions: &regions,
+            delay_tolerance: 0.25,
+            transfer: &transfer,
+        };
+        assert_eq!(ctx.region_list(), vec![Region::Zurich, Region::Mumbai]);
+        assert_eq!(ctx.total_remaining_capacity(), 4);
+        assert!(ctx.region_view(Region::Zurich).is_some());
+        assert!(ctx.region_view(Region::Milan).is_none());
+    }
+
+    #[test]
+    fn decision_builders() {
+        let d = SchedulingDecision::from_pairs([(JobId(1), Region::Milan)]);
+        assert_eq!(d.assignments.len(), 1);
+        assert_eq!(d.assignments[0].region, Region::Milan);
+        assert!(SchedulingDecision::defer_all().assignments.is_empty());
+    }
+}

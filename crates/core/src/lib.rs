@@ -1,0 +1,38 @@
+//! # waterwise-core
+//!
+//! The WaterWise carbon- and water-aware scheduler, the baseline schedulers
+//! it is evaluated against, and the experiment runner that ties together
+//! telemetry, traces, the cluster simulator, and a scheduler into one
+//! campaign.
+//!
+//! * [`sched`] — scheduler implementations:
+//!   * [`sched::WaterWiseScheduler`] — the paper's contribution: a MILP
+//!     formulation (Eq. 8–11) with soft-constraint relaxation (Eq. 12–13)
+//!     and urgency-based slack management (Eq. 14, Algorithm 1).
+//!   * [`sched::BaselineScheduler`] — carbon/water-unaware home-region
+//!     execution.
+//!   * [`sched::GreedyOptScheduler`] — the Carbon-Greedy-Opt and
+//!     Water-Greedy-Opt oracles with future knowledge of intensities.
+//!   * [`sched::RoundRobinScheduler`] and [`sched::LeastLoadScheduler`] —
+//!     classic load balancers.
+//!   * [`sched::EcovisorScheduler`] — a carbon-only comparator modeled after
+//!     Ecovisor's carbon scaler (home region, no water awareness).
+//! * [`objective`] — the shared candidate-evaluation machinery: estimated
+//!   carbon/water footprint of running job *m* in region *n* right now, and
+//!   the normalization used by the objective function (Eq. 7).
+//! * [`experiment`] — campaign configuration and the runner used by the
+//!   examples, integration tests, and the benchmark harness.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiment;
+pub mod objective;
+pub mod sched;
+
+pub use experiment::{Campaign, CampaignConfig, CampaignOutcome, SchedulerKind};
+pub use objective::{CandidateFootprint, ObjectiveWeights};
+pub use sched::{
+    BaselineScheduler, EcovisorScheduler, GreedyObjective, GreedyOptScheduler,
+    LeastLoadScheduler, RoundRobinScheduler, WaterWiseConfig, WaterWiseScheduler,
+};

@@ -1,0 +1,96 @@
+//! The carbon- and water-unaware baseline: every job runs in its home
+//! region, immediately, with no migration and no opportunistic delay.
+
+use waterwise_cluster::{Assignment, Scheduler, SchedulingContext, SchedulingDecision};
+
+/// The paper's Baseline scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineScheduler;
+
+impl BaselineScheduler {
+    /// Create a baseline scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for BaselineScheduler {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+        let regions = ctx.region_list();
+        SchedulingDecision {
+            assignments: ctx
+                .pending
+                .iter()
+                .map(|p| {
+                    // If the home region is not part of the campaign (region
+                    // availability study), fall back to the first available
+                    // region.
+                    let region = if regions.contains(&p.spec.home_region) {
+                        p.spec.home_region
+                    } else {
+                        regions[0]
+                    };
+                    Assignment {
+                        job: p.spec.id,
+                        region,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::test_support::{context_fixture, ContextFixture};
+    use waterwise_telemetry::Region;
+
+    #[test]
+    fn assigns_every_job_to_its_home_region() {
+        let ContextFixture {
+            pending,
+            regions,
+            transfer,
+        } = context_fixture(4, 10);
+        let ctx = SchedulingContext {
+            now: waterwise_sustain::Seconds::new(0.0),
+            pending: &pending,
+            regions: &regions,
+            delay_tolerance: 0.25,
+            transfer: &transfer,
+        };
+        let decision = BaselineScheduler::new().schedule(&ctx);
+        assert_eq!(decision.assignments.len(), pending.len());
+        for (a, p) in decision.assignments.iter().zip(pending.iter()) {
+            assert_eq!(a.job, p.spec.id);
+            assert_eq!(a.region, p.spec.home_region);
+        }
+    }
+
+    #[test]
+    fn falls_back_when_home_region_unavailable() {
+        let ContextFixture {
+            pending,
+            mut regions,
+            transfer,
+        } = context_fixture(3, 11);
+        // Remove every region except Milan; home regions may differ.
+        regions.retain(|v| v.region == Region::Milan);
+        let ctx = SchedulingContext {
+            now: waterwise_sustain::Seconds::new(0.0),
+            pending: &pending,
+            regions: &regions,
+            delay_tolerance: 0.25,
+            transfer: &transfer,
+        };
+        let decision = BaselineScheduler::new().schedule(&ctx);
+        for a in &decision.assignments {
+            assert_eq!(a.region, Region::Milan);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! An Ecovisor-style carbon-only comparator (Fig. 7).
+//!
+//! Ecovisor [Souza et al., ASPLOS 2023] virtualizes the energy system of a
+//! rack and lets applications scale their resources against the current
+//! carbon signal ("carbon scaler"). As the paper notes, its scope differs
+//! from WaterWise: it optimizes *operational carbon only*, executes every job
+//! in its home region, and is unaware of water.
+//!
+//! The simulator does not model per-container power scaling, so the
+//! comparator is modeled as the scheduling-visible effect of a carbon
+//! scaler: a job is *deferred at home* while the home region's carbon
+//! intensity is above its recent average (running the container scaled-down
+//! would stretch it past its tolerance anyway), and is released once the
+//! signal improves or the job's delay-tolerance slack runs out. This
+//! reproduces the qualitative behaviour the paper reports: modest carbon
+//! savings, essentially no water savings, and no cross-region shifting.
+
+use std::sync::Arc;
+use waterwise_cluster::{
+    Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision,
+};
+use waterwise_sustain::Seconds;
+use waterwise_telemetry::ConditionsProvider;
+
+/// Configuration of the Ecovisor-style comparator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcovisorConfig {
+    /// Trailing window (hours) used to compute the carbon-intensity target.
+    pub target_window_hours: usize,
+    /// A job is deferred while the current carbon intensity exceeds
+    /// `target × (1 + headroom)`.
+    pub headroom: f64,
+    /// Fraction of the delay-tolerance budget the scaler is willing to spend
+    /// waiting for a better carbon signal.
+    pub max_slack_fraction: f64,
+}
+
+impl Default for EcovisorConfig {
+    fn default() -> Self {
+        Self {
+            target_window_hours: 12,
+            headroom: 0.05,
+            max_slack_fraction: 0.6,
+        }
+    }
+}
+
+/// The Ecovisor-style scheduler.
+pub struct EcovisorScheduler {
+    provider: Arc<dyn ConditionsProvider>,
+    config: EcovisorConfig,
+}
+
+impl EcovisorScheduler {
+    /// Create the comparator with the given carbon-signal provider.
+    pub fn new(provider: Arc<dyn ConditionsProvider>, config: EcovisorConfig) -> Self {
+        Self { provider, config }
+    }
+
+    fn should_defer(&self, job: &PendingJob, ctx: &SchedulingContext<'_>) -> bool {
+        let home = job.spec.home_region;
+        if ctx.region_view(home).is_none() {
+            return false;
+        }
+        let now = ctx.now;
+        let current = self.provider.conditions(home, now).carbon_intensity.value();
+        let target = self
+            .provider
+            .trailing_carbon(home, now, self.config.target_window_hours)
+            .value();
+        let signal_is_bad = current > target * (1.0 + self.config.headroom);
+        if !signal_is_bad {
+            return false;
+        }
+        // Only defer while enough of the tolerance budget remains.
+        let budget = ctx.delay_tolerance
+            * job.spec.estimated_execution_time.value()
+            * self.config.max_slack_fraction;
+        job.waiting_time(now).value() < budget
+    }
+}
+
+impl Scheduler for EcovisorScheduler {
+    fn name(&self) -> &str {
+        "ecovisor"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+        let regions = ctx.region_list();
+        let mut assignments = Vec::new();
+        for job in ctx.pending {
+            if self.should_defer(job, ctx) {
+                continue;
+            }
+            let region = if regions.contains(&job.spec.home_region) {
+                job.spec.home_region
+            } else {
+                regions[0]
+            };
+            assignments.push(Assignment {
+                job: job.spec.id,
+                region,
+            });
+        }
+        SchedulingDecision { assignments }
+    }
+}
+
+/// Helper for tests and experiments: the time the scaler would tell a job to
+/// wait is bounded by its slack budget.
+pub fn max_wait_budget(job: &PendingJob, delay_tolerance: f64, config: &EcovisorConfig) -> Seconds {
+    Seconds::new(
+        delay_tolerance * job.spec.estimated_execution_time.value() * config.max_slack_fraction,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::test_support::{context_fixture, ContextFixture};
+    use waterwise_telemetry::{Region, SyntheticTelemetry};
+
+    fn scheduler() -> EcovisorScheduler {
+        EcovisorScheduler::new(
+            Arc::new(SyntheticTelemetry::with_seed(5)),
+            EcovisorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn never_migrates_jobs() {
+        let ContextFixture {
+            pending,
+            regions,
+            transfer,
+        } = context_fixture(15, 3);
+        let ctx = SchedulingContext {
+            now: Seconds::from_hours(30.0),
+            pending: &pending,
+            regions: &regions,
+            delay_tolerance: 0.5,
+            transfer: &transfer,
+        };
+        let decision = scheduler().schedule(&ctx);
+        for a in &decision.assignments {
+            let job = pending.iter().find(|p| p.spec.id == a.job).unwrap();
+            assert_eq!(a.region, job.spec.home_region);
+        }
+    }
+
+    #[test]
+    fn eventually_releases_every_job() {
+        let ContextFixture {
+            mut pending,
+            regions,
+            transfer,
+        } = context_fixture(10, 7);
+        // Pretend the jobs have been waiting a very long time already.
+        for p in &mut pending {
+            p.received_at = Seconds::new(-1.0e6);
+        }
+        let ctx = SchedulingContext {
+            now: Seconds::from_hours(10.0),
+            pending: &pending,
+            regions: &regions,
+            delay_tolerance: 0.5,
+            transfer: &transfer,
+        };
+        let decision = scheduler().schedule(&ctx);
+        assert_eq!(decision.assignments.len(), pending.len());
+    }
+
+    #[test]
+    fn wait_budget_scales_with_tolerance() {
+        let ContextFixture { pending, .. } = context_fixture(1, 9);
+        let small = max_wait_budget(&pending[0], 0.25, &EcovisorConfig::default());
+        let large = max_wait_budget(&pending[0], 1.0, &EcovisorConfig::default());
+        assert!(large.value() > small.value() * 3.0);
+    }
+
+    #[test]
+    fn falls_back_when_home_region_missing() {
+        let ContextFixture {
+            pending,
+            mut regions,
+            transfer,
+        } = context_fixture(5, 11);
+        regions.retain(|v| v.region == Region::Zurich);
+        let ctx = SchedulingContext {
+            now: Seconds::from_hours(5.0),
+            pending: &pending,
+            regions: &regions,
+            delay_tolerance: 0.25,
+            transfer: &transfer,
+        };
+        let decision = scheduler().schedule(&ctx);
+        assert!(decision.assignments.iter().all(|a| a.region == Region::Zurich));
+    }
+}

@@ -1,0 +1,113 @@
+//! Least-Load load balancing: each job goes to the region with the lowest
+//! committed load, oblivious to carbon and water.
+
+use waterwise_cluster::{Assignment, Scheduler, SchedulingContext, SchedulingDecision};
+
+/// The Least-Load comparison scheme (Fig. 10).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoadScheduler;
+
+impl LeastLoadScheduler {
+    /// Create a least-load scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Scheduler for LeastLoadScheduler {
+    fn name(&self) -> &str {
+        "least-load"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+        if ctx.regions.is_empty() {
+            return SchedulingDecision::defer_all();
+        }
+        // Track load incrementally as we assign within the round so a large
+        // batch still spreads out.
+        let mut committed: Vec<(usize, f64, usize)> = ctx
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                (
+                    i,
+                    (v.busy_servers + v.queued_jobs + v.inbound_jobs) as f64,
+                    v.total_servers.max(1),
+                )
+            })
+            .collect();
+        let mut assignments = Vec::with_capacity(ctx.pending.len());
+        for p in ctx.pending {
+            let (best_idx, _, _) = *committed
+                .iter()
+                .min_by(|a, b| {
+                    (a.1 / a.2 as f64)
+                        .partial_cmp(&(b.1 / b.2 as f64))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("at least one region");
+            assignments.push(Assignment {
+                job: p.spec.id,
+                region: ctx.regions[best_idx].region,
+            });
+            committed[best_idx].1 += 1.0;
+        }
+        SchedulingDecision { assignments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::test_support::{context_fixture, ContextFixture};
+    use waterwise_sustain::Seconds;
+    use waterwise_telemetry::Region;
+
+    #[test]
+    fn prefers_the_emptiest_region_first() {
+        let ContextFixture {
+            pending,
+            mut regions,
+            transfer,
+        } = context_fixture(1, 7);
+        // Load up every region except Madrid.
+        for v in &mut regions {
+            if v.region != Region::Madrid {
+                v.busy_servers = v.total_servers / 2;
+            }
+        }
+        let ctx = SchedulingContext {
+            now: Seconds::new(0.0),
+            pending: &pending,
+            regions: &regions,
+            delay_tolerance: 0.25,
+            transfer: &transfer,
+        };
+        let decision = LeastLoadScheduler::new().schedule(&ctx);
+        assert_eq!(decision.assignments[0].region, Region::Madrid);
+    }
+
+    #[test]
+    fn spreads_a_large_batch_instead_of_dogpiling() {
+        let ContextFixture {
+            pending,
+            regions,
+            transfer,
+        } = context_fixture(25, 9);
+        let ctx = SchedulingContext {
+            now: Seconds::new(0.0),
+            pending: &pending,
+            regions: &regions,
+            delay_tolerance: 0.25,
+            transfer: &transfer,
+        };
+        let decision = LeastLoadScheduler::new().schedule(&ctx);
+        let mut counts = [0usize; 5];
+        for a in &decision.assignments {
+            counts[a.region.index()] += 1;
+        }
+        // With equal capacities, 25 jobs spread out exactly 5 per region.
+        assert!(counts.iter().all(|&c| c == 5), "{counts:?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared fixtures for scheduler unit tests.
+
+use waterwise_cluster::{PendingJob, RegionView, TransferModel};
+use waterwise_sustain::{KilowattHours, Seconds, Watts};
+use waterwise_telemetry::{Region, ALL_REGIONS};
+use waterwise_traces::{Benchmark, JobId, JobSpec, ALL_BENCHMARKS};
+
+/// A ready-made scheduling context's building blocks.
+pub struct ContextFixture {
+    /// Pending jobs with deterministic pseudo-random characteristics.
+    pub pending: Vec<PendingJob>,
+    /// One view per region, all servers free by default.
+    pub regions: Vec<RegionView>,
+    /// The default transfer model.
+    pub transfer: TransferModel,
+}
+
+/// Build `n` pending jobs (deterministic in `seed`) plus fresh region views
+/// with 50 servers each.
+pub fn context_fixture(n: usize, seed: u64) -> ContextFixture {
+    let pending = (0..n)
+        .map(|i| {
+            let mix = seed.wrapping_mul(2654435761).wrapping_add(i as u64 * 40503);
+            let benchmark: Benchmark = ALL_BENCHMARKS[(mix % 10) as usize];
+            let home_region: Region = ALL_REGIONS[((mix / 10) % 5) as usize];
+            let profile = benchmark.profile();
+            let exec = Seconds::new(profile.mean_execution_time.value() * (0.9 + (mix % 20) as f64 / 100.0));
+            let energy = Watts::new(profile.mean_power.value()).energy_over(exec);
+            PendingJob {
+                spec: JobSpec {
+                    id: JobId(i as u64),
+                    benchmark,
+                    submit_time: Seconds::new(i as f64),
+                    home_region,
+                    actual_execution_time: exec,
+                    actual_energy: energy,
+                    estimated_execution_time: exec,
+                    estimated_energy: KilowattHours::new(energy.value() * 1.02),
+                    package_bytes: profile.package_bytes,
+                },
+                received_at: Seconds::new(i as f64),
+                deferrals: 0,
+            }
+        })
+        .collect();
+    let regions = ALL_REGIONS
+        .iter()
+        .map(|&region| RegionView {
+            region,
+            total_servers: 50,
+            busy_servers: 0,
+            queued_jobs: 0,
+            inbound_jobs: 0,
+        })
+        .collect();
+    ContextFixture {
+        pending,
+        regions,
+        transfer: TransferModel::paper_default(),
+    }
+}

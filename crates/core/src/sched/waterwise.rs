@@ -1,0 +1,553 @@
+//! The WaterWise scheduler: MILP-based carbon/water co-optimization with
+//! soft constraints and slack management (Sec. 4 of the paper).
+//!
+//! Each scheduling round the controller:
+//!
+//! 1. Collects all pending jobs (newly arrived plus previously deferred —
+//!    the `J ∪ J_delay` of Algorithm 1).
+//! 2. If the batch exceeds the total remaining capacity, the **slack
+//!    manager** keeps only the most urgent `Σ cap(n)` jobs, ranked by the
+//!    urgency score of Eq. 14 (ascending — smaller means closer to a
+//!    violation).
+//! 3. Builds the MILP of Eq. 8 with the assignment (Eq. 9), capacity
+//!    (Eq. 10), and delay-tolerance (Eq. 11) constraints and solves it with
+//!    the pure-Rust solver in `waterwise-milp`.
+//! 4. If the hard-constrained model is infeasible, re-solves with **soft
+//!    constraints** (Eq. 12–13): per-job penalty variables relax the delay
+//!    constraint at a cost `σ` in the objective.
+
+use crate::objective::{candidate_footprints, CandidateFootprint, Normalizer, ObjectiveWeights};
+use std::sync::Arc;
+use waterwise_cluster::{
+    Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision,
+};
+use waterwise_milp::{BranchBoundConfig, LinExpr, Model, Sense, SimplexConfig, Var};
+use waterwise_sustain::FootprintEstimator;
+use waterwise_telemetry::{ConditionsProvider, Region};
+
+/// Configuration of the WaterWise decision controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaterWiseConfig {
+    /// Objective weights (`λ_CO2`, `λ_H2O`, `λ_ref`).
+    pub weights: ObjectiveWeights,
+    /// Window (hours) of the history learner feeding `CO2_ref` / `H2O_ref`.
+    pub history_window_hours: usize,
+    /// Penalty weight `σ` applied to delay-tolerance relaxation variables in
+    /// the soft-constrained model (Eq. 12).
+    pub soft_penalty: f64,
+    /// Simplex configuration forwarded to the solver.
+    pub simplex: SimplexConfig,
+    /// Branch-and-bound configuration forwarded to the solver.
+    pub branch_bound: BranchBoundConfig,
+}
+
+impl Default for WaterWiseConfig {
+    fn default() -> Self {
+        Self {
+            weights: ObjectiveWeights::paper_default(),
+            history_window_hours: 10,
+            soft_penalty: 10.0,
+            simplex: SimplexConfig::default(),
+            branch_bound: BranchBoundConfig::default(),
+        }
+    }
+}
+
+impl WaterWiseConfig {
+    /// Override the carbon weight (`λ_H2O` becomes `1 − λ_CO2`).
+    pub fn with_carbon_weight(mut self, lambda_co2: f64) -> Self {
+        self.weights = self.weights.with_carbon_weight(lambda_co2);
+        self
+    }
+}
+
+/// Statistics the controller keeps about its own solves (exposed for the
+/// overhead experiment, Fig. 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolveStats {
+    /// Rounds in which the MILP was solved.
+    pub rounds: usize,
+    /// Rounds that required the soft-constrained fallback.
+    pub soft_fallbacks: usize,
+    /// Rounds in which the slack manager had to drop jobs.
+    pub slack_truncations: usize,
+    /// Total simplex iterations across all solves.
+    pub simplex_iterations: usize,
+    /// Total branch-and-bound nodes across all solves.
+    pub nodes: usize,
+}
+
+/// The WaterWise scheduler.
+pub struct WaterWiseScheduler {
+    provider: Arc<dyn ConditionsProvider>,
+    estimator: FootprintEstimator,
+    config: WaterWiseConfig,
+    stats: SolveStats,
+}
+
+impl WaterWiseScheduler {
+    /// Create a WaterWise scheduler.
+    ///
+    /// `provider` supplies *current* (not future) conditions; `estimator`
+    /// must match the simulator's data-center parameters so the scheduler
+    /// optimizes the same quantities the evaluation measures.
+    pub fn new(
+        provider: Arc<dyn ConditionsProvider>,
+        estimator: FootprintEstimator,
+        config: WaterWiseConfig,
+    ) -> Self {
+        Self {
+            provider,
+            estimator,
+            config,
+            stats: SolveStats::default(),
+        }
+    }
+
+    /// With the paper's default configuration.
+    pub fn with_defaults(provider: Arc<dyn ConditionsProvider>) -> Self {
+        Self::new(
+            provider,
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default(),
+        )
+    }
+
+    /// Solver statistics accumulated so far.
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WaterWiseConfig {
+        &self.config
+    }
+
+    /// Urgency score of Eq. 14 (smaller = more urgent):
+    /// `TOL% · t_m − L_avg_m − (T_current − T_start_m)`.
+    fn urgency(&self, job: &PendingJob, ctx: &SchedulingContext<'_>, regions: &[Region]) -> f64 {
+        let tol_budget = ctx.delay_tolerance * job.spec.estimated_execution_time.value();
+        let avg_transfer = ctx
+            .transfer
+            .average_transfer_time(job.spec.home_region, job.spec.package_bytes, regions)
+            .value();
+        let waited = job.waiting_time(ctx.now).value();
+        tol_budget - avg_transfer - waited
+    }
+
+    /// The slack manager: keep the `limit` most urgent jobs.
+    fn slack_select<'j>(
+        &mut self,
+        jobs: &[&'j PendingJob],
+        ctx: &SchedulingContext<'_>,
+        regions: &[Region],
+        limit: usize,
+    ) -> Vec<&'j PendingJob> {
+        if jobs.len() <= limit {
+            return jobs.to_vec();
+        }
+        self.stats.slack_truncations += 1;
+        let mut ranked: Vec<(&PendingJob, f64)> = jobs
+            .iter()
+            .map(|j| (*j, self.urgency(j, ctx, regions)))
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.into_iter().take(limit).map(|(j, _)| j).collect()
+    }
+
+    /// Build and solve the MILP for the selected jobs. `soften` enables the
+    /// penalty relaxation of Eq. 12/13.
+    fn solve_assignment(
+        &mut self,
+        jobs: &[&PendingJob],
+        ctx: &SchedulingContext<'_>,
+        regions: &[Region],
+        candidates: &[Vec<CandidateFootprint>],
+        normalizers: &[Normalizer],
+        history: &[(f64, f64)],
+        soften: bool,
+    ) -> Option<Vec<Assignment>> {
+        let n_regions = regions.len();
+        let weights = &self.config.weights;
+        let mut model = Model::new(if soften {
+            "waterwise-soft"
+        } else {
+            "waterwise-hard"
+        });
+
+        // Decision variables x[m][n].
+        let mut x: Vec<Vec<Var>> = Vec::with_capacity(jobs.len());
+        for (m, job) in jobs.iter().enumerate() {
+            let row: Vec<Var> = (0..n_regions)
+                .map(|n| model.add_binary(format!("x_{}_{}", job.spec.id.0, n)))
+                .collect();
+            x.push(row);
+            let _ = m;
+        }
+        // Penalty variables P[m] for the softened delay constraint.
+        let penalties: Vec<Option<Var>> = jobs
+            .iter()
+            .map(|job| {
+                if soften {
+                    Some(model.add_non_negative(format!("p_{}", job.spec.id.0)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Objective (Eq. 8 / Eq. 12).
+        let mut objective = LinExpr::zero();
+        for (m, job) in jobs.iter().enumerate() {
+            for (n, _region) in regions.iter().enumerate() {
+                let candidate = &candidates[m][n];
+                let mut coefficient = normalizers[m].objective_term(candidate, weights);
+                // History-learner reference term (normalized trailing means).
+                let (carbon_ref, water_ref) = history[n];
+                coefficient +=
+                    weights.lambda_ref * (weights.lambda_co2 * carbon_ref + weights.lambda_h2o * water_ref);
+                objective.add_term(x[m][n], coefficient);
+            }
+            let _ = job;
+        }
+        if soften {
+            for p in penalties.iter().flatten() {
+                objective.add_term(*p, self.config.soft_penalty);
+            }
+        }
+        model.minimize(objective);
+
+        // Eq. 9: each job is assigned to exactly one region.
+        for (m, job) in jobs.iter().enumerate() {
+            let expr = LinExpr::sum((0..n_regions).map(|n| LinExpr::from(x[m][n])));
+            model.add_constraint(format!("assign_{}", job.spec.id.0), expr, Sense::Equal, 1.0);
+        }
+        // Eq. 10: regional capacity.
+        for (n, view) in ctx.regions.iter().enumerate() {
+            let expr = LinExpr::sum((0..jobs.len()).map(|m| LinExpr::from(x[m][n])));
+            model.add_constraint(
+                format!("cap_{}", view.region.name()),
+                expr,
+                Sense::LessEqual,
+                view.remaining_capacity() as f64,
+            );
+        }
+        // Eq. 11 / Eq. 13: delay tolerance on the transfer-latency ratio,
+        // tightened by the time the job has already spent waiting.
+        for (m, job) in jobs.iter().enumerate() {
+            let exec = job.spec.estimated_execution_time.value().max(1.0);
+            let waited = job.waiting_time(ctx.now).value();
+            let remaining_tolerance = (ctx.delay_tolerance - waited / exec).max(0.0);
+            let mut expr = LinExpr::zero();
+            for (n, region) in regions.iter().enumerate() {
+                let latency = ctx
+                    .transfer
+                    .transfer_time(job.spec.home_region, *region, job.spec.package_bytes)
+                    .value();
+                expr.add_term(x[m][n], latency / exec);
+            }
+            if let Some(p) = penalties[m] {
+                expr.add_term(p, -1.0);
+            }
+            model.add_constraint(
+                format!("delay_{}", job.spec.id.0),
+                expr,
+                Sense::LessEqual,
+                remaining_tolerance,
+            );
+        }
+
+        let solution = model
+            .solve_with(&self.config.simplex, &self.config.branch_bound)
+            .ok()?;
+        self.stats.simplex_iterations += solution.simplex_iterations;
+        self.stats.nodes += solution.nodes_explored;
+        if !solution.status.has_solution() {
+            return None;
+        }
+        let mut assignments = Vec::with_capacity(jobs.len());
+        for (m, job) in jobs.iter().enumerate() {
+            let mut chosen: Option<Region> = None;
+            for (n, region) in regions.iter().enumerate() {
+                if solution.is_one(x[m][n]) {
+                    chosen = Some(*region);
+                    break;
+                }
+            }
+            if let Some(region) = chosen {
+                assignments.push(Assignment {
+                    job: job.spec.id,
+                    region,
+                });
+            }
+        }
+        Some(assignments)
+    }
+
+    /// Normalized trailing-window footprints per region, the `CO2_ref` /
+    /// `H2O_ref` history terms of Eq. 8.
+    fn history_terms(&self, ctx: &SchedulingContext<'_>, regions: &[Region]) -> Vec<(f64, f64)> {
+        let pue = self.estimator.params.pue;
+        let raw: Vec<(f64, f64)> = regions
+            .iter()
+            .map(|&r| {
+                let carbon = self
+                    .provider
+                    .trailing_carbon(r, ctx.now, self.config.history_window_hours)
+                    .value();
+                let water = self.provider.trailing_water_intensity(
+                    r,
+                    ctx.now,
+                    self.config.history_window_hours,
+                    pue,
+                );
+                (carbon, water)
+            })
+            .collect();
+        let max_carbon = raw.iter().map(|(c, _)| *c).fold(f64::MIN_POSITIVE, f64::max);
+        let max_water = raw.iter().map(|(_, w)| *w).fold(f64::MIN_POSITIVE, f64::max);
+        raw.iter()
+            .map(|(c, w)| (c / max_carbon, w / max_water))
+            .collect()
+    }
+}
+
+impl Scheduler for WaterWiseScheduler {
+    fn name(&self) -> &str {
+        "waterwise"
+    }
+
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+        if ctx.pending.is_empty() || ctx.regions.is_empty() {
+            return SchedulingDecision::defer_all();
+        }
+        let regions = ctx.region_list();
+        let total_capacity = ctx.total_remaining_capacity();
+        if total_capacity == 0 {
+            // Nothing can start this round; everything stays pending.
+            return SchedulingDecision::defer_all();
+        }
+        self.stats.rounds += 1;
+
+        // Algorithm 1, lines 5–7: slack management when over capacity.
+        let all_jobs: Vec<&PendingJob> = ctx.pending.iter().collect();
+        let selected = self.slack_select(&all_jobs, ctx, &regions, total_capacity);
+
+        // Candidate footprints and per-job normalizers (Eq. 7).
+        let candidates: Vec<Vec<CandidateFootprint>> = selected
+            .iter()
+            .map(|job| {
+                candidate_footprints(job, &regions, self.provider.as_ref(), &self.estimator, ctx.now)
+            })
+            .collect();
+        let normalizers: Vec<Normalizer> = candidates
+            .iter()
+            .map(|c| Normalizer::from_candidates(c))
+            .collect();
+        let history = self.history_terms(ctx, &regions);
+
+        // Hard-constrained solve first; soften on infeasibility
+        // (Algorithm 1, lines 8–11).
+        let hard = self.solve_assignment(
+            &selected,
+            ctx,
+            &regions,
+            &candidates,
+            &normalizers,
+            &history,
+            false,
+        );
+        let assignments = match hard {
+            Some(a) => a,
+            None => {
+                self.stats.soft_fallbacks += 1;
+                self.solve_assignment(
+                    &selected,
+                    ctx,
+                    &regions,
+                    &candidates,
+                    &normalizers,
+                    &history,
+                    true,
+                )
+                .unwrap_or_default()
+            }
+        };
+        SchedulingDecision { assignments }
+    }
+}
+
+/// Convenience constructor mirroring the paper's default deployment.
+pub fn paper_default_scheduler(provider: Arc<dyn ConditionsProvider>) -> WaterWiseScheduler {
+    WaterWiseScheduler::with_defaults(provider)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::test_support::{context_fixture, ContextFixture};
+    use waterwise_sustain::Seconds;
+    use waterwise_telemetry::SyntheticTelemetry;
+
+    fn scheduler() -> WaterWiseScheduler {
+        WaterWiseScheduler::with_defaults(Arc::new(SyntheticTelemetry::with_seed(3)))
+    }
+
+    fn ctx_from<'a>(
+        fixture: &'a ContextFixture,
+        now_hours: f64,
+        tolerance: f64,
+    ) -> SchedulingContext<'a> {
+        SchedulingContext {
+            now: Seconds::from_hours(now_hours),
+            pending: &fixture.pending,
+            regions: &fixture.regions,
+            delay_tolerance: tolerance,
+            transfer: &fixture.transfer,
+        }
+    }
+
+    #[test]
+    fn assigns_every_job_when_capacity_allows() {
+        let mut fixture = context_fixture(12, 3);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(6.0);
+        }
+        let ctx = ctx_from(&fixture, 6.0, 0.5);
+        let mut sched = scheduler();
+        let decision = sched.schedule(&ctx);
+        assert_eq!(decision.assignments.len(), 12);
+        assert_eq!(sched.stats().rounds, 1);
+        assert_eq!(sched.stats().slack_truncations, 0);
+    }
+
+    #[test]
+    fn respects_capacity_via_slack_manager() {
+        let mut fixture = context_fixture(30, 5);
+        for v in &mut fixture.regions {
+            v.total_servers = 2; // 10 total slots for 30 jobs.
+        }
+        let ctx = ctx_from(&fixture, 6.0, 0.5);
+        let mut sched = scheduler();
+        let decision = sched.schedule(&ctx);
+        assert!(decision.assignments.len() <= 10);
+        assert!(!decision.assignments.is_empty());
+        assert_eq!(sched.stats().slack_truncations, 1);
+        let mut counts = [0usize; 5];
+        for a in &decision.assignments {
+            counts[a.region.index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 2), "{counts:?}");
+    }
+
+    #[test]
+    fn avoids_the_carbon_worst_region_under_equal_weights() {
+        let mut fixture = context_fixture(20, 7);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(12.0);
+        }
+        let ctx = ctx_from(&fixture, 12.0, 1.0);
+        let decision = scheduler().schedule(&ctx);
+        let mumbai_jobs = decision
+            .assignments
+            .iter()
+            .filter(|a| a.region == waterwise_telemetry::Region::Mumbai)
+            .count();
+        // Mumbai jobs should only be those submitted there whose migration
+        // would violate tolerance — with generous tolerance that is few.
+        assert!(
+            mumbai_jobs <= decision.assignments.len() / 3,
+            "{mumbai_jobs} of {} jobs in Mumbai",
+            decision.assignments.len()
+        );
+    }
+
+    #[test]
+    fn tight_tolerance_keeps_jobs_near_home() {
+        let fixture = context_fixture(15, 9);
+        // Zero tolerance: any transfer latency violates Eq. 11, so the hard
+        // model forces home-region execution (latency 0).
+        let ctx = ctx_from(&fixture, 3.0, 0.0);
+        let decision = scheduler().schedule(&ctx);
+        for a in &decision.assignments {
+            let job = fixture
+                .pending
+                .iter()
+                .find(|p| p.spec.id == a.job)
+                .unwrap();
+            assert_eq!(a.region, job.spec.home_region, "job {} migrated", a.job.0);
+        }
+    }
+
+    #[test]
+    fn soft_fallback_engages_when_hard_model_is_infeasible() {
+        let mut fixture = context_fixture(6, 11);
+        // Make the home regions unavailable so every job *must* migrate, and
+        // set a zero tolerance so the hard delay constraint is unsatisfiable.
+        fixture
+            .regions
+            .retain(|v| v.region == waterwise_telemetry::Region::Milan);
+        for p in &mut fixture.pending {
+            p.spec.home_region = waterwise_telemetry::Region::Oregon;
+        }
+        let ctx = ctx_from(&fixture, 3.0, 0.0);
+        let mut sched = scheduler();
+        let decision = sched.schedule(&ctx);
+        // The soft model still assigns the jobs (at a penalty).
+        assert_eq!(decision.assignments.len(), 6);
+        assert!(sched.stats().soft_fallbacks >= 1);
+        assert!(decision
+            .assignments
+            .iter()
+            .all(|a| a.region == waterwise_telemetry::Region::Milan));
+    }
+
+    #[test]
+    fn carbon_weight_shifts_the_placement_mix() {
+        let mut fixture = context_fixture(25, 13);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(12.0);
+        }
+        let provider: Arc<dyn ConditionsProvider> = Arc::new(SyntheticTelemetry::with_seed(3));
+        let mut carbon_heavy = WaterWiseScheduler::new(
+            provider.clone(),
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default().with_carbon_weight(0.95),
+        );
+        let mut water_heavy = WaterWiseScheduler::new(
+            provider,
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default().with_carbon_weight(0.05),
+        );
+        let ctx = ctx_from(&fixture, 12.0, 1.0);
+        let a = carbon_heavy.schedule(&ctx);
+        let b = water_heavy.schedule(&ctx);
+        let dist = |d: &SchedulingDecision| {
+            let mut counts = [0usize; 5];
+            for a in &d.assignments {
+                counts[a.region.index()] += 1;
+            }
+            counts
+        };
+        assert_ne!(dist(&a), dist(&b), "weights should change the distribution");
+    }
+
+    #[test]
+    fn empty_pending_or_zero_capacity_defers() {
+        let mut fixture = context_fixture(5, 15);
+        let empty_ctx = SchedulingContext {
+            now: Seconds::zero(),
+            pending: &[],
+            regions: &fixture.regions,
+            delay_tolerance: 0.5,
+            transfer: &fixture.transfer,
+        };
+        assert!(scheduler().schedule(&empty_ctx).assignments.is_empty());
+
+        for v in &mut fixture.regions {
+            v.busy_servers = v.total_servers;
+        }
+        let ctx = ctx_from(&fixture, 1.0, 0.5);
+        assert!(scheduler().schedule(&ctx).assignments.is_empty());
+    }
+}

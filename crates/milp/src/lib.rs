@@ -1,0 +1,54 @@
+//! # waterwise-milp
+//!
+//! A pure-Rust Mixed Integer Linear Programming (MILP) solver used by the
+//! WaterWise scheduler, replacing the PuLP + GLPK stack of the original
+//! artifact.
+//!
+//! The solver is deliberately small and dependency-free:
+//!
+//! * [`model`] — a builder-style API for variables, linear expressions,
+//!   constraints, and the objective, similar in spirit to PuLP.
+//! * [`simplex`] — a dense, two-phase primal simplex for the LP relaxation,
+//!   with Bland's-rule anti-cycling and infeasibility/unboundedness
+//!   detection.
+//! * [`branch_bound`] — best-first branch & bound on fractional integer
+//!   variables, with incumbent pruning and a configurable gap/iteration
+//!   budget.
+//! * [`solution`] — solve status and per-variable value extraction.
+//!
+//! The scheduling MILPs WaterWise builds (binary assignment variables with
+//! per-job equality constraints and per-region capacity constraints) have LP
+//! relaxations that are almost always integral, so branch & bound typically
+//! terminates at the root node; the solver nevertheless handles the general
+//! case and is extensively property-tested against brute-force enumeration.
+//!
+//! ```
+//! use waterwise_milp::{Model, Sense, VarKind};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x <= 2, x,y >= 0
+//! let mut model = Model::new("example");
+//! let x = model.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+//! let y = model.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+//! model.add_constraint("cap", x + y, Sense::LessEqual, 4.0);
+//! model.add_constraint("xcap", x * 1.0, Sense::LessEqual, 2.0);
+//! model.maximize(x * 3.0 + y * 2.0);
+//! let solution = model.solve().unwrap();
+//! assert!((solution.objective - 10.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod branch_bound;
+pub mod error;
+pub mod expr;
+pub mod model;
+pub mod simplex;
+pub mod solution;
+
+pub use branch_bound::BranchBoundConfig;
+pub use error::MilpError;
+pub use expr::{LinExpr, Var};
+pub use model::{Constraint, Model, Sense, VarKind};
+pub use simplex::{SimplexConfig, SimplexOutcome};
+pub use solution::{Solution, SolveStatus};

@@ -1,0 +1,587 @@
+//! The model builder: variables, constraints, objective, and the `solve`
+//! entry points.
+
+use crate::branch_bound::{self, BranchBoundConfig};
+use crate::error::MilpError;
+use crate::expr::{LinExpr, Var};
+use crate::simplex::{self, SimplexConfig, SimplexOutcome};
+use crate::solution::{Solution, SolveStatus};
+use serde::{Deserialize, Serialize};
+
+/// The kind of a decision variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// A continuous variable.
+    Continuous,
+    /// A general integer variable.
+    Integer,
+    /// A 0/1 variable (bounds are forced into `[0, 1]`).
+    Binary,
+}
+
+/// The sense (direction) of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Sense {
+    /// `expr <= rhs`
+    LessEqual,
+    /// `expr >= rhs`
+    GreaterEqual,
+    /// `expr == rhs`
+    Equal,
+}
+
+/// Objective direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Metadata for one decision variable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VarInfo {
+    /// Human-readable name (used in diagnostics).
+    pub name: String,
+    /// Continuous / integer / binary.
+    pub kind: VarKind,
+    /// Lower bound (may be `-inf`).
+    pub lower: f64,
+    /// Upper bound (may be `+inf`).
+    pub upper: f64,
+}
+
+/// A linear constraint `expr (<=|>=|==) rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Human-readable name (used in diagnostics).
+    pub name: String,
+    /// Left-hand-side expression (constant folded into the rhs at solve time).
+    pub expr: LinExpr,
+    /// Direction of the constraint.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// `true` if the given point satisfies the constraint within `tol`.
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.evaluate(values);
+        match self.sense {
+            Sense::LessEqual => lhs <= self.rhs + tol,
+            Sense::GreaterEqual => lhs >= self.rhs - tol,
+            Sense::Equal => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// A mixed-integer linear program under construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Model name (used in diagnostics).
+    pub name: String,
+    vars: Vec<VarInfo>,
+    constraints: Vec<Constraint>,
+    objective: Option<(Direction, LinExpr)>,
+}
+
+impl Model {
+    /// Create an empty model.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: None,
+        }
+    }
+
+    /// Add a decision variable and return its handle.
+    ///
+    /// For [`VarKind::Binary`] the bounds are clamped into `[0, 1]`.
+    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> Var {
+        let (lower, upper) = match kind {
+            VarKind::Binary => (lower.max(0.0), upper.min(1.0)),
+            _ => (lower, upper),
+        };
+        self.vars.push(VarInfo {
+            name: name.into(),
+            kind,
+            lower,
+            upper,
+        });
+        Var(self.vars.len() - 1)
+    }
+
+    /// Convenience: add a binary (0/1) variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name, VarKind::Binary, 0.0, 1.0)
+    }
+
+    /// Convenience: add a non-negative continuous variable.
+    pub fn add_non_negative(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name, VarKind::Continuous, 0.0, f64::INFINITY)
+    }
+
+    /// Add a constraint `expr (<=|>=|==) rhs`.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        expr: impl Into<LinExpr>,
+        sense: Sense,
+        rhs: f64,
+    ) {
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr: expr.into(),
+            sense,
+            rhs,
+        });
+    }
+
+    /// Set a minimization objective.
+    pub fn minimize(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = Some((Direction::Minimize, expr.into()));
+    }
+
+    /// Set a maximization objective.
+    pub fn maximize(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = Some((Direction::Maximize, expr.into()));
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable metadata.
+    pub fn var_info(&self, var: Var) -> &VarInfo {
+        &self.vars[var.index()]
+    }
+
+    /// All variables.
+    pub fn vars(&self) -> &[VarInfo] {
+        &self.vars
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective, if one has been set.
+    pub fn objective(&self) -> Option<(&Direction, &LinExpr)> {
+        self.objective.as_ref().map(|(d, e)| (d, e))
+    }
+
+    /// `true` if the model contains integer or binary variables.
+    pub fn has_integer_vars(&self) -> bool {
+        self.vars
+            .iter()
+            .any(|v| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+    }
+
+    /// Indices of integer/binary variables.
+    pub fn integer_var_indices(&self) -> Vec<usize> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Validate the model: bounds, finite coefficients, variable indices.
+    pub fn validate(&self) -> Result<(), MilpError> {
+        for v in &self.vars {
+            if v.lower.is_nan() || v.upper.is_nan() {
+                return Err(MilpError::NonFiniteCoefficient {
+                    context: format!("bounds of variable `{}`", v.name),
+                });
+            }
+            if v.lower > v.upper {
+                return Err(MilpError::InvalidBounds {
+                    name: v.name.clone(),
+                    lower: v.lower,
+                    upper: v.upper,
+                });
+            }
+        }
+        let check_expr = |expr: &LinExpr, ctx: &str| -> Result<(), MilpError> {
+            if !expr.is_finite() {
+                return Err(MilpError::NonFiniteCoefficient {
+                    context: ctx.to_string(),
+                });
+            }
+            if let Some(max) = expr.max_var_index() {
+                if max >= self.vars.len() {
+                    return Err(MilpError::UnknownVariable {
+                        index: max,
+                        model_vars: self.vars.len(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for c in &self.constraints {
+            check_expr(&c.expr, &format!("constraint `{}`", c.name))?;
+            if c.rhs.is_nan() {
+                return Err(MilpError::NonFiniteCoefficient {
+                    context: format!("rhs of constraint `{}`", c.name),
+                });
+            }
+        }
+        match &self.objective {
+            Some((_, expr)) => check_expr(expr, "objective"),
+            None => Err(MilpError::MissingObjective),
+        }
+    }
+
+    /// Check whether a candidate point is feasible for all constraints and
+    /// bounds (integrality is checked for integer/binary variables).
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        for (i, v) in self.vars.iter().enumerate() {
+            let x = values.get(i).copied().unwrap_or(0.0);
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
+                && (x - x.round()).abs() > tol
+            {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| c.is_satisfied(values, tol))
+    }
+
+    /// Solve with default configuration.
+    pub fn solve(&self) -> Result<Solution, MilpError> {
+        self.solve_with(&SimplexConfig::default(), &BranchBoundConfig::default())
+    }
+
+    /// Solve with explicit simplex / branch-and-bound configuration.
+    pub fn solve_with(
+        &self,
+        simplex_config: &SimplexConfig,
+        bb_config: &BranchBoundConfig,
+    ) -> Result<Solution, MilpError> {
+        self.validate()?;
+        if self.has_integer_vars() {
+            branch_bound::solve(self, simplex_config, bb_config)
+        } else {
+            self.solve_lp_relaxation(simplex_config, None)
+        }
+    }
+
+    /// Solve the LP relaxation (integrality dropped), optionally with
+    /// per-variable bound overrides — used by branch & bound.
+    pub(crate) fn solve_lp_relaxation(
+        &self,
+        config: &SimplexConfig,
+        bound_overrides: Option<&[(f64, f64)]>,
+    ) -> Result<Solution, MilpError> {
+        let (direction, objective) = self.objective.as_ref().ok_or(MilpError::MissingObjective)?;
+        let sign = match direction {
+            Direction::Minimize => 1.0,
+            Direction::Maximize => -1.0,
+        };
+        let mut costs = vec![0.0; self.vars.len()];
+        for (i, c) in objective.iter_terms() {
+            costs[i] = sign * c;
+        }
+        let mut lower: Vec<f64> = self.vars.iter().map(|v| v.lower).collect();
+        let mut upper: Vec<f64> = self.vars.iter().map(|v| v.upper).collect();
+        if let Some(overrides) = bound_overrides {
+            for (i, (lo, hi)) in overrides.iter().enumerate() {
+                lower[i] = lower[i].max(*lo);
+                upper[i] = upper[i].min(*hi);
+                if lower[i] > upper[i] {
+                    // Branching produced an empty box: trivially infeasible.
+                    return Ok(Solution {
+                        status: SolveStatus::Infeasible,
+                        objective: f64::INFINITY,
+                        values: vec![0.0; self.vars.len()],
+                        simplex_iterations: 0,
+                        nodes_explored: 0,
+                    });
+                }
+            }
+        }
+        let problem = simplex::LpProblem {
+            num_vars: self.vars.len(),
+            costs,
+            lower,
+            upper,
+            constraints: self
+                .constraints
+                .iter()
+                .map(|c| simplex::LpConstraint {
+                    coeffs: c.expr.iter_terms().collect(),
+                    sense: c.sense,
+                    rhs: c.rhs - c.expr.constant_term(),
+                })
+                .collect(),
+        };
+        let outcome = simplex::solve(&problem, config);
+        let solution = match outcome {
+            SimplexOutcome::Optimal {
+                values, iterations, ..
+            } => Solution {
+                status: SolveStatus::Optimal,
+                objective: objective.evaluate(&values),
+                values,
+                simplex_iterations: iterations,
+                nodes_explored: 1,
+            },
+            SimplexOutcome::Infeasible { iterations } => Solution {
+                status: SolveStatus::Infeasible,
+                objective: f64::INFINITY,
+                values: vec![0.0; self.vars.len()],
+                simplex_iterations: iterations,
+                nodes_explored: 1,
+            },
+            SimplexOutcome::Unbounded { iterations } => Solution {
+                status: SolveStatus::Unbounded,
+                objective: match direction {
+                    Direction::Minimize => f64::NEG_INFINITY,
+                    Direction::Maximize => f64::INFINITY,
+                },
+                values: vec![0.0; self.vars.len()],
+                simplex_iterations: iterations,
+                nodes_explored: 1,
+            },
+            SimplexOutcome::IterationLimit { iterations } => Solution {
+                status: SolveStatus::IterationLimit,
+                objective: f64::NAN,
+                values: vec![0.0; self.vars.len()],
+                simplex_iterations: iterations,
+                nodes_explored: 1,
+            },
+        };
+        Ok(solution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_lp_maximization() {
+        // maximize 3x + 2y s.t. x + y <= 4, x <= 2
+        let mut m = Model::new("lp");
+        let x = m.add_non_negative("x");
+        let y = m.add_non_negative("y");
+        m.add_constraint("c1", x + y, Sense::LessEqual, 4.0);
+        m.add_constraint("c2", x * 1.0, Sense::LessEqual, 2.0);
+        m.maximize(x * 3.0 + y * 2.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 10.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.value(y) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simple_lp_minimization_with_equality() {
+        // minimize x + 2y s.t. x + y == 3, y >= 1
+        let mut m = Model::new("lp");
+        let x = m.add_non_negative("x");
+        let y = m.add_non_negative("y");
+        m.add_constraint("sum", x + y, Sense::Equal, 3.0);
+        m.add_constraint("ymin", y * 1.0, Sense::GreaterEqual, 1.0);
+        m.minimize(x + y * 2.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective - 4.0).abs() < 1e-6);
+        assert!((sol.value(x) - 2.0).abs() < 1e-6);
+        assert!((sol.value(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_lp_detected() {
+        let mut m = Model::new("bad");
+        let x = m.add_non_negative("x");
+        m.add_constraint("hi", x * 1.0, Sense::GreaterEqual, 5.0);
+        m.add_constraint("lo", x * 1.0, Sense::LessEqual, 1.0);
+        m.minimize(x * 1.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_lp_detected() {
+        let mut m = Model::new("unbounded");
+        let x = m.add_non_negative("x");
+        m.add_constraint("c", x * 1.0, Sense::GreaterEqual, 1.0);
+        m.maximize(x * 1.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn binary_knapsack() {
+        // maximize 10a + 6b + 4c s.t. a + b + c <= 2 (binary)
+        let mut m = Model::new("knapsack");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint("cap", a + b + c, Sense::LessEqual, 2.0);
+        m.maximize(a * 10.0 + b * 6.0 + c * 4.0);
+        let sol = m.solve().unwrap();
+        assert!(sol.status.has_solution());
+        assert!((sol.objective - 16.0).abs() < 1e-6);
+        assert!(sol.is_one(a));
+        assert!(sol.is_one(b));
+        assert!(!sol.is_one(c));
+    }
+
+    #[test]
+    fn integer_rounding_matters() {
+        // maximize x + y s.t. 2x + y <= 4.5, x + 2y <= 4.5, integers.
+        // LP optimum is x = y = 1.5 (objective 3), integer optimum is 2
+        // (e.g. x=2,y=0 violates? 2*2+0=4 <= 4.5 ok, 2+0 <= 4.5 ok -> obj 2;
+        //  x=1,y=1 -> obj 2). So MILP objective must be 2, not 3.
+        let mut m = Model::new("int");
+        let x = m.add_var("x", VarKind::Integer, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarKind::Integer, 0.0, f64::INFINITY);
+        m.add_constraint("c1", x * 2.0 + y, Sense::LessEqual, 4.5);
+        m.add_constraint("c2", x + y * 2.0, Sense::LessEqual, 4.5);
+        m.maximize(x + y);
+        let sol = m.solve().unwrap();
+        assert!(sol.status.has_solution());
+        // The MILP optimum must differ from the fractional LP optimum of 3.
+        assert!((sol.objective - 3.0).abs() > 0.5);
+        assert!((sol.objective - 2.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn validation_catches_bad_bounds() {
+        let mut m = Model::new("bad");
+        m.add_var("x", VarKind::Continuous, 2.0, 1.0);
+        m.minimize(LinExpr::constant(0.0));
+        assert!(matches!(m.solve(), Err(MilpError::InvalidBounds { .. })));
+    }
+
+    #[test]
+    fn validation_catches_missing_objective() {
+        let mut m = Model::new("noobj");
+        m.add_non_negative("x");
+        assert!(matches!(m.validate(), Err(MilpError::MissingObjective)));
+    }
+
+    #[test]
+    fn validation_catches_nan() {
+        let mut m = Model::new("nan");
+        let x = m.add_non_negative("x");
+        m.add_constraint("c", x * f64::NAN, Sense::LessEqual, 1.0);
+        m.minimize(x * 1.0);
+        assert!(matches!(
+            m.solve(),
+            Err(MilpError::NonFiniteCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_lower_bounds_supported() {
+        // minimize x s.t. x >= -5 (lower bound), x <= 3
+        let mut m = Model::new("neg");
+        let x = m.add_var("x", VarKind::Continuous, -5.0, 3.0);
+        m.minimize(x * 1.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.value(x) + 5.0).abs() < 1e-6);
+        assert!((sol.objective + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn free_variables_supported() {
+        // minimize y s.t. y >= x - 4, y >= -x, x free, y free.
+        // Optimum at x = 2, y = -2.
+        let mut m = Model::new("free");
+        let x = m.add_var("x", VarKind::Continuous, f64::NEG_INFINITY, f64::INFINITY);
+        let y = m.add_var("y", VarKind::Continuous, f64::NEG_INFINITY, f64::INFINITY);
+        m.add_constraint("c1", LinExpr::from(y) - x, Sense::GreaterEqual, -4.0);
+        m.add_constraint("c2", y + x, Sense::GreaterEqual, 0.0);
+        m.minimize(y * 1.0);
+        let sol = m.solve().unwrap();
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert!((sol.objective + 2.0).abs() < 1e-6, "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn fixed_variable_via_equal_bounds() {
+        let mut m = Model::new("fixed");
+        let x = m.add_var("x", VarKind::Continuous, 2.5, 2.5);
+        let y = m.add_non_negative("y");
+        m.add_constraint("c", x + y, Sense::LessEqual, 5.0);
+        m.maximize(y * 1.0);
+        let sol = m.solve().unwrap();
+        assert!((sol.value(x) - 2.5).abs() < 1e-6);
+        assert!((sol.value(y) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feasibility_check_honors_integrality() {
+        let mut m = Model::new("feas");
+        let x = m.add_binary("x");
+        m.add_constraint("c", x * 1.0, Sense::LessEqual, 1.0);
+        m.minimize(x * 1.0);
+        assert!(m.is_feasible(&[1.0], 1e-9));
+        assert!(!m.is_feasible(&[0.5], 1e-9));
+        assert!(!m.is_feasible(&[2.0], 1e-9));
+    }
+
+    #[test]
+    fn assignment_problem_with_capacity() {
+        // 3 jobs, 2 regions; costs prefer region 0 but capacity forces a split.
+        let mut m = Model::new("assign");
+        let costs = [[1.0, 2.0], [1.0, 3.0], [1.0, 4.0]];
+        let mut vars = Vec::new();
+        for (j, row) in costs.iter().enumerate() {
+            for (r, _) in row.iter().enumerate() {
+                vars.push(m.add_binary(format!("x_{j}_{r}")));
+            }
+        }
+        let var = |j: usize, r: usize| vars[j * 2 + r];
+        for j in 0..3 {
+            m.add_constraint(
+                format!("assign_{j}"),
+                LinExpr::from(var(j, 0)) + var(j, 1),
+                Sense::Equal,
+                1.0,
+            );
+        }
+        // Region 0 can take at most 1 job.
+        m.add_constraint(
+            "cap_0",
+            LinExpr::from(var(0, 0)) + var(1, 0) + var(2, 0),
+            Sense::LessEqual,
+            1.0,
+        );
+        let mut obj = LinExpr::zero();
+        for j in 0..3 {
+            for r in 0..2 {
+                obj.add_term(var(j, r), costs[j][r]);
+            }
+        }
+        m.minimize(obj);
+        let sol = m.solve().unwrap();
+        assert!(sol.status.has_solution());
+        // Best: the job with the largest region-1 penalty (job 2) goes to
+        // region 0, the rest to region 1: 1 + 2 + 3 = 6.
+        assert!((sol.objective - 6.0).abs() < 1e-6, "objective {}", sol.objective);
+        // Exactly one job in region 0.
+        let in_r0: f64 = (0..3).map(|j| sol.value(var(j, 0))).sum();
+        assert!((in_r0 - 1.0).abs() < 1e-6);
+        assert!(m.is_feasible(&sol.values, 1e-6));
+    }
+}

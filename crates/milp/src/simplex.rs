@@ -1,0 +1,731 @@
+//! Dense two-phase primal simplex for linear programs.
+//!
+//! The solver operates on an [`LpProblem`] in "model form": arbitrary finite
+//! or infinite variable bounds and `<=` / `>=` / `==` constraints. It
+//! converts the problem to standard form internally:
+//!
+//! * variables with a finite lower bound are shifted so the solver variable
+//!   is non-negative;
+//! * variables bounded only from above are mirrored;
+//! * free variables are split into a difference of two non-negative
+//!   variables;
+//! * finite upper bounds become explicit constraint rows;
+//! * `>=` and `==` rows receive artificial variables driven out in phase 1.
+//!
+//! Entering-variable selection uses Dantzig's rule with an automatic switch
+//! to Bland's rule after a stall, which guarantees termination on degenerate
+//! problems.
+
+use crate::model::Sense;
+use serde::{Deserialize, Serialize};
+
+/// A constraint in "model form" for the LP solver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpConstraint {
+    /// Sparse coefficients as `(variable index, coefficient)`.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint sense.
+    pub sense: Sense,
+    /// Right-hand side (constant already folded in).
+    pub rhs: f64,
+}
+
+/// A linear program in model form (always a minimization).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpProblem {
+    /// Number of decision variables.
+    pub num_vars: usize,
+    /// Objective coefficients (minimized).
+    pub costs: Vec<f64>,
+    /// Lower bounds (may be `-inf`).
+    pub lower: Vec<f64>,
+    /// Upper bounds (may be `+inf`).
+    pub upper: Vec<f64>,
+    /// Constraints.
+    pub constraints: Vec<LpConstraint>,
+}
+
+/// Simplex configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimplexConfig {
+    /// Hard cap on pivots across both phases. `0` means "auto" (scaled with
+    /// problem size).
+    pub max_iterations: usize,
+    /// Numerical tolerance for reduced costs, ratio tests, and feasibility.
+    pub tolerance: f64,
+    /// Number of non-improving pivots after which the solver switches from
+    /// Dantzig's rule to Bland's rule to escape degeneracy cycles.
+    pub stall_threshold: usize,
+}
+
+impl Default for SimplexConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 0,
+            tolerance: 1e-9,
+            stall_threshold: 64,
+        }
+    }
+}
+
+/// Result of a simplex solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimplexOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Objective value (of the minimization).
+        objective: f64,
+        /// Values of the original decision variables.
+        values: Vec<f64>,
+        /// Pivots performed.
+        iterations: usize,
+    },
+    /// The constraints admit no feasible point.
+    Infeasible {
+        /// Pivots performed.
+        iterations: usize,
+    },
+    /// The objective is unbounded below.
+    Unbounded {
+        /// Pivots performed.
+        iterations: usize,
+    },
+    /// The pivot budget was exhausted.
+    IterationLimit {
+        /// Pivots performed.
+        iterations: usize,
+    },
+}
+
+/// How an original variable maps onto solver (non-negative) variables.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lower + y[col]`
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper - y[col]` (upper bound finite, lower infinite)
+    Mirrored { col: usize, upper: f64 },
+    /// `x = y[pos] - y[neg]` (free variable)
+    Split { pos: usize, neg: usize },
+}
+
+struct Tableau {
+    /// `rows x (cols + 1)` matrix; the last column is the rhs.
+    a: Vec<Vec<f64>>,
+    /// Column index of the basic variable of each row.
+    basis: Vec<usize>,
+    /// Number of structural + slack/surplus columns (artificials follow).
+    non_artificial_cols: usize,
+    /// Total number of columns (excluding rhs).
+    cols: usize,
+}
+
+impl Tableau {
+    fn rows(&self) -> usize {
+        self.a.len()
+    }
+
+    fn rhs(&self, row: usize) -> f64 {
+        self.a[row][self.cols]
+    }
+
+    /// Perform a pivot on (row, col): normalize the pivot row and eliminate
+    /// the column from all other rows and the objective row.
+    fn pivot(&mut self, row: usize, col: usize, obj_row: &mut [f64], obj_val: &mut f64) {
+        let pivot_value = self.a[row][col];
+        debug_assert!(pivot_value.abs() > 0.0);
+        let inv = 1.0 / pivot_value;
+        for value in self.a[row].iter_mut() {
+            *value *= inv;
+        }
+        // Split borrows: copy the pivot row once (cols is small relative to
+        // the full tableau and this keeps the inner loop simple and fast).
+        let pivot_row = self.a[row].clone();
+        for (r, target) in self.a.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = target[col];
+            if factor != 0.0 {
+                for (t, p) in target.iter_mut().zip(pivot_row.iter()) {
+                    *t -= factor * p;
+                }
+            }
+        }
+        let factor = obj_row[col];
+        if factor != 0.0 {
+            for (o, p) in obj_row.iter_mut().zip(pivot_row.iter()) {
+                *o -= factor * p;
+            }
+            *obj_val -= factor * pivot_row[self.cols];
+        }
+        self.basis[row] = col;
+    }
+}
+
+/// Solve a linear program with the two-phase primal simplex.
+pub fn solve(problem: &LpProblem, config: &SimplexConfig) -> SimplexOutcome {
+    Solver::new(problem, config).run()
+}
+
+struct Solver<'a> {
+    problem: &'a LpProblem,
+    config: SimplexConfig,
+    var_map: Vec<VarMap>,
+    tableau: Tableau,
+    /// Costs on solver columns (for phase 2), plus the constant offset from
+    /// bound shifts.
+    solver_costs: Vec<f64>,
+    num_artificials: usize,
+    iterations: usize,
+    max_iterations: usize,
+}
+
+impl<'a> Solver<'a> {
+    fn new(problem: &'a LpProblem, config: &SimplexConfig) -> Self {
+        // --- 1. Map original variables to non-negative solver variables. ---
+        let mut var_map = Vec::with_capacity(problem.num_vars);
+        let mut next_col = 0usize;
+        // Extra rows from finite upper bounds on shifted variables.
+        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+        for i in 0..problem.num_vars {
+            let lo = problem.lower[i];
+            let hi = problem.upper[i];
+            if lo.is_finite() {
+                var_map.push(VarMap::Shifted { col: next_col, lower: lo });
+                if hi.is_finite() {
+                    bound_rows.push((next_col, hi - lo));
+                }
+                next_col += 1;
+            } else if hi.is_finite() {
+                var_map.push(VarMap::Mirrored { col: next_col, upper: hi });
+                next_col += 1;
+            } else {
+                var_map.push(VarMap::Split {
+                    pos: next_col,
+                    neg: next_col + 1,
+                });
+                next_col += 2;
+            }
+        }
+        let structural_cols = next_col;
+
+        // --- 2. Transform constraints into solver-variable space. ---
+        // Each row: dense coefficients over structural columns + rhs + sense.
+        struct Row {
+            coeffs: Vec<f64>,
+            sense: Sense,
+            rhs: f64,
+        }
+        let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints.len() + bound_rows.len());
+        for c in &problem.constraints {
+            let mut coeffs = vec![0.0; structural_cols];
+            let mut rhs = c.rhs;
+            for &(var, coeff) in &c.coeffs {
+                match var_map[var] {
+                    VarMap::Shifted { col, lower } => {
+                        coeffs[col] += coeff;
+                        rhs -= coeff * lower;
+                    }
+                    VarMap::Mirrored { col, upper } => {
+                        coeffs[col] -= coeff;
+                        rhs -= coeff * upper;
+                    }
+                    VarMap::Split { pos, neg } => {
+                        coeffs[pos] += coeff;
+                        coeffs[neg] -= coeff;
+                    }
+                }
+            }
+            rows.push(Row {
+                coeffs,
+                sense: c.sense,
+                rhs,
+            });
+        }
+        for &(col, ub) in &bound_rows {
+            let mut coeffs = vec![0.0; structural_cols];
+            coeffs[col] = 1.0;
+            rows.push(Row {
+                coeffs,
+                sense: Sense::LessEqual,
+                rhs: ub,
+            });
+        }
+
+        // --- 3. Normalize rhs signs and count slack/artificial columns. ---
+        for row in &mut rows {
+            if row.rhs < 0.0 {
+                for c in row.coeffs.iter_mut() {
+                    *c = -*c;
+                }
+                row.rhs = -row.rhs;
+                row.sense = match row.sense {
+                    Sense::LessEqual => Sense::GreaterEqual,
+                    Sense::GreaterEqual => Sense::LessEqual,
+                    Sense::Equal => Sense::Equal,
+                };
+            }
+        }
+        let num_slack = rows
+            .iter()
+            .filter(|r| matches!(r.sense, Sense::LessEqual | Sense::GreaterEqual))
+            .count();
+        let num_artificial = rows
+            .iter()
+            .filter(|r| matches!(r.sense, Sense::GreaterEqual | Sense::Equal))
+            .count();
+        let non_artificial_cols = structural_cols + num_slack;
+        let total_cols = non_artificial_cols + num_artificial;
+
+        // --- 4. Build the tableau. ---
+        let m = rows.len();
+        let mut a = vec![vec![0.0; total_cols + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_cursor = structural_cols;
+        let mut artificial_cursor = non_artificial_cols;
+        for (r, row) in rows.iter().enumerate() {
+            a[r][..structural_cols].copy_from_slice(&row.coeffs);
+            a[r][total_cols] = row.rhs;
+            match row.sense {
+                Sense::LessEqual => {
+                    a[r][slack_cursor] = 1.0;
+                    basis[r] = slack_cursor;
+                    slack_cursor += 1;
+                }
+                Sense::GreaterEqual => {
+                    a[r][slack_cursor] = -1.0;
+                    slack_cursor += 1;
+                    a[r][artificial_cursor] = 1.0;
+                    basis[r] = artificial_cursor;
+                    artificial_cursor += 1;
+                }
+                Sense::Equal => {
+                    a[r][artificial_cursor] = 1.0;
+                    basis[r] = artificial_cursor;
+                    artificial_cursor += 1;
+                }
+            }
+        }
+
+        // --- 5. Phase-2 costs on solver columns. ---
+        let mut solver_costs = vec![0.0; total_cols];
+        for i in 0..problem.num_vars {
+            let cost = problem.costs[i];
+            if cost == 0.0 {
+                continue;
+            }
+            match var_map[i] {
+                VarMap::Shifted { col, .. } => solver_costs[col] += cost,
+                VarMap::Mirrored { col, .. } => solver_costs[col] -= cost,
+                VarMap::Split { pos, neg } => {
+                    solver_costs[pos] += cost;
+                    solver_costs[neg] -= cost;
+                }
+            }
+        }
+
+        let max_iterations = if config.max_iterations == 0 {
+            2_000 + 40 * (m + total_cols)
+        } else {
+            config.max_iterations
+        };
+
+        Self {
+            problem,
+            config: *config,
+            var_map,
+            tableau: Tableau {
+                a,
+                basis,
+                non_artificial_cols,
+                cols: total_cols,
+            },
+            solver_costs,
+            num_artificials: num_artificial,
+            iterations: 0,
+            max_iterations,
+        }
+    }
+
+    fn run(mut self) -> SimplexOutcome {
+        let tol = self.config.tolerance;
+
+        // ---- Phase 1: minimize the sum of artificial variables. ----
+        if self.num_artificials > 0 {
+            let cols = self.tableau.cols;
+            let mut phase1_costs = vec![0.0; cols];
+            for c in self.tableau.non_artificial_cols..cols {
+                phase1_costs[c] = 1.0;
+            }
+            let (mut obj_row, mut obj_val) = self.reduced_costs(&phase1_costs);
+            match self.optimize(&mut obj_row, &mut obj_val, cols) {
+                LoopResult::Optimal => {}
+                LoopResult::Unbounded => {
+                    // Phase 1 is bounded below by 0; treat as numerical noise.
+                }
+                LoopResult::IterationLimit => {
+                    return SimplexOutcome::IterationLimit {
+                        iterations: self.iterations,
+                    };
+                }
+            }
+            // Sum of artificials at optimum = -obj_val? obj_val tracks
+            // `z = c_B B^-1 b` negated through pivots; recompute directly.
+            let artificial_sum: f64 = (0..self.tableau.rows())
+                .filter(|&r| self.tableau.basis[r] >= self.tableau.non_artificial_cols)
+                .map(|r| self.tableau.rhs(r))
+                .sum();
+            if artificial_sum > 1e-6 {
+                return SimplexOutcome::Infeasible {
+                    iterations: self.iterations,
+                };
+            }
+            self.evict_basic_artificials(tol);
+        }
+
+        // ---- Phase 2: minimize the real objective over non-artificial columns. ----
+        let limit_cols = self.tableau.non_artificial_cols;
+        let costs = self.solver_costs.clone();
+        let (mut obj_row, mut obj_val) = self.reduced_costs(&costs);
+        match self.optimize(&mut obj_row, &mut obj_val, limit_cols) {
+            LoopResult::Optimal => {}
+            LoopResult::Unbounded => {
+                return SimplexOutcome::Unbounded {
+                    iterations: self.iterations,
+                };
+            }
+            LoopResult::IterationLimit => {
+                return SimplexOutcome::IterationLimit {
+                    iterations: self.iterations,
+                };
+            }
+        }
+
+        let values = self.extract_values();
+        let objective = self
+            .problem
+            .costs
+            .iter()
+            .zip(values.iter())
+            .map(|(c, v)| c * v)
+            .sum();
+        SimplexOutcome::Optimal {
+            objective,
+            values,
+            iterations: self.iterations,
+        }
+    }
+
+    /// Compute the reduced-cost row `c_j - c_B B^-1 A_j` and objective value
+    /// `c_B B^-1 b` for the current basis.
+    fn reduced_costs(&self, costs: &[f64]) -> (Vec<f64>, f64) {
+        let t = &self.tableau;
+        let mut row = vec![0.0; t.cols + 1];
+        row[..t.cols].copy_from_slice(costs);
+        let mut obj_val = 0.0;
+        for r in 0..t.rows() {
+            let cb = costs[t.basis[r]];
+            if cb != 0.0 {
+                for c in 0..=t.cols {
+                    row[c] -= cb * t.a[r][c];
+                }
+                obj_val += cb * t.rhs(r);
+            }
+        }
+        (row, obj_val)
+    }
+
+    /// Primal simplex loop over columns `< limit_cols`.
+    fn optimize(&mut self, obj_row: &mut Vec<f64>, obj_val: &mut f64, limit_cols: usize) -> LoopResult {
+        let tol = self.config.tolerance;
+        let mut stall = 0usize;
+        let mut last_obj = *obj_val;
+        loop {
+            if self.iterations >= self.max_iterations {
+                return LoopResult::IterationLimit;
+            }
+            // Entering column: Dantzig (most negative reduced cost), or
+            // Bland's rule (first negative) once the objective stalls.
+            let use_bland = stall >= self.config.stall_threshold;
+            let mut entering: Option<usize> = None;
+            let mut best = -tol;
+            for c in 0..limit_cols {
+                let rc = obj_row[c];
+                if rc < -tol {
+                    if use_bland {
+                        entering = Some(c);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        entering = Some(c);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                return LoopResult::Optimal;
+            };
+            // Ratio test (Bland tie-break: smallest basis column index).
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.tableau.rows() {
+                let a_rc = self.tableau.a[r][col];
+                if a_rc > tol {
+                    let ratio = self.tableau.rhs(r) / a_rc;
+                    let better = ratio < best_ratio - tol
+                        || (ratio < best_ratio + tol
+                            && leaving
+                                .map(|l| self.tableau.basis[r] < self.tableau.basis[l])
+                                .unwrap_or(true));
+                    if better {
+                        best_ratio = ratio;
+                        leaving = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leaving else {
+                return LoopResult::Unbounded;
+            };
+            self.tableau.pivot(row, col, obj_row, obj_val);
+            self.iterations += 1;
+            if (*obj_val - last_obj).abs() <= tol {
+                stall += 1;
+            } else {
+                stall = 0;
+                last_obj = *obj_val;
+            }
+        }
+    }
+
+    /// After phase 1, pivot any artificial variables that remain basic (at
+    /// value zero) out of the basis, or neutralize redundant rows.
+    fn evict_basic_artificials(&mut self, tol: f64) {
+        let non_art = self.tableau.non_artificial_cols;
+        let rows = self.tableau.rows();
+        let mut dummy_obj = vec![0.0; self.tableau.cols + 1];
+        let mut dummy_val = 0.0;
+        for r in 0..rows {
+            if self.tableau.basis[r] < non_art {
+                continue;
+            }
+            // Find any non-artificial column with a usable pivot element.
+            let col = (0..non_art).find(|&c| self.tableau.a[r][c].abs() > tol);
+            if let Some(c) = col {
+                self.tableau.pivot(r, c, &mut dummy_obj, &mut dummy_val);
+                self.iterations += 1;
+            }
+            // If no pivot column exists the row is redundant (all zeros);
+            // the artificial stays basic at zero and is harmless because
+            // artificial columns are excluded from phase-2 entering steps.
+        }
+    }
+
+    /// Read the original-variable values out of the final tableau.
+    fn extract_values(&self) -> Vec<f64> {
+        let t = &self.tableau;
+        let mut solver_values = vec![0.0; t.cols];
+        for r in 0..t.rows() {
+            solver_values[t.basis[r]] = t.rhs(r).max(0.0);
+        }
+        self.var_map
+            .iter()
+            .map(|m| match *m {
+                VarMap::Shifted { col, lower } => lower + solver_values[col],
+                VarMap::Mirrored { col, upper } => upper - solver_values[col],
+                VarMap::Split { pos, neg } => solver_values[pos] - solver_values[neg],
+            })
+            .collect()
+    }
+}
+
+enum LoopResult {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn constraint(coeffs: &[(usize, f64)], sense: Sense, rhs: f64) -> LpConstraint {
+        LpConstraint {
+            coeffs: coeffs.to_vec(),
+            sense,
+            rhs,
+        }
+    }
+
+    fn solve_default(p: &LpProblem) -> SimplexOutcome {
+        solve(p, &SimplexConfig::default())
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => 36 at (2, 6).
+        // Expressed as minimization of -3x - 5y.
+        let p = LpProblem {
+            num_vars: 2,
+            costs: vec![-3.0, -5.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            constraints: vec![
+                constraint(&[(0, 1.0)], Sense::LessEqual, 4.0),
+                constraint(&[(1, 2.0)], Sense::LessEqual, 12.0),
+                constraint(&[(0, 3.0), (1, 2.0)], Sense::LessEqual, 18.0),
+            ],
+        };
+        match solve_default(&p) {
+            SimplexOutcome::Optimal { objective, values, .. } => {
+                assert!((objective + 36.0).abs() < 1e-6);
+                assert!((values[0] - 2.0).abs() < 1e-6);
+                assert!((values[1] - 6.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min 2x + 3y s.t. x + y == 10, x >= 3  => x=10? No: y free to be 0.
+        // Optimal: maximize x share since 2 < 3 => x=10, y=0, obj 20.
+        let p = LpProblem {
+            num_vars: 2,
+            costs: vec![2.0, 3.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            constraints: vec![
+                constraint(&[(0, 1.0), (1, 1.0)], Sense::Equal, 10.0),
+                constraint(&[(0, 1.0)], Sense::GreaterEqual, 3.0),
+            ],
+        };
+        match solve_default(&p) {
+            SimplexOutcome::Optimal { objective, values, .. } => {
+                assert!((objective - 20.0).abs() < 1e-6);
+                assert!((values[0] - 10.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let p = LpProblem {
+            num_vars: 1,
+            costs: vec![1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            constraints: vec![
+                constraint(&[(0, 1.0)], Sense::GreaterEqual, 5.0),
+                constraint(&[(0, 1.0)], Sense::LessEqual, 2.0),
+            ],
+        };
+        assert!(matches!(solve_default(&p), SimplexOutcome::Infeasible { .. }));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let p = LpProblem {
+            num_vars: 1,
+            costs: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            constraints: vec![constraint(&[(0, 1.0)], Sense::GreaterEqual, 1.0)],
+        };
+        assert!(matches!(solve_default(&p), SimplexOutcome::Unbounded { .. }));
+    }
+
+    #[test]
+    fn finite_upper_bounds_respected() {
+        // min -x with x in [0, 7] => x = 7.
+        let p = LpProblem {
+            num_vars: 1,
+            costs: vec![-1.0],
+            lower: vec![0.0],
+            upper: vec![7.0],
+            constraints: vec![],
+        };
+        match solve_default(&p) {
+            SimplexOutcome::Optimal { values, .. } => assert!((values[0] - 7.0).abs() < 1e-6),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // min x s.t. -x <= -3  (i.e. x >= 3)
+        let p = LpProblem {
+            num_vars: 1,
+            costs: vec![1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            constraints: vec![constraint(&[(0, -1.0)], Sense::LessEqual, -3.0)],
+        };
+        match solve_default(&p) {
+            SimplexOutcome::Optimal { values, .. } => assert!((values[0] - 3.0).abs() < 1e-6),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mirrored_variable_only_upper_bound() {
+        // min x with x <= 4 and x >= -inf, constraint x >= -10 absent:
+        // objective unbounded below? Add constraint x >= -2 to make bounded.
+        let p = LpProblem {
+            num_vars: 1,
+            costs: vec![1.0],
+            lower: vec![f64::NEG_INFINITY],
+            upper: vec![4.0],
+            constraints: vec![constraint(&[(0, 1.0)], Sense::GreaterEqual, -2.0)],
+        };
+        match solve_default(&p) {
+            SimplexOutcome::Optimal { values, objective, .. } => {
+                assert!((values[0] + 2.0).abs() < 1e-6);
+                assert!((objective + 2.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; correctness here is mostly "terminates
+        // and returns a feasible optimum".
+        let p = LpProblem {
+            num_vars: 2,
+            costs: vec![-1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            constraints: vec![
+                constraint(&[(0, 1.0), (1, 1.0)], Sense::LessEqual, 1.0),
+                constraint(&[(0, 1.0), (1, 1.0)], Sense::LessEqual, 1.0),
+                constraint(&[(0, 1.0)], Sense::LessEqual, 1.0),
+                constraint(&[(1, 1.0)], Sense::LessEqual, 1.0),
+            ],
+        };
+        match solve_default(&p) {
+            SimplexOutcome::Optimal { objective, .. } => assert!((objective + 1.0).abs() < 1e-6),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // No constraints at all, bounded purely by variable bounds.
+        let p = LpProblem {
+            num_vars: 2,
+            costs: vec![1.0, -1.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![5.0, 5.0],
+            constraints: vec![],
+        };
+        match solve_default(&p) {
+            SimplexOutcome::Optimal { objective, values, .. } => {
+                assert!((values[0] - 0.0).abs() < 1e-6);
+                assert!((values[1] - 5.0).abs() < 1e-6);
+                assert!((objective + 5.0).abs() < 1e-6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

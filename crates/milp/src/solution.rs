@@ -1,0 +1,110 @@
+//! Solve status and solution extraction.
+
+use crate::expr::{LinExpr, Var};
+use serde::{Deserialize, Serialize};
+
+/// Outcome category of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolveStatus {
+    /// An optimal (within tolerance) solution was found.
+    Optimal,
+    /// A feasible solution was found but optimality was not proven before the
+    /// node/iteration budget ran out.
+    Feasible,
+    /// The problem has no feasible solution.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The budget ran out before any feasible solution was found.
+    IterationLimit,
+}
+
+impl SolveStatus {
+    /// `true` if a usable assignment of variable values is available.
+    pub fn has_solution(self) -> bool {
+        matches!(self, SolveStatus::Optimal | SolveStatus::Feasible)
+    }
+}
+
+/// A solution to an LP or MILP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Solution {
+    /// Status of the solve.
+    pub status: SolveStatus,
+    /// Objective value in the *original* optimization direction (i.e. if the
+    /// model was a maximization, this is the maximum).
+    pub objective: f64,
+    /// Value of every variable, indexed by [`Var::index`].
+    pub values: Vec<f64>,
+    /// Simplex iterations performed (summed over branch-and-bound nodes).
+    pub simplex_iterations: usize,
+    /// Branch-and-bound nodes explored (1 for pure LPs).
+    pub nodes_explored: usize,
+}
+
+impl Solution {
+    /// Value of a specific variable.
+    pub fn value(&self, var: Var) -> f64 {
+        self.values.get(var.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluate a linear expression at this solution.
+    pub fn evaluate(&self, expr: &LinExpr) -> f64 {
+        expr.evaluate(&self.values)
+    }
+
+    /// Value of a variable rounded to the nearest integer (useful for binary
+    /// assignment variables that may carry 1e-9-scale numerical noise).
+    pub fn rounded(&self, var: Var) -> i64 {
+        self.value(var).round() as i64
+    }
+
+    /// `true` if the variable is (numerically) equal to one.
+    pub fn is_one(&self, var: Var) -> bool {
+        (self.value(var) - 1.0).abs() < 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+
+    #[test]
+    fn status_classification() {
+        assert!(SolveStatus::Optimal.has_solution());
+        assert!(SolveStatus::Feasible.has_solution());
+        assert!(!SolveStatus::Infeasible.has_solution());
+        assert!(!SolveStatus::Unbounded.has_solution());
+        assert!(!SolveStatus::IterationLimit.has_solution());
+    }
+
+    #[test]
+    fn value_lookup_and_rounding() {
+        let sol = Solution {
+            status: SolveStatus::Optimal,
+            objective: 1.0,
+            values: vec![0.9999999, 0.0000001, 2.5],
+            simplex_iterations: 3,
+            nodes_explored: 1,
+        };
+        assert!(sol.is_one(Var(0)));
+        assert!(!sol.is_one(Var(1)));
+        assert_eq!(sol.rounded(Var(2)), 3);
+        // Out-of-range variables read as zero.
+        assert_eq!(sol.value(Var(10)), 0.0);
+    }
+
+    #[test]
+    fn evaluate_expression_at_solution() {
+        let sol = Solution {
+            status: SolveStatus::Optimal,
+            objective: 0.0,
+            values: vec![2.0, 3.0],
+            simplex_iterations: 0,
+            nodes_explored: 1,
+        };
+        let expr = LinExpr::term(Var(0), 1.0) + LinExpr::term(Var(1), 2.0) + LinExpr::constant(1.0);
+        assert_eq!(sol.evaluate(&expr), 2.0 + 6.0 + 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the LP/MILP solver.
+//!
+//! Strategy: generate small random problems where the ground truth can be
+//! established independently (brute-force enumeration for binary programs,
+//! feasibility checking for LPs) and verify the solver agrees.
+
+use proptest::prelude::*;
+use waterwise_milp::{LinExpr, Model, Sense, SolveStatus};
+
+/// Build a random binary minimization problem: `n` binary variables, a
+/// single knapsack-style capacity constraint, and a cost vector.
+fn binary_problem(costs: &[f64], weights: &[f64], capacity: f64) -> (Model, Vec<waterwise_milp::Var>) {
+    let mut m = Model::new("prop-binary");
+    let vars: Vec<_> = (0..costs.len())
+        .map(|i| m.add_binary(format!("x{i}")))
+        .collect();
+    let mut weight_expr = LinExpr::zero();
+    let mut cost_expr = LinExpr::zero();
+    for (i, &v) in vars.iter().enumerate() {
+        weight_expr.add_term(v, weights[i]);
+        cost_expr.add_term(v, costs[i]);
+    }
+    m.add_constraint("cap", weight_expr, Sense::LessEqual, capacity);
+    // Force at least one selection so the trivial all-zero answer is not
+    // always optimal.
+    let any = LinExpr::sum(vars.iter().map(|&v| LinExpr::from(v)));
+    m.add_constraint("atleast", any, Sense::GreaterEqual, 1.0);
+    m.minimize(cost_expr);
+    (m, vars)
+}
+
+/// Brute-force the optimum of the binary problem above.
+fn brute_force(costs: &[f64], weights: &[f64], capacity: f64) -> Option<f64> {
+    let n = costs.len();
+    let mut best: Option<f64> = None;
+    for mask in 1u32..(1 << n) {
+        let mut weight = 0.0;
+        let mut cost = 0.0;
+        for i in 0..n {
+            if mask & (1 << i) != 0 {
+                weight += weights[i];
+                cost += costs[i];
+            }
+        }
+        if weight <= capacity + 1e-9 {
+            best = Some(best.map_or(cost, |b: f64| b.min(cost)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The MILP optimum matches exhaustive enumeration on small binary programs.
+    #[test]
+    fn milp_matches_brute_force(
+        costs in prop::collection::vec(0.1f64..10.0, 2..7),
+        weights_seed in prop::collection::vec(0.1f64..5.0, 2..7),
+        cap_frac in 0.3f64..1.0,
+    ) {
+        let n = costs.len().min(weights_seed.len());
+        let costs = &costs[..n];
+        let weights = &weights_seed[..n];
+        let total_weight: f64 = weights.iter().sum();
+        let capacity = total_weight * cap_frac;
+        let (m, _) = binary_problem(costs, weights, capacity);
+        let sol = m.solve().unwrap();
+        let truth = brute_force(costs, weights, capacity);
+        match truth {
+            Some(best) => {
+                prop_assert!(sol.status.has_solution(), "expected solution, got {:?}", sol.status);
+                prop_assert!((sol.objective - best).abs() < 1e-6,
+                    "solver {} vs brute force {}", sol.objective, best);
+                prop_assert!(m.is_feasible(&sol.values, 1e-6));
+            }
+            None => {
+                prop_assert_eq!(sol.status, SolveStatus::Infeasible);
+            }
+        }
+    }
+
+    /// Any LP solution returned as optimal is feasible and at least as good
+    /// as a set of sampled feasible points.
+    #[test]
+    fn lp_optimum_dominates_sampled_feasible_points(
+        c0 in -5.0f64..5.0,
+        c1 in -5.0f64..5.0,
+        b0 in 1.0f64..20.0,
+        b1 in 1.0f64..20.0,
+        a00 in 0.1f64..3.0,
+        a01 in 0.1f64..3.0,
+        a10 in 0.1f64..3.0,
+        a11 in 0.1f64..3.0,
+        samples in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 20),
+    ) {
+        let mut m = Model::new("prop-lp");
+        let x = m.add_non_negative("x");
+        let y = m.add_non_negative("y");
+        m.add_constraint("r0", LinExpr::from(x) * a00 + LinExpr::from(y) * a01, Sense::LessEqual, b0);
+        m.add_constraint("r1", LinExpr::from(x) * a10 + LinExpr::from(y) * a11, Sense::LessEqual, b1);
+        m.minimize(LinExpr::from(x) * c0 + LinExpr::from(y) * c1);
+        let sol = m.solve().unwrap();
+        // The origin is always feasible here, so the LP cannot be infeasible.
+        prop_assert!(matches!(sol.status, SolveStatus::Optimal | SolveStatus::Unbounded));
+        if sol.status == SolveStatus::Optimal {
+            prop_assert!(m.is_feasible(&sol.values, 1e-6));
+            for (sx, sy) in samples {
+                let feasible = a00 * sx + a01 * sy <= b0 + 1e-9 && a10 * sx + a11 * sy <= b1 + 1e-9;
+                if feasible {
+                    let value = c0 * sx + c1 * sy;
+                    prop_assert!(sol.objective <= value + 1e-6,
+                        "sampled point ({sx},{sy}) beats 'optimal' {} with {}", sol.objective, value);
+                }
+            }
+        } else {
+            // Unbounded requires some negative cost direction.
+            prop_assert!(c0 < 0.0 || c1 < 0.0);
+        }
+    }
+
+    /// Assignment problems with adequate capacity always produce a feasible,
+    /// fully integral assignment.
+    #[test]
+    fn assignment_always_assigns_every_job(
+        n_jobs in 1usize..6,
+        n_regions in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let mut m = Model::new("prop-assign");
+        let mut vars = vec![];
+        for j in 0..n_jobs {
+            for r in 0..n_regions {
+                vars.push(m.add_binary(format!("x_{j}_{r}")));
+            }
+        }
+        let v = |j: usize, r: usize| vars[j * n_regions + r];
+        for j in 0..n_jobs {
+            let expr = LinExpr::sum((0..n_regions).map(|r| LinExpr::from(v(j, r))));
+            m.add_constraint(format!("assign_{j}"), expr, Sense::Equal, 1.0);
+        }
+        // Capacity: enough in aggregate.
+        let per_region = n_jobs.div_ceil(n_regions) as f64;
+        for r in 0..n_regions {
+            let expr = LinExpr::sum((0..n_jobs).map(|j| LinExpr::from(v(j, r))));
+            m.add_constraint(format!("cap_{r}"), expr, Sense::LessEqual, per_region);
+        }
+        let mut obj = LinExpr::zero();
+        for j in 0..n_jobs {
+            for r in 0..n_regions {
+                // Pseudo-random but deterministic costs.
+                let cost = (((j as u64 * 2654435761 + r as u64 * 40503 + seed) % 97) as f64) / 10.0;
+                obj.add_term(v(j, r), cost);
+            }
+        }
+        m.minimize(obj);
+        let sol = m.solve().unwrap();
+        prop_assert!(sol.status.has_solution());
+        prop_assert!(m.is_feasible(&sol.values, 1e-6));
+        for j in 0..n_jobs {
+            let total: f64 = (0..n_regions).map(|r| sol.value(v(j, r))).sum();
+            prop_assert!((total - 1.0).abs() < 1e-6);
+        }
+    }
+}

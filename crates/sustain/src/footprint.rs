@@ -1,0 +1,239 @@
+//! The combined per-job footprint estimator (Eq. 1 and Eq. 5 of the paper).
+//!
+//! Given a job's resource usage (energy, execution time) and the
+//! environmental conditions of the region executing it (carbon intensity,
+//! EWIF, WUE, WSF, PUE), this module computes the full carbon and water
+//! footprint breakdown that both the scheduler's objective function and the
+//! evaluation metrics are built on.
+
+use crate::carbon::CarbonFootprint;
+use crate::intensity::{CarbonIntensity, WaterIntensity};
+use crate::params::DataCenterParams;
+use crate::units::{Co2Grams, KilowattHours, Liters, LitersPerKwh, Seconds};
+use crate::water::{WaterFootprint, WaterScarcityFactor, WaterUsageEffectiveness};
+use serde::{Deserialize, Serialize};
+
+/// The resources a job consumes, as known (or estimated) by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobResourceUsage {
+    /// IT energy consumed by the job (kWh).
+    pub energy: KilowattHours,
+    /// Wall-clock execution time of the job.
+    pub execution_time: Seconds,
+}
+
+impl JobResourceUsage {
+    /// Construct a usage record.
+    pub fn new(energy: KilowattHours, execution_time: Seconds) -> Self {
+        Self {
+            energy,
+            execution_time,
+        }
+    }
+}
+
+/// Environmental conditions of a candidate region at scheduling time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionConditions {
+    /// Grid carbon intensity (gCO2/kWh).
+    pub carbon_intensity: CarbonIntensity,
+    /// Regional average EWIF of the grid's current energy mix (L/kWh).
+    pub ewif: LitersPerKwh,
+    /// Water usage effectiveness implied by current weather (L/kWh).
+    pub wue: WaterUsageEffectiveness,
+    /// Water scarcity factor of the region.
+    pub wsf: WaterScarcityFactor,
+}
+
+impl RegionConditions {
+    /// The paper's water-intensity metric (Eq. 6) under these conditions.
+    pub fn water_intensity(&self, pue: f64) -> WaterIntensity {
+        WaterIntensity::from_components(self.wue, pue, self.ewif, self.wsf)
+    }
+}
+
+/// Complete carbon + water footprint of one job execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FootprintBreakdown {
+    /// Carbon footprint split (operational + embodied).
+    pub carbon: CarbonFootprint,
+    /// Water footprint split (offsite + onsite + embodied), in effective liters.
+    pub water: WaterFootprint,
+}
+
+impl FootprintBreakdown {
+    /// Total carbon (gCO2).
+    pub fn total_carbon(&self) -> Co2Grams {
+        self.carbon.total()
+    }
+
+    /// Total effective water (L).
+    pub fn total_water(&self) -> Liters {
+        self.water.total()
+    }
+
+    /// Component-wise accumulation.
+    pub fn accumulate(&mut self, other: &FootprintBreakdown) {
+        self.carbon.accumulate(&other.carbon);
+        self.water.accumulate(&other.water);
+    }
+}
+
+/// Footprint estimator bound to a data center's parameters (PUE, server
+/// embodied footprints). Evaluating a job in a region is a pure function of
+/// the job's usage and the region's current conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FootprintEstimator {
+    /// The data-center parameters (PUE, server characteristics).
+    pub params: DataCenterParams,
+}
+
+impl FootprintEstimator {
+    /// Create an estimator with the given parameters.
+    pub fn new(params: DataCenterParams) -> Self {
+        Self { params }
+    }
+
+    /// Estimator with the paper's default setting (PUE 1.2, m5.metal servers).
+    pub fn paper_default() -> Self {
+        Self::new(DataCenterParams::paper_default())
+    }
+
+    /// Evaluate Eq. 1 + Eq. 5 for one job under the given conditions.
+    pub fn estimate(
+        &self,
+        usage: JobResourceUsage,
+        conditions: RegionConditions,
+    ) -> FootprintBreakdown {
+        let embodied_model = self.params.server.embodied_carbon_model();
+        let carbon = CarbonFootprint::of_job(
+            usage.energy,
+            conditions.carbon_intensity,
+            usage.execution_time,
+            &embodied_model,
+        );
+        let water = WaterFootprint {
+            offsite: WaterFootprint::offsite(
+                self.params.pue,
+                usage.energy,
+                conditions.ewif,
+                conditions.wsf,
+            ),
+            onsite: WaterFootprint::onsite(usage.energy, conditions.wue, conditions.wsf),
+            embodied: self
+                .params
+                .server
+                .embodied_water_attributed(usage.execution_time),
+        };
+        FootprintBreakdown { carbon, water }
+    }
+
+    /// Operational-only estimate (used by the Ecovisor comparator which does
+    /// not account for embodied footprints).
+    pub fn estimate_operational(
+        &self,
+        usage: JobResourceUsage,
+        conditions: RegionConditions,
+    ) -> FootprintBreakdown {
+        let mut breakdown = self.estimate(usage, conditions);
+        breakdown.carbon.embodied = Co2Grams::zero();
+        breakdown.water.embodied = Liters::zero();
+        breakdown
+    }
+
+    /// The paper's water intensity (Eq. 6) for a region under this PUE.
+    pub fn water_intensity(&self, conditions: RegionConditions) -> WaterIntensity {
+        conditions.water_intensity(self.params.pue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conditions(ci: f64, ewif: f64, wue: f64, wsf: f64) -> RegionConditions {
+        RegionConditions {
+            carbon_intensity: CarbonIntensity::new(ci),
+            ewif: LitersPerKwh::new(ewif),
+            wue: WaterUsageEffectiveness::new(wue),
+            wsf: WaterScarcityFactor::new(wsf),
+        }
+    }
+
+    fn usage(kwh: f64, hours: f64) -> JobResourceUsage {
+        JobResourceUsage::new(KilowattHours::new(kwh), Seconds::from_hours(hours))
+    }
+
+    #[test]
+    fn estimate_matches_hand_computation() {
+        let est = FootprintEstimator::paper_default();
+        let cond = conditions(200.0, 2.0, 3.0, 0.5);
+        let u = usage(1.0, 1.0);
+        let fp = est.estimate(u, cond);
+        // Operational carbon: 1 kWh * 200 g/kWh.
+        assert!((fp.carbon.operational.value() - 200.0).abs() < 1e-9);
+        // Offsite water: 1.2 * 1 * 2 * 1.5 = 3.6 L.
+        assert!((fp.water.offsite.value() - 3.6).abs() < 1e-9);
+        // Onsite water: 1 * 3 * 1.5 = 4.5 L.
+        assert!((fp.water.onsite.value() - 4.5).abs() < 1e-9);
+        assert!(fp.carbon.embodied.value() > 0.0);
+        assert!(fp.water.embodied.value() > 0.0);
+    }
+
+    #[test]
+    fn operational_estimate_zeroes_embodied() {
+        let est = FootprintEstimator::paper_default();
+        let fp = est.estimate_operational(usage(1.0, 1.0), conditions(200.0, 2.0, 3.0, 0.5));
+        assert_eq!(fp.carbon.embodied.value(), 0.0);
+        assert_eq!(fp.water.embodied.value(), 0.0);
+        assert!(fp.carbon.operational.value() > 0.0);
+    }
+
+    #[test]
+    fn footprint_scales_linearly_with_energy() {
+        let est = FootprintEstimator::paper_default();
+        let cond = conditions(300.0, 1.5, 4.0, 0.3);
+        let one = est.estimate(usage(1.0, 1.0), cond);
+        let two = est.estimate(usage(2.0, 1.0), cond);
+        assert!(
+            (two.carbon.operational.value() - 2.0 * one.carbon.operational.value()).abs() < 1e-9
+        );
+        assert!((two.water.offsite.value() - 2.0 * one.water.offsite.value()).abs() < 1e-9);
+        assert!((two.water.onsite.value() - 2.0 * one.water.onsite.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greener_region_has_lower_carbon_but_maybe_higher_water() {
+        let est = FootprintEstimator::paper_default();
+        let u = usage(5.0, 2.0);
+        // Zurich-like: very clean grid, but hydro-heavy (high EWIF).
+        let zurich = conditions(50.0, 5.5, 1.5, 0.15);
+        // Mumbai-like: coal-heavy grid (low EWIF), hot and humid, stressed.
+        let mumbai = conditions(750.0, 1.6, 7.0, 0.7);
+        let fz = est.estimate(u, zurich);
+        let fm = est.estimate(u, mumbai);
+        assert!(fz.total_carbon().value() < fm.total_carbon().value());
+        // Offsite water alone is *worse* in Zurich — the carbon/water tension.
+        assert!(fz.water.offsite.value() > fm.water.offsite.value() / 1.7 * 1.15 / 1.2 * 1.2);
+    }
+
+    #[test]
+    fn water_intensity_consistent_with_conditions() {
+        let est = FootprintEstimator::paper_default();
+        let cond = conditions(100.0, 2.0, 3.0, 0.5);
+        let wi = est.water_intensity(cond);
+        assert!((wi.value() - (3.0 + 1.2 * 2.0) * 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulate_breakdowns() {
+        let est = FootprintEstimator::paper_default();
+        let cond = conditions(100.0, 2.0, 3.0, 0.5);
+        let fp = est.estimate(usage(1.0, 1.0), cond);
+        let mut sum = FootprintBreakdown::default();
+        sum.accumulate(&fp);
+        sum.accumulate(&fp);
+        assert!((sum.total_carbon().value() - 2.0 * fp.total_carbon().value()).abs() < 1e-9);
+        assert!((sum.total_water().value() - 2.0 * fp.total_water().value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,118 @@
+//! Carbon intensity and the paper's *water intensity* metric.
+//!
+//! Carbon intensity (gCO2/kWh) is standard. Water intensity (Eq. 6) is the
+//! paper's analogous scalar for water stress caused per unit of IT energy:
+//!
+//! ```text
+//! H2O_intensity = (WUE + PUE * EWIF) * (1 + WSF_dc)
+//! ```
+//!
+//! Lower is better for both. These are the two signals the WaterWise
+//! scheduler trades off against each other across regions and over time.
+
+use crate::units::LitersPerKwh;
+use crate::water::{WaterScarcityFactor, WaterUsageEffectiveness};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Grid carbon intensity in gCO2/kWh.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct CarbonIntensity(f64);
+
+impl CarbonIntensity {
+    /// Construct from gCO2/kWh.
+    pub const fn new(grams_per_kwh: f64) -> Self {
+        Self(grams_per_kwh)
+    }
+
+    /// Value in gCO2/kWh.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scale by a factor (used for perturbation / sensitivity studies).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self(self.0 * factor)
+    }
+}
+
+impl fmt::Display for CarbonIntensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} gCO2/kWh", self.0)
+    }
+}
+
+/// The paper's water-intensity metric in L/kWh of IT energy (Eq. 6).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct WaterIntensity(f64);
+
+impl WaterIntensity {
+    /// Construct directly from L/kWh.
+    pub const fn new(liters_per_kwh: f64) -> Self {
+        Self(liters_per_kwh)
+    }
+
+    /// Evaluate Eq. 6: `(WUE + PUE * EWIF) * (1 + WSF)`.
+    pub fn from_components(
+        wue: WaterUsageEffectiveness,
+        pue: f64,
+        ewif: LitersPerKwh,
+        wsf: WaterScarcityFactor,
+    ) -> Self {
+        Self((wue.value() + pue * ewif.value()) * (1.0 + wsf.value()))
+    }
+
+    /// Value in L/kWh.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Scale by a factor (used for perturbation / sensitivity studies).
+    pub fn scaled(self, factor: f64) -> Self {
+        Self(self.0 * factor)
+    }
+}
+
+impl fmt::Display for WaterIntensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} L/kWh", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_intensity_formula_matches_eq6() {
+        let wue = WaterUsageEffectiveness::new(3.0);
+        let ewif = LitersPerKwh::new(2.0);
+        let wsf = WaterScarcityFactor::new(0.5);
+        let wi = WaterIntensity::from_components(wue, 1.2, ewif, wsf);
+        let expected = (3.0 + 1.2 * 2.0) * 1.5;
+        assert!((wi.value() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_intensity_increases_with_scarcity() {
+        let wue = WaterUsageEffectiveness::new(3.0);
+        let ewif = LitersPerKwh::new(2.0);
+        let low = WaterIntensity::from_components(wue, 1.2, ewif, WaterScarcityFactor::new(0.1));
+        let high = WaterIntensity::from_components(wue, 1.2, ewif, WaterScarcityFactor::new(0.9));
+        assert!(high.value() > low.value());
+    }
+
+    #[test]
+    fn scaling_for_sensitivity() {
+        let ci = CarbonIntensity::new(100.0);
+        assert!((ci.scaled(1.1).value() - 110.0).abs() < 1e-12);
+        let wi = WaterIntensity::new(5.0);
+        assert!((wi.scaled(0.9).value() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_includes_units() {
+        assert!(format!("{}", CarbonIntensity::new(42.0)).contains("gCO2/kWh"));
+        assert!(format!("{}", WaterIntensity::new(4.2)).contains("L/kWh"));
+    }
+}

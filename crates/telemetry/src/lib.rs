@@ -1,0 +1,41 @@
+//! # waterwise-telemetry
+//!
+//! Region profiles and synthetic environmental telemetry for the WaterWise
+//! scheduler: hourly carbon intensity, regional EWIF, water usage
+//! effectiveness (from synthetic wet-bulb temperature), and water scarcity
+//! factors for the five data-center regions the paper evaluates
+//! (Zurich, Madrid, Oregon, Milan, Mumbai).
+//!
+//! The original artifact feeds live Electricity Maps, Meteologix, and
+//! Our-World-in-Data feeds into the scheduler. Those feeds are not available
+//! offline, so this crate generates *seeded synthetic* series whose spatial
+//! ordering and temporal variability match the characterization in Fig. 2 of
+//! the paper (see `DESIGN.md` for the substitution rationale). All series are
+//! deterministic functions of the seed, so experiments are reproducible.
+//!
+//! * [`region`] — the five regions and their static profiles (WSF, climate,
+//!   base energy mix).
+//! * [`weather`] — synthetic wet-bulb temperature model.
+//! * [`grid`] — synthetic hourly energy-mix model and the derived carbon
+//!   intensity / EWIF.
+//! * [`series`] — a simple hourly time-series container.
+//! * [`provider`] — the [`ConditionsProvider`] trait consumed by schedulers
+//!   and the simulator, with synthetic, constant, and perturbed
+//!   implementations.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod grid;
+pub mod provider;
+pub mod region;
+pub mod series;
+pub mod weather;
+
+pub use provider::{
+    ConditionsProvider, ConstantConditions, PerturbedProvider, SyntheticTelemetry,
+    TelemetryConfig,
+};
+pub use region::{Region, RegionProfile, ALL_REGIONS};
+pub use series::HourlySeries;
+pub use weather::WeatherModel;

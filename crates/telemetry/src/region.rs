@@ -1,0 +1,332 @@
+//! The five data-center regions evaluated in the paper and their static
+//! profiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use waterwise_sustain::{EnergyMix, EnergySource, WaterScarcityFactor};
+
+/// A geographic data-center region.
+///
+/// These correspond to the five AWS regions of the paper's testbed:
+/// `eu-central-2` (Zurich), `eu-south-2` (Madrid/Spain), `us-west-2`
+/// (Oregon), `eu-south-1` (Milan), and `ap-south-1` (Mumbai).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Zurich, Switzerland (`eu-central-2`) — very clean, hydro-heavy grid.
+    Zurich,
+    /// Madrid, Spain (`eu-south-2`) — renewable-heavy but water-stressed.
+    Madrid,
+    /// Oregon, USA (`us-west-2`) — hydro + gas mix, moderate stress.
+    Oregon,
+    /// Milan, Italy (`eu-south-1`) — gas-heavy grid.
+    Milan,
+    /// Mumbai, India (`ap-south-1`) — coal-heavy grid, hot and humid.
+    Mumbai,
+}
+
+/// All regions, ordered by ascending average carbon intensity (the ordering
+/// used on the x-axes of Fig. 2).
+pub const ALL_REGIONS: [Region; 5] = [
+    Region::Zurich,
+    Region::Madrid,
+    Region::Oregon,
+    Region::Milan,
+    Region::Mumbai,
+];
+
+impl Region {
+    /// Stable dense index (0..5) for array-indexed lookups.
+    pub fn index(self) -> usize {
+        match self {
+            Region::Zurich => 0,
+            Region::Madrid => 1,
+            Region::Oregon => 2,
+            Region::Milan => 3,
+            Region::Mumbai => 4,
+        }
+    }
+
+    /// Inverse of [`Region::index`].
+    pub fn from_index(index: usize) -> Option<Region> {
+        ALL_REGIONS.get(index).copied()
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::Zurich => "Zurich",
+            Region::Madrid => "Madrid",
+            Region::Oregon => "Oregon",
+            Region::Milan => "Milan",
+            Region::Mumbai => "Mumbai",
+        }
+    }
+
+    /// The AWS region identifier used in the paper's testbed.
+    pub fn aws_region(self) -> &'static str {
+        match self {
+            Region::Zurich => "eu-central-2",
+            Region::Madrid => "eu-south-2",
+            Region::Oregon => "us-west-2",
+            Region::Milan => "eu-south-1",
+            Region::Mumbai => "ap-south-1",
+        }
+    }
+
+    /// Static profile (WSF, climate, base energy mix) for this region.
+    pub fn profile(self) -> RegionProfile {
+        RegionProfile::of(self)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Climate parameters used by the synthetic wet-bulb temperature model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClimateProfile {
+    /// Annual mean wet-bulb temperature (°C).
+    pub mean_wet_bulb: f64,
+    /// Seasonal (annual) amplitude of the wet-bulb temperature (°C).
+    pub seasonal_amplitude: f64,
+    /// Diurnal amplitude of the wet-bulb temperature (°C).
+    pub diurnal_amplitude: f64,
+    /// Day of year (0-based) at which the seasonal peak occurs.
+    pub peak_day: f64,
+    /// Standard deviation of day-to-day weather noise (°C).
+    pub noise_std: f64,
+}
+
+/// Static profile of a region: water stress, climate, base energy mix, and
+/// the variability knobs used by the synthetic grid model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionProfile {
+    /// The region this profile describes.
+    pub region: Region,
+    /// Water scarcity factor (Fig. 2(d)).
+    pub wsf: WaterScarcityFactor,
+    /// Climate parameters for the wet-bulb model (drives WUE, Fig. 2(c)).
+    pub climate: ClimateProfile,
+    /// Annual-average energy mix of the regional grid (drives carbon
+    /// intensity, Fig. 2(a), and regional EWIF, Fig. 2(b)).
+    pub base_mix: EnergyMix,
+    /// Fraction of the solar share that follows the diurnal daylight curve.
+    pub solar_variability: f64,
+    /// Relative amplitude of slow (multi-day) wind output swings.
+    pub wind_variability: f64,
+    /// Relative amplitude of seasonal hydro availability swings.
+    pub hydro_seasonality: f64,
+    /// Relative amplitude of random hour-to-hour mix noise.
+    pub mix_noise: f64,
+    /// Log-scale amplitude of slow grid-level carbon-intensity swings
+    /// (imports/exports, demand, outages). Calibrated so that the generated
+    /// series reproduce the wide overlapping ranges of Fig. 2(e)
+    /// (e.g. Oregon spanning roughly 30–380 gCO2/kWh over a year).
+    pub carbon_volatility: f64,
+}
+
+impl RegionProfile {
+    /// The built-in profile of a region (values calibrated to reproduce the
+    /// orderings of Fig. 2; see `DESIGN.md`).
+    pub fn of(region: Region) -> Self {
+        match region {
+            Region::Zurich => Self {
+                region,
+                wsf: WaterScarcityFactor::new(0.15),
+                climate: ClimateProfile {
+                    mean_wet_bulb: 7.5,
+                    seasonal_amplitude: 8.5,
+                    diurnal_amplitude: 3.5,
+                    peak_day: 200.0,
+                    noise_std: 1.8,
+                },
+                base_mix: EnergyMix::new([
+                    (EnergySource::Hydro, 0.42),
+                    (EnergySource::Nuclear, 0.30),
+                    (EnergySource::Biomass, 0.08),
+                    (EnergySource::Solar, 0.07),
+                    (EnergySource::Wind, 0.08),
+                    (EnergySource::Gas, 0.05),
+                ]),
+                solar_variability: 0.9,
+                wind_variability: 0.7,
+                hydro_seasonality: 0.4,
+                mix_noise: 0.2,
+                carbon_volatility: 0.50,
+            },
+            Region::Madrid => Self {
+                region,
+                wsf: WaterScarcityFactor::new(0.85),
+                climate: ClimateProfile {
+                    mean_wet_bulb: 16.5,
+                    seasonal_amplitude: 8.0,
+                    diurnal_amplitude: 4.5,
+                    peak_day: 205.0,
+                    noise_std: 1.8,
+                },
+                base_mix: EnergyMix::new([
+                    (EnergySource::Solar, 0.25),
+                    (EnergySource::Wind, 0.25),
+                    (EnergySource::Nuclear, 0.10),
+                    (EnergySource::Gas, 0.30),
+                    (EnergySource::Hydro, 0.10),
+                ]),
+                solar_variability: 0.95,
+                wind_variability: 0.9,
+                hydro_seasonality: 0.45,
+                mix_noise: 0.22,
+                carbon_volatility: 0.45,
+            },
+            Region::Oregon => Self {
+                region,
+                wsf: WaterScarcityFactor::new(0.50),
+                climate: ClimateProfile {
+                    mean_wet_bulb: 9.0,
+                    seasonal_amplitude: 7.0,
+                    diurnal_amplitude: 3.0,
+                    peak_day: 210.0,
+                    noise_std: 1.6,
+                },
+                base_mix: EnergyMix::new([
+                    (EnergySource::Hydro, 0.35),
+                    (EnergySource::Gas, 0.30),
+                    (EnergySource::Wind, 0.10),
+                    (EnergySource::Solar, 0.15),
+                    (EnergySource::Coal, 0.10),
+                ]),
+                solar_variability: 0.85,
+                wind_variability: 0.8,
+                hydro_seasonality: 0.6,
+                mix_noise: 0.25,
+                carbon_volatility: 0.55,
+            },
+            Region::Milan => Self {
+                region,
+                wsf: WaterScarcityFactor::new(0.35),
+                climate: ClimateProfile {
+                    mean_wet_bulb: 12.5,
+                    seasonal_amplitude: 9.0,
+                    diurnal_amplitude: 4.0,
+                    peak_day: 200.0,
+                    noise_std: 1.9,
+                },
+                base_mix: EnergyMix::new([
+                    (EnergySource::Gas, 0.50),
+                    (EnergySource::Hydro, 0.15),
+                    (EnergySource::Solar, 0.12),
+                    (EnergySource::Wind, 0.08),
+                    (EnergySource::Biomass, 0.05),
+                    (EnergySource::Coal, 0.10),
+                ]),
+                solar_variability: 0.9,
+                wind_variability: 0.75,
+                hydro_seasonality: 0.45,
+                mix_noise: 0.2,
+                carbon_volatility: 0.40,
+            },
+            Region::Mumbai => Self {
+                region,
+                wsf: WaterScarcityFactor::new(0.70),
+                climate: ClimateProfile {
+                    mean_wet_bulb: 24.0,
+                    seasonal_amplitude: 3.5,
+                    diurnal_amplitude: 2.0,
+                    peak_day: 140.0,
+                    noise_std: 1.2,
+                },
+                base_mix: EnergyMix::new([
+                    (EnergySource::Coal, 0.70),
+                    (EnergySource::Gas, 0.12),
+                    (EnergySource::Hydro, 0.08),
+                    (EnergySource::Solar, 0.06),
+                    (EnergySource::Wind, 0.04),
+                ]),
+                solar_variability: 0.9,
+                wind_variability: 0.6,
+                hydro_seasonality: 0.5,
+                mix_noise: 0.12,
+                carbon_volatility: 0.18,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwise_sustain::EwifDataset;
+
+    #[test]
+    fn indexes_roundtrip() {
+        for (i, r) in ALL_REGIONS.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Region::from_index(i), Some(*r));
+        }
+        assert_eq!(Region::from_index(99), None);
+    }
+
+    #[test]
+    fn regions_are_sorted_by_carbon_intensity() {
+        // Fig. 2(a): Zurich < Madrid < Oregon < Milan < Mumbai.
+        let cis: Vec<f64> = ALL_REGIONS
+            .iter()
+            .map(|r| r.profile().base_mix.carbon_intensity().value())
+            .collect();
+        for w in cis.windows(2) {
+            assert!(w[0] < w[1], "carbon intensity ordering violated: {cis:?}");
+        }
+    }
+
+    #[test]
+    fn zurich_has_lowest_carbon_but_highest_ewif() {
+        // The carbon/water tension of Observation 2.
+        let zurich = Region::Zurich.profile();
+        let mumbai = Region::Mumbai.profile();
+        assert!(
+            zurich.base_mix.carbon_intensity().value()
+                < mumbai.base_mix.carbon_intensity().value() / 5.0
+        );
+        assert!(
+            zurich.base_mix.ewif(EwifDataset::Primary).value()
+                > mumbai.base_mix.ewif(EwifDataset::Primary).value() * 2.0
+        );
+    }
+
+    #[test]
+    fn madrid_and_mumbai_are_water_stressed() {
+        // Fig. 2(d): Madrid and Mumbai have the highest WSF.
+        assert!(Region::Madrid.profile().wsf.value() > 0.6);
+        assert!(Region::Mumbai.profile().wsf.value() > 0.6);
+        assert!(Region::Zurich.profile().wsf.value() < 0.3);
+    }
+
+    #[test]
+    fn mumbai_is_hot_and_humid() {
+        let mumbai = Region::Mumbai.profile();
+        let zurich = Region::Zurich.profile();
+        assert!(mumbai.climate.mean_wet_bulb > zurich.climate.mean_wet_bulb + 10.0);
+    }
+
+    #[test]
+    fn names_and_aws_regions_are_distinct() {
+        let mut names: Vec<_> = ALL_REGIONS.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+        let mut aws: Vec<_> = ALL_REGIONS.iter().map(|r| r.aws_region()).collect();
+        aws.sort_unstable();
+        aws.dedup();
+        assert_eq!(aws.len(), 5);
+    }
+
+    #[test]
+    fn profiles_have_normalized_mixes() {
+        for r in ALL_REGIONS {
+            let total: f64 = r.profile().base_mix.shares().map(|(_, s)| s).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{r}: {total}");
+        }
+    }
+}

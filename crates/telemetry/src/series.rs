@@ -1,0 +1,166 @@
+//! A simple hourly time-series container used for all synthetic telemetry.
+
+use serde::{Deserialize, Serialize};
+use waterwise_sustain::Seconds;
+
+/// A fixed-resolution (hourly) time series starting at simulation time zero.
+///
+/// Lookups outside the generated horizon wrap around, so a 1-year series can
+/// back a multi-year simulation without special-casing, and short test
+/// horizons never panic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HourlySeries {
+    values: Vec<f64>,
+}
+
+impl HourlySeries {
+    /// Build a series from hourly samples. Panics if `values` is empty.
+    pub fn new(values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "an HourlySeries needs at least one sample");
+        Self { values }
+    }
+
+    /// Generate `hours` samples from a function of the hour index.
+    pub fn generate(hours: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+        Self::new((0..hours.max(1)).map(&mut f).collect())
+    }
+
+    /// Number of hourly samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if there is exactly one sample (constant series).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Raw samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample at an hour index (wrapping).
+    pub fn at_hour(&self, hour: usize) -> f64 {
+        self.values[hour % self.values.len()]
+    }
+
+    /// Sample at a simulation time, using the hour that contains it
+    /// (wrapping beyond the horizon).
+    pub fn at(&self, time: Seconds) -> f64 {
+        let hour = (time.value().max(0.0) / 3600.0).floor() as usize;
+        self.at_hour(hour)
+    }
+
+    /// Linearly interpolated sample at a simulation time (wrapping).
+    pub fn interpolate(&self, time: Seconds) -> f64 {
+        let hours = time.value().max(0.0) / 3600.0;
+        let lo = hours.floor() as usize;
+        let frac = hours - hours.floor();
+        let a = self.at_hour(lo);
+        let b = self.at_hour(lo + 1);
+        a + (b - a) * frac
+    }
+
+    /// Arithmetic mean of all samples.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Population standard deviation of the samples.
+    pub fn std_dev(&self) -> f64 {
+        let mean = self.mean();
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Mean of the `window` samples ending at (and including) the hour that
+    /// contains `time` — used by the scheduler's history learner.
+    pub fn trailing_mean(&self, time: Seconds, window: usize) -> f64 {
+        let window = window.max(1);
+        let end = (time.value().max(0.0) / 3600.0).floor() as usize;
+        let sum: f64 = (0..window)
+            .map(|k| self.at_hour((end + self.values.len() * window).saturating_sub(k)))
+            .sum();
+        sum / window as f64
+    }
+
+    /// Apply a multiplicative factor to every sample.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self::new(self.values.iter().map(|v| v * factor).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_wrap_around() {
+        let s = HourlySeries::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.at_hour(0), 1.0);
+        assert_eq!(s.at_hour(3), 1.0);
+        assert_eq!(s.at_hour(4), 2.0);
+        assert_eq!(s.at(Seconds::from_hours(2.5)), 3.0);
+        assert_eq!(s.at(Seconds::from_hours(3.5)), 1.0);
+    }
+
+    #[test]
+    fn interpolation_is_linear_within_an_hour() {
+        let s = HourlySeries::new(vec![0.0, 10.0]);
+        assert!((s.interpolate(Seconds::from_hours(0.5)) - 5.0).abs() < 1e-12);
+        assert!((s.interpolate(Seconds::from_hours(0.25)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_times_clamp_to_start() {
+        let s = HourlySeries::new(vec![7.0, 8.0]);
+        assert_eq!(s.at(Seconds::new(-100.0)), 7.0);
+    }
+
+    #[test]
+    fn statistics() {
+        let s = HourlySeries::new(vec![2.0, 4.0, 6.0, 8.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 8.0);
+        assert!(s.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn trailing_mean_covers_window() {
+        let s = HourlySeries::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // At hour 4, a window of 3 covers hours 2, 3, 4 -> mean 4.
+        let m = s.trailing_mean(Seconds::from_hours(4.2), 3);
+        assert!((m - 4.0).abs() < 1e-12, "got {m}");
+    }
+
+    #[test]
+    fn generate_and_scale() {
+        let s = HourlySeries::generate(24, |h| h as f64);
+        assert_eq!(s.len(), 24);
+        let scaled = s.scaled(2.0);
+        assert_eq!(scaled.at_hour(3), 6.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_series_panics() {
+        HourlySeries::new(vec![]);
+    }
+}

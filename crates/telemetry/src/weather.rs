@@ -1,0 +1,110 @@
+//! Synthetic wet-bulb temperature model.
+//!
+//! WUE (and hence the onsite water footprint) is driven by the wet-bulb
+//! temperature at the data-center site. The paper pulls hourly observations
+//! from Meteologix; here we generate a seeded synthetic series with the same
+//! structure: an annual seasonal cycle, a diurnal cycle, and auto-correlated
+//! day-to-day noise.
+
+use crate::region::ClimateProfile;
+use crate::series::HourlySeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Synthetic weather (wet-bulb temperature) model for one region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeatherModel {
+    climate: ClimateProfile,
+    seed: u64,
+}
+
+impl WeatherModel {
+    /// Build a model from a climate profile and a seed.
+    pub fn new(climate: ClimateProfile, seed: u64) -> Self {
+        Self { climate, seed }
+    }
+
+    /// Deterministic wet-bulb temperature (°C) at an hour offset from the
+    /// start of the simulated year, excluding noise.
+    pub fn deterministic_wet_bulb(&self, hour: usize) -> f64 {
+        let day = (hour / 24) as f64;
+        let hour_of_day = (hour % 24) as f64;
+        let seasonal = self.climate.seasonal_amplitude
+            * (TAU * (day - self.climate.peak_day) / 365.0).cos();
+        // Diurnal peak mid-afternoon (15:00), trough just before dawn.
+        let diurnal = self.climate.diurnal_amplitude * (TAU * (hour_of_day - 15.0) / 24.0).cos();
+        self.climate.mean_wet_bulb + seasonal + diurnal
+    }
+
+    /// Generate an hourly wet-bulb series of the given length. Noise is an
+    /// AR(1) process refreshed daily so consecutive days are correlated, the
+    /// way real weather is.
+    pub fn generate(&self, hours: usize) -> HourlySeries {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5eed_11aa_77ee_0001);
+        let days = hours / 24 + 2;
+        let mut daily_noise = Vec::with_capacity(days);
+        let mut level: f64 = 0.0;
+        for _ in 0..days {
+            let shock: f64 = rng.gen_range(-1.0..1.0) * self.climate.noise_std;
+            level = 0.7 * level + shock;
+            daily_noise.push(level);
+        }
+        HourlySeries::generate(hours, |hour| {
+            let noise = daily_noise[hour / 24];
+            self.deterministic_wet_bulb(hour) + noise
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{Region, ALL_REGIONS};
+
+    fn model(region: Region, seed: u64) -> WeatherModel {
+        WeatherModel::new(region.profile().climate, seed)
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let a = model(Region::Oregon, 7).generate(24 * 30);
+        let b = model(Region::Oregon, 7).generate(24 * 30);
+        let c = model(Region::Oregon, 8).generate(24 * 30);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mumbai_is_warmer_than_zurich_on_average() {
+        let mumbai = model(Region::Mumbai, 1).generate(24 * 365);
+        let zurich = model(Region::Zurich, 1).generate(24 * 365);
+        assert!(mumbai.mean() > zurich.mean() + 10.0);
+    }
+
+    #[test]
+    fn seasonal_cycle_is_visible() {
+        let m = model(Region::Zurich, 3);
+        // Mid-July (day ~200) should be much warmer than mid-January (day ~15).
+        let summer = m.deterministic_wet_bulb(200 * 24 + 12);
+        let winter = m.deterministic_wet_bulb(15 * 24 + 12);
+        assert!(summer > winter + 5.0);
+    }
+
+    #[test]
+    fn diurnal_cycle_is_visible() {
+        let m = model(Region::Madrid, 3);
+        let afternoon = m.deterministic_wet_bulb(100 * 24 + 15);
+        let night = m.deterministic_wet_bulb(100 * 24 + 3);
+        assert!(afternoon > night);
+    }
+
+    #[test]
+    fn all_regions_generate_finite_values() {
+        for r in ALL_REGIONS {
+            let s = model(r, 42).generate(24 * 10);
+            assert!(s.values().iter().all(|v| v.is_finite()));
+        }
+    }
+}

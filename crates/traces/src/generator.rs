@@ -1,0 +1,256 @@
+//! End-to-end trace generation: arrivals × benchmark mix × home regions ×
+//! per-instance jitter.
+
+use crate::arrival::{ArrivalModel, TraceKind};
+use crate::job::{JobId, JobSpec};
+use crate::workload::{Benchmark, ALL_BENCHMARKS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use waterwise_sustain::{KilowattHours, Seconds, Watts};
+use waterwise_telemetry::{Region, ALL_REGIONS};
+
+/// Configuration for trace generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Which production trace to mimic.
+    pub kind: TraceKind,
+    /// Simulated duration of the trace.
+    pub duration: Seconds,
+    /// Multiplier on the base arrival rate (2.0 reproduces the "request
+    /// rates double" robustness study).
+    pub rate_multiplier: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative weight of each home region (indexed by [`Region::index`]);
+    /// defaults to uniform. Regions not being simulated can be given weight 0.
+    pub region_weights: [f64; 5],
+    /// Restrict generation to these benchmarks (defaults to all ten).
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            kind: TraceKind::BorgLike,
+            duration: Seconds::from_hours(24.0),
+            rate_multiplier: 1.0,
+            seed: 0xB0_46_7A_CE,
+            region_weights: [1.0; 5],
+            benchmarks: ALL_BENCHMARKS.to_vec(),
+        }
+    }
+}
+
+impl TraceConfig {
+    /// A Borg-like trace of the given number of days.
+    pub fn borg(days: f64, seed: u64) -> Self {
+        Self {
+            kind: TraceKind::BorgLike,
+            duration: Seconds::from_hours(days * 24.0),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// An Alibaba-like trace of the given number of days.
+    pub fn alibaba(days: f64, seed: u64) -> Self {
+        Self {
+            kind: TraceKind::AlibabaLike,
+            duration: Seconds::from_hours(days * 24.0),
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Restrict the home regions to a subset (other weights become 0).
+    pub fn with_regions(mut self, regions: &[Region]) -> Self {
+        self.region_weights = [0.0; 5];
+        for r in regions {
+            self.region_weights[r.index()] = 1.0;
+        }
+        self
+    }
+
+    /// Override the arrival-rate multiplier.
+    pub fn with_rate_multiplier(mut self, multiplier: f64) -> Self {
+        self.rate_multiplier = multiplier;
+        self
+    }
+}
+
+/// Generates [`JobSpec`] traces from a [`TraceConfig`].
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: TraceConfig,
+}
+
+impl TraceGenerator {
+    /// Create a generator.
+    pub fn new(config: TraceConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration this generator uses.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Generate the full trace, sorted by submission time.
+    pub fn generate(&self) -> Vec<JobSpec> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7AC3_0001_4E4E);
+        let mut arrivals = ArrivalModel::new(cfg.kind, cfg.rate_multiplier, cfg.seed);
+        let times = arrivals.arrivals_within(cfg.duration);
+
+        let benchmarks = if cfg.benchmarks.is_empty() {
+            ALL_BENCHMARKS.to_vec()
+        } else {
+            cfg.benchmarks.clone()
+        };
+        let total_weight: f64 = cfg.region_weights.iter().sum();
+        assert!(total_weight > 0.0, "at least one region weight must be positive");
+
+        times
+            .into_iter()
+            .enumerate()
+            .map(|(i, submit_time)| {
+                let benchmark = benchmarks[rng.gen_range(0..benchmarks.len())];
+                let profile = benchmark.profile();
+                let home_region = Self::sample_region(&mut rng, &cfg.region_weights, total_weight);
+                // Actual execution time: log-normal-ish jitter around the mean.
+                let exec_jitter = sample_lognormal(&mut rng, profile.execution_time_cv);
+                let actual_execution_time =
+                    Seconds::new(profile.mean_execution_time.value() * exec_jitter);
+                let power_jitter = 1.0 + rng.gen_range(-0.05f64..0.05);
+                let actual_energy = Watts::new(profile.mean_power.value() * power_jitter)
+                    .energy_over(actual_execution_time);
+                // The scheduler's estimates: the profiled mean, perturbed.
+                let estimate_jitter = sample_lognormal(&mut rng, profile.estimate_error_cv);
+                let estimated_execution_time =
+                    Seconds::new(profile.mean_execution_time.value() * estimate_jitter);
+                let estimated_energy = KilowattHours::new(
+                    profile.mean_energy().value() * sample_lognormal(&mut rng, profile.estimate_error_cv),
+                );
+                JobSpec {
+                    id: JobId(i as u64),
+                    benchmark,
+                    submit_time,
+                    home_region,
+                    actual_execution_time,
+                    actual_energy,
+                    estimated_execution_time,
+                    estimated_energy,
+                    package_bytes: profile.package_bytes,
+                }
+            })
+            .collect()
+    }
+
+    fn sample_region(rng: &mut StdRng, weights: &[f64; 5], total: f64) -> Region {
+        let mut pick = rng.gen_range(0.0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                return ALL_REGIONS[i];
+            }
+            pick -= w;
+        }
+        *ALL_REGIONS.last().unwrap()
+    }
+}
+
+/// A cheap log-normal-ish multiplicative jitter with the given coefficient of
+/// variation, implemented as `exp(N(0, cv))` approximated by the sum of
+/// uniform draws (avoids pulling in a distributions crate).
+fn sample_lognormal(rng: &mut StdRng, cv: f64) -> f64 {
+    // Sum of 4 uniforms in [-1, 1] has std ~= 1.155; scale to unit std.
+    let z: f64 = (0..4).map(|_| rng.gen_range(-1.0f64..1.0)).sum::<f64>() / 1.1547;
+    (z * cv).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_sorted_and_ids_are_unique() {
+        let jobs = TraceGenerator::new(TraceConfig::borg(0.5, 1)).generate();
+        assert!(!jobs.is_empty());
+        for w in jobs.windows(2) {
+            assert!(w[0].submit_time.value() <= w[1].submit_time.value());
+            assert!(w[0].id != w[1].id);
+        }
+    }
+
+    #[test]
+    fn borg_daily_volume_matches_the_paper_scale() {
+        // ~230k jobs over 10 days ⇒ ~23k per day (±40% for burstiness).
+        let jobs = TraceGenerator::new(TraceConfig::borg(1.0, 5)).generate();
+        let n = jobs.len() as f64;
+        assert!(n > 14_000.0 && n < 34_000.0, "jobs per day {n}");
+    }
+
+    #[test]
+    fn alibaba_is_much_denser_than_borg() {
+        let borg = TraceGenerator::new(TraceConfig::borg(0.25, 3)).generate().len();
+        let ali = TraceGenerator::new(TraceConfig::alibaba(0.25, 3)).generate().len();
+        assert!(ali as f64 > 5.0 * borg as f64, "alibaba {ali} vs borg {borg}");
+    }
+
+    #[test]
+    fn region_restriction_is_respected() {
+        let cfg = TraceConfig::borg(0.2, 9).with_regions(&[Region::Zurich, Region::Mumbai]);
+        let jobs = TraceGenerator::new(cfg).generate();
+        assert!(jobs
+            .iter()
+            .all(|j| j.home_region == Region::Zurich || j.home_region == Region::Mumbai));
+        assert!(jobs.iter().any(|j| j.home_region == Region::Zurich));
+        assert!(jobs.iter().any(|j| j.home_region == Region::Mumbai));
+    }
+
+    #[test]
+    fn all_regions_appear_with_uniform_weights() {
+        let jobs = TraceGenerator::new(TraceConfig::borg(0.5, 11)).generate();
+        for r in ALL_REGIONS {
+            assert!(jobs.iter().any(|j| j.home_region == r), "missing {r}");
+        }
+    }
+
+    #[test]
+    fn estimates_are_close_but_not_exact() {
+        let jobs = TraceGenerator::new(TraceConfig::borg(0.2, 13)).generate();
+        let mean_err: f64 =
+            jobs.iter().map(|j| j.estimate_error()).sum::<f64>() / jobs.len() as f64;
+        assert!(mean_err > 0.01, "estimates should be noisy, err {mean_err}");
+        assert!(mean_err < 0.6, "estimates should be in the right ballpark, err {mean_err}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = TraceGenerator::new(TraceConfig::borg(0.1, 21)).generate();
+        let b = TraceGenerator::new(TraceConfig::borg(0.1, 21)).generate();
+        let c = TraceGenerator::new(TraceConfig::borg(0.1, 22)).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rate_multiplier_doubles_volume() {
+        let base = TraceGenerator::new(TraceConfig::borg(0.25, 31)).generate().len() as f64;
+        let doubled = TraceGenerator::new(TraceConfig::borg(0.25, 31).with_rate_multiplier(2.0))
+            .generate()
+            .len() as f64;
+        let ratio = doubled / base;
+        assert!(ratio > 1.6 && ratio < 2.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn energies_scale_with_execution_time() {
+        let jobs = TraceGenerator::new(TraceConfig::borg(0.1, 17)).generate();
+        for j in jobs {
+            let implied_power =
+                j.actual_energy.value() * 3600.0 * 1000.0 / j.actual_execution_time.value();
+            assert!(implied_power > 100.0 && implied_power < 900.0, "power {implied_power}");
+        }
+    }
+}

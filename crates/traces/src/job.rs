@@ -1,0 +1,104 @@
+//! The per-job record consumed by the simulator and schedulers.
+
+use crate::workload::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use waterwise_sustain::{KilowattHours, Seconds};
+use waterwise_telemetry::Region;
+
+/// A unique job identifier within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// One job in a workload trace.
+///
+/// The scheduler only ever sees the *estimated* execution time and energy
+/// (mean estimates "from their previous executions", per the paper, which
+/// can be inaccurate); the simulator charges the *actual* values when the
+/// job runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id.
+    pub id: JobId,
+    /// Which benchmark the job runs.
+    pub benchmark: Benchmark,
+    /// Simulation time at which the job is submitted.
+    pub submit_time: Seconds,
+    /// The region where the user submitted the job.
+    pub home_region: Region,
+    /// Actual execution time (unknown to the scheduler).
+    pub actual_execution_time: Seconds,
+    /// Actual IT energy (unknown to the scheduler).
+    pub actual_energy: KilowattHours,
+    /// Execution-time estimate available to the scheduler.
+    pub estimated_execution_time: Seconds,
+    /// Energy estimate available to the scheduler.
+    pub estimated_energy: KilowattHours,
+    /// Size of the execution package transferred on migration (bytes).
+    pub package_bytes: u64,
+}
+
+impl JobSpec {
+    /// Relative error of the scheduler's execution-time estimate.
+    pub fn estimate_error(&self) -> f64 {
+        if self.actual_execution_time.value() <= 0.0 {
+            return 0.0;
+        }
+        (self.estimated_execution_time.value() - self.actual_execution_time.value()).abs()
+            / self.actual_execution_time.value()
+    }
+
+    /// The latest completion time that satisfies a delay tolerance of
+    /// `tolerance` (e.g. `0.25` for 25%): the job's service time
+    /// (completion − submission) may not exceed `(1 + tolerance) ×
+    /// actual_execution_time`.
+    pub fn deadline(&self, tolerance: f64) -> Seconds {
+        Seconds::new(
+            self.submit_time.value() + (1.0 + tolerance.max(0.0)) * self.actual_execution_time.value(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> JobSpec {
+        JobSpec {
+            id: JobId(7),
+            benchmark: Benchmark::Canneal,
+            submit_time: Seconds::new(100.0),
+            home_region: Region::Oregon,
+            actual_execution_time: Seconds::new(600.0),
+            actual_energy: KilowattHours::new(0.05),
+            estimated_execution_time: Seconds::new(660.0),
+            estimated_energy: KilowattHours::new(0.055),
+            package_bytes: 1024,
+        }
+    }
+
+    #[test]
+    fn estimate_error_is_relative() {
+        let j = job();
+        assert!((j.estimate_error() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_reflects_tolerance() {
+        let j = job();
+        assert!((j.deadline(0.25).value() - (100.0 + 1.25 * 600.0)).abs() < 1e-9);
+        // Negative tolerances are treated as zero.
+        assert!((j.deadline(-1.0).value() - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_of_job_id() {
+        assert_eq!(JobId(3).to_string(), "job-3");
+    }
+}

@@ -1,0 +1,118 @@
+//! Summary statistics of a generated trace, used in tests and experiment
+//! logs.
+
+use crate::job::JobSpec;
+use serde::{Deserialize, Serialize};
+use waterwise_sustain::{KilowattHours, Seconds};
+use waterwise_telemetry::ALL_REGIONS;
+
+/// Aggregate statistics of a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStatistics {
+    /// Number of jobs.
+    pub job_count: usize,
+    /// Trace duration spanned by submissions.
+    pub span: Seconds,
+    /// Mean inter-arrival gap.
+    pub mean_interarrival: Seconds,
+    /// Mean actual execution time.
+    pub mean_execution_time: Seconds,
+    /// Total IT energy of all jobs.
+    pub total_energy: KilowattHours,
+    /// Number of jobs per home region (indexed by [`waterwise_telemetry::Region::index`]).
+    pub jobs_per_region: [usize; 5],
+}
+
+impl TraceStatistics {
+    /// Compute statistics over a trace (assumed sorted by submit time).
+    pub fn compute(jobs: &[JobSpec]) -> Self {
+        if jobs.is_empty() {
+            return Self {
+                job_count: 0,
+                span: Seconds::zero(),
+                mean_interarrival: Seconds::zero(),
+                mean_execution_time: Seconds::zero(),
+                total_energy: KilowattHours::zero(),
+                jobs_per_region: [0; 5],
+            };
+        }
+        let first = jobs.first().unwrap().submit_time.value();
+        let last = jobs.last().unwrap().submit_time.value();
+        let span = (last - first).max(0.0);
+        let mut per_region = [0usize; 5];
+        for j in jobs {
+            per_region[j.home_region.index()] += 1;
+        }
+        Self {
+            job_count: jobs.len(),
+            span: Seconds::new(span),
+            mean_interarrival: Seconds::new(if jobs.len() > 1 {
+                span / (jobs.len() - 1) as f64
+            } else {
+                0.0
+            }),
+            mean_execution_time: Seconds::new(
+                jobs.iter().map(|j| j.actual_execution_time.value()).sum::<f64>()
+                    / jobs.len() as f64,
+            ),
+            total_energy: jobs.iter().map(|j| j.actual_energy).sum(),
+            jobs_per_region: per_region,
+        }
+    }
+
+    /// Average arrival rate in jobs per second.
+    pub fn arrival_rate(&self) -> f64 {
+        if self.span.value() <= 0.0 {
+            0.0
+        } else {
+            self.job_count as f64 / self.span.value()
+        }
+    }
+
+    /// Fraction of jobs submitted from each region.
+    pub fn region_fractions(&self) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        if self.job_count == 0 {
+            return out;
+        }
+        for r in ALL_REGIONS {
+            out[r.index()] = self.jobs_per_region[r.index()] as f64 / self.job_count as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceConfig, TraceGenerator};
+
+    #[test]
+    fn empty_trace_statistics_are_zero() {
+        let s = TraceStatistics::compute(&[]);
+        assert_eq!(s.job_count, 0);
+        assert_eq!(s.arrival_rate(), 0.0);
+        assert_eq!(s.region_fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn statistics_match_the_generated_trace() {
+        let jobs = TraceGenerator::new(TraceConfig::borg(0.3, 4)).generate();
+        let s = TraceStatistics::compute(&jobs);
+        assert_eq!(s.job_count, jobs.len());
+        assert!(s.mean_execution_time.value() > 100.0);
+        assert!(s.total_energy.value() > 0.0);
+        assert!(s.arrival_rate() > 0.05);
+        let fractions: f64 = s.region_fractions().iter().sum();
+        assert!((fractions - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn region_fractions_are_roughly_uniform_by_default() {
+        let jobs = TraceGenerator::new(TraceConfig::borg(1.0, 8)).generate();
+        let s = TraceStatistics::compute(&jobs);
+        for f in s.region_fractions() {
+            assert!(f > 0.1 && f < 0.3, "fraction {f}");
+        }
+    }
+}

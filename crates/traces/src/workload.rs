@@ -1,0 +1,207 @@
+//! The PARSEC and CloudSuite benchmarks used in the paper (Table 1) and
+//! their profiled resource characteristics.
+//!
+//! The paper profiles each benchmark on AWS `m5.metal` bare-metal nodes with
+//! Likwid/RAPL; the profile table below plays the role of that measurement
+//! database. Mean execution time and power are loosely calibrated to
+//! published numbers for these suites on large x86 servers; what matters for
+//! the scheduler is that jobs span roughly two orders of magnitude in length
+//! and energy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use waterwise_sustain::{KilowattHours, Seconds, Watts};
+
+/// One of the ten evaluated benchmarks (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// PARSEC `dedup` — data compression / deduplication pipeline.
+    Dedup,
+    /// PARSEC `netdedup` — dedup with a network stack front-end.
+    Netdedup,
+    /// PARSEC `canneal` — simulated annealing for chip routing.
+    Canneal,
+    /// PARSEC `blackscholes` — option pricing.
+    Blackscholes,
+    /// PARSEC `swaptions` — portfolio pricing with Monte-Carlo simulation.
+    Swaptions,
+    /// CloudSuite data caching (memcached-style).
+    DataCaching,
+    /// CloudSuite graph analytics.
+    GraphAnalytics,
+    /// CloudSuite web serving.
+    WebServing,
+    /// CloudSuite in-memory analytics.
+    MemoryAnalytics,
+    /// CloudSuite media streaming.
+    MediaStreaming,
+}
+
+/// All benchmarks, PARSEC first, in Table-1 order.
+pub const ALL_BENCHMARKS: [Benchmark; 10] = [
+    Benchmark::Dedup,
+    Benchmark::Netdedup,
+    Benchmark::Canneal,
+    Benchmark::Blackscholes,
+    Benchmark::Swaptions,
+    Benchmark::DataCaching,
+    Benchmark::GraphAnalytics,
+    Benchmark::WebServing,
+    Benchmark::MemoryAnalytics,
+    Benchmark::MediaStreaming,
+];
+
+impl Benchmark {
+    /// Stable dense index (0..10).
+    pub fn index(self) -> usize {
+        ALL_BENCHMARKS.iter().position(|&b| b == self).unwrap()
+    }
+
+    /// Short name as used in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Dedup => "dedup",
+            Benchmark::Netdedup => "netdedup",
+            Benchmark::Canneal => "canneal",
+            Benchmark::Blackscholes => "blackscholes",
+            Benchmark::Swaptions => "swaptions",
+            Benchmark::DataCaching => "data-caching",
+            Benchmark::GraphAnalytics => "graph-analytics",
+            Benchmark::WebServing => "web-serving",
+            Benchmark::MemoryAnalytics => "memory-analytics",
+            Benchmark::MediaStreaming => "media-streaming",
+        }
+    }
+
+    /// `true` for the PARSEC benchmarks, `false` for CloudSuite.
+    pub fn is_parsec(self) -> bool {
+        matches!(
+            self,
+            Benchmark::Dedup
+                | Benchmark::Netdedup
+                | Benchmark::Canneal
+                | Benchmark::Blackscholes
+                | Benchmark::Swaptions
+        )
+    }
+
+    /// The profiled characteristics of this benchmark.
+    pub fn profile(self) -> WorkloadProfile {
+        let (exec_s, power_w, package_mb) = match self {
+            Benchmark::Dedup => (220.0, 320.0, 350.0),
+            Benchmark::Netdedup => (260.0, 335.0, 380.0),
+            Benchmark::Canneal => (640.0, 295.0, 220.0),
+            Benchmark::Blackscholes => (310.0, 255.0, 150.0),
+            Benchmark::Swaptions => (420.0, 285.0, 160.0),
+            Benchmark::DataCaching => (930.0, 350.0, 750.0),
+            Benchmark::GraphAnalytics => (1850.0, 385.0, 1400.0),
+            Benchmark::WebServing => (1150.0, 310.0, 900.0),
+            Benchmark::MemoryAnalytics => (1500.0, 405.0, 1200.0),
+            Benchmark::MediaStreaming => (1020.0, 345.0, 1600.0),
+        };
+        WorkloadProfile {
+            benchmark: self,
+            mean_execution_time: Seconds::new(exec_s),
+            mean_power: Watts::new(power_w),
+            package_bytes: (package_mb * 1024.0 * 1024.0) as u64,
+            execution_time_cv: 0.15,
+            estimate_error_cv: 0.10,
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Profiled characteristics of one benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Which benchmark this profile describes.
+    pub benchmark: Benchmark,
+    /// Mean wall-clock execution time on one m5.metal-class server.
+    pub mean_execution_time: Seconds,
+    /// Mean power draw while running.
+    pub mean_power: Watts,
+    /// Size of the compressed execution package (`.tar`) transferred between
+    /// regions when the job is migrated.
+    pub package_bytes: u64,
+    /// Coefficient of variation of the actual execution time across
+    /// instances of this benchmark.
+    pub execution_time_cv: f64,
+    /// Coefficient of variation of the *scheduler's estimate* relative to
+    /// the actual value (the paper notes these estimates "can be
+    /// inaccurate").
+    pub estimate_error_cv: f64,
+}
+
+impl WorkloadProfile {
+    /// Mean IT energy of one run (kWh).
+    pub fn mean_energy(&self) -> KilowattHours {
+        self.mean_power.energy_over(self.mean_execution_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_distinct_benchmarks() {
+        let mut names: Vec<_> = ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn indexes_are_dense_and_stable() {
+        for (i, b) in ALL_BENCHMARKS.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
+    }
+
+    #[test]
+    fn parsec_cloudsuite_split_is_five_five() {
+        let parsec = ALL_BENCHMARKS.iter().filter(|b| b.is_parsec()).count();
+        assert_eq!(parsec, 5);
+    }
+
+    #[test]
+    fn profiles_are_physical() {
+        for b in ALL_BENCHMARKS {
+            let p = b.profile();
+            assert!(p.mean_execution_time.value() > 60.0);
+            assert!(p.mean_execution_time.value() < 4.0 * 3600.0);
+            assert!(p.mean_power.value() > 100.0 && p.mean_power.value() < 800.0);
+            assert!(p.package_bytes > 10 * 1024 * 1024);
+            assert!(p.mean_energy().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn cloudsuite_jobs_are_longer_than_parsec_on_average() {
+        let parsec_mean: f64 = ALL_BENCHMARKS
+            .iter()
+            .filter(|b| b.is_parsec())
+            .map(|b| b.profile().mean_execution_time.value())
+            .sum::<f64>()
+            / 5.0;
+        let cloud_mean: f64 = ALL_BENCHMARKS
+            .iter()
+            .filter(|b| !b.is_parsec())
+            .map(|b| b.profile().mean_execution_time.value())
+            .sum::<f64>()
+            / 5.0;
+        assert!(cloud_mean > parsec_mean * 2.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let p = Benchmark::GraphAnalytics.profile();
+        let expected = p.mean_power.value() * p.mean_execution_time.value() / 3600.0 / 1000.0;
+        assert!((p.mean_energy().value() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: run a small WaterWise campaign and compare it against the
+//! carbon/water-unaware baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use waterwise::core::{Campaign, CampaignConfig, SchedulerKind};
+
+fn main() {
+    // A small Borg-like campaign (~an hour of arrivals, five regions,
+    // 50% delay tolerance) that completes in a few seconds.
+    let config = CampaignConfig::small_demo(42);
+    let campaign = Campaign::new(config);
+
+    let stats = campaign.trace_statistics();
+    println!(
+        "generated {} jobs over {:.1} simulated hours (mean execution {:.0} s)",
+        stats.job_count,
+        stats.span.value() / 3600.0,
+        stats.mean_execution_time.value()
+    );
+
+    let baseline = campaign
+        .run(SchedulerKind::Baseline)
+        .expect("baseline campaign");
+    let waterwise = campaign
+        .run(SchedulerKind::WaterWise)
+        .expect("waterwise campaign");
+
+    println!();
+    println!("                       baseline      waterwise");
+    println!(
+        "carbon footprint     {:>10.1} kg {:>10.1} kg",
+        baseline.summary.total_carbon.value() / 1000.0,
+        waterwise.summary.total_carbon.value() / 1000.0
+    );
+    println!(
+        "water footprint      {:>10.1} L  {:>10.1} L",
+        baseline.summary.total_water.value(),
+        waterwise.summary.total_water.value()
+    );
+    println!(
+        "mean service stretch {:>10.3}x {:>10.3}x",
+        baseline.summary.mean_service_stretch, waterwise.summary.mean_service_stretch
+    );
+    println!(
+        "tolerance violations {:>10.2}% {:>10.2}%",
+        baseline.summary.violation_fraction * 100.0,
+        waterwise.summary.violation_fraction * 100.0
+    );
+    println!();
+    println!(
+        "WaterWise saves {:.1}% carbon and {:.1}% water relative to the baseline.",
+        waterwise.carbon_saving_vs(&baseline),
+        waterwise.water_saving_vs(&baseline)
+    );
+}

@@ -1,0 +1,118 @@
+//! Cross-crate property tests on the public API: footprint-model invariants
+//! and scheduler-decision invariants under randomly generated inputs.
+
+use proptest::prelude::*;
+use waterwise::core::{Campaign, CampaignConfig, SchedulerKind};
+use waterwise::sustain::{
+    FootprintEstimator, JobResourceUsage, KilowattHours, Seconds,
+};
+use waterwise::telemetry::{ConditionsProvider, Region, SyntheticTelemetry, ALL_REGIONS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Footprints are non-negative and scale monotonically with energy.
+    #[test]
+    fn footprint_monotone_in_energy(
+        energy in 0.001f64..2.0,
+        hours in 0.05f64..4.0,
+        region_idx in 0usize..5,
+        hour in 0usize..200,
+    ) {
+        let telemetry = SyntheticTelemetry::with_seed(5);
+        let estimator = FootprintEstimator::paper_default();
+        let region = ALL_REGIONS[region_idx];
+        let conditions = telemetry.conditions(region, Seconds::from_hours(hour as f64));
+        let usage_small = JobResourceUsage::new(KilowattHours::new(energy), Seconds::from_hours(hours));
+        let usage_large = JobResourceUsage::new(KilowattHours::new(energy * 2.0), Seconds::from_hours(hours));
+        let small = estimator.estimate(usage_small, conditions);
+        let large = estimator.estimate(usage_large, conditions);
+        prop_assert!(small.total_carbon().value() >= 0.0);
+        prop_assert!(small.total_water().value() >= 0.0);
+        prop_assert!(large.carbon.operational.value() >= small.carbon.operational.value());
+        prop_assert!(large.water.offsite.value() >= small.water.offsite.value());
+        prop_assert!(large.water.onsite.value() >= small.water.onsite.value());
+    }
+
+    /// The water-intensity metric (Eq. 6) increases with the scarcity factor
+    /// and with PUE, for any region and time.
+    #[test]
+    fn water_intensity_monotonicity(
+        region_idx in 0usize..5,
+        hour in 0usize..500,
+        pue_low in 1.0f64..1.3,
+        pue_extra in 0.01f64..0.8,
+    ) {
+        let telemetry = SyntheticTelemetry::with_seed(9);
+        let region = ALL_REGIONS[region_idx];
+        let conditions = telemetry.conditions(region, Seconds::from_hours(hour as f64));
+        let low = conditions.water_intensity(pue_low).value();
+        let high = conditions.water_intensity(pue_low + pue_extra).value();
+        prop_assert!(high >= low);
+        prop_assert!(low >= 0.0);
+    }
+
+    /// Conditions lookups are always physical for any region/time.
+    #[test]
+    fn telemetry_is_always_physical(
+        seed in 0u64..50,
+        region_idx in 0usize..5,
+        hours in 0.0f64..2000.0,
+    ) {
+        let telemetry = SyntheticTelemetry::with_seed(seed);
+        let c = telemetry.conditions(ALL_REGIONS[region_idx], Seconds::from_hours(hours));
+        prop_assert!(c.carbon_intensity.value() > 0.0);
+        prop_assert!(c.carbon_intensity.value() < 1600.0);
+        prop_assert!(c.ewif.value() >= 0.0);
+        prop_assert!(c.ewif.value() < 25.0);
+        prop_assert!(c.wue.value() >= 0.0);
+        prop_assert!(c.wue.value() <= 9.0);
+        prop_assert!((0.0..=1.0).contains(&c.wsf.value()));
+    }
+}
+
+proptest! {
+    // End-to-end campaigns are expensive; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// For any seed, a WaterWise campaign completes every job, never exceeds
+    /// capacity (utilization ≤ 1), and only uses participating regions.
+    #[test]
+    fn campaign_invariants_hold_for_any_seed(seed in 0u64..1000) {
+        let campaign = Campaign::new(CampaignConfig::small_demo(seed));
+        let outcome = campaign.run(SchedulerKind::WaterWise).unwrap();
+        prop_assert_eq!(outcome.summary.total_jobs, campaign.jobs().len());
+        prop_assert!(outcome.summary.mean_utilization <= 1.0 + 1e-9);
+        for o in &outcome.report.outcomes {
+            prop_assert!(o.service_time().value() >= o.execution_time.value() - 1e-6);
+            prop_assert!(ALL_REGIONS.contains(&o.executed_region));
+            prop_assert!(o.footprint.total_carbon().value() > 0.0);
+            prop_assert!(o.footprint.total_water().value() > 0.0);
+        }
+        // Executed-region histogram sums to the job count.
+        let total: usize = outcome.summary.jobs_per_region.iter().sum();
+        prop_assert_eq!(total, outcome.summary.total_jobs);
+    }
+
+    /// The baseline never migrates a job for any seed.
+    #[test]
+    fn baseline_never_migrates(seed in 0u64..1000) {
+        let campaign = Campaign::new(CampaignConfig::small_demo(seed));
+        let outcome = campaign.run(SchedulerKind::Baseline).unwrap();
+        prop_assert_eq!(outcome.summary.migration_fraction, 0.0);
+        for o in &outcome.report.outcomes {
+            prop_assert_eq!(o.executed_region, o.home_region);
+            prop_assert_eq!(o.transfer_time.value(), 0.0);
+        }
+    }
+}
+
+/// A plain (non-proptest) sanity check that the umbrella crate re-exports
+/// are wired up.
+#[test]
+fn umbrella_reexports_are_usable() {
+    assert_eq!(waterwise::VERSION, env!("CARGO_PKG_VERSION"));
+    assert_eq!(Region::Zurich.index(), 0);
+    let model = waterwise::milp::Model::new("smoke");
+    assert_eq!(model.num_vars(), 0);
+}
