@@ -2,9 +2,7 @@
 //! which are evaluated for every (job, region) candidate every round.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use waterwise_sustain::{
-    FootprintEstimator, JobResourceUsage, KilowattHours, Seconds,
-};
+use waterwise_sustain::{FootprintEstimator, JobResourceUsage, KilowattHours, Seconds};
 use waterwise_telemetry::{ConditionsProvider, SyntheticTelemetry, ALL_REGIONS};
 
 fn bench_footprints(c: &mut Criterion) {
@@ -40,7 +38,8 @@ fn bench_footprints(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for hour in 0..168 {
-                let c = telemetry.conditions(ALL_REGIONS[hour % 5], Seconds::from_hours(hour as f64));
+                let c =
+                    telemetry.conditions(ALL_REGIONS[hour % 5], Seconds::from_hours(hour as f64));
                 acc += c.carbon_intensity.value();
             }
             acc

@@ -39,9 +39,8 @@ fn assignment_model(jobs: usize) -> Model {
             objective.add_term(x(m, n), cost);
         }
         // Delay-tolerance-style row: a weighted sum bounded by a constant.
-        let expr = LinExpr::sum(
-            (0..regions).map(|n| LinExpr::from(x(m, n)) * ((n as f64 + 1.0) * 0.01)),
-        );
+        let expr =
+            LinExpr::sum((0..regions).map(|n| LinExpr::from(x(m, n)) * ((n as f64 + 1.0) * 0.01)));
         model.add_constraint(format!("delay_{m}"), expr, Sense::LessEqual, 0.5);
     }
     model.minimize(objective);

@@ -9,7 +9,11 @@ fn bench_traces(c: &mut Criterion) {
     group.sample_size(10);
     for &days in &[0.1f64, 0.5] {
         group.bench_with_input(BenchmarkId::new("borg", days), &days, |b, &days| {
-            b.iter(|| TraceGenerator::new(TraceConfig::borg(days, 7)).generate().len())
+            b.iter(|| {
+                TraceGenerator::new(TraceConfig::borg(days, 7))
+                    .generate()
+                    .len()
+            })
         });
         group.bench_with_input(BenchmarkId::new("alibaba", days), &days, |b, &days| {
             b.iter(|| {

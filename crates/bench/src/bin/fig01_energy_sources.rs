@@ -1,5 +1,7 @@
 //! Regenerates Fig. 1 of the WaterWise paper. See EXPERIMENTS.md.
 
 fn main() {
-    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig01_energy_sources());
+    waterwise_bench::experiments::print_tables(
+        &waterwise_bench::experiments::fig01_energy_sources(),
+    );
 }

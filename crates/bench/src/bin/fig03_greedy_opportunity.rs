@@ -2,5 +2,7 @@
 
 fn main() {
     let scale = waterwise_bench::ExperimentScale::from_env();
-    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig03_greedy_opportunity(scale));
+    waterwise_bench::experiments::print_tables(
+        &waterwise_bench::experiments::fig03_greedy_opportunity(scale),
+    );
 }

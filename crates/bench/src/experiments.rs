@@ -2,9 +2,7 @@
 //! prints so that integration tests can assert on the numbers.
 
 use crate::table::{fmt2, pct, Table};
-use waterwise_core::{
-    Campaign, CampaignConfig, ObjectiveWeights, SchedulerKind,
-};
+use waterwise_core::{Campaign, CampaignConfig, ObjectiveWeights, Parallelism, SchedulerKind};
 use waterwise_sustain::{EwifDataset, FootprintEstimator, Seconds};
 use waterwise_telemetry::{
     ConditionsProvider, Region, SyntheticTelemetry, TelemetryConfig, ALL_REGIONS,
@@ -70,7 +68,13 @@ fn tolerance_label(t: f64) -> String {
 pub fn fig01_energy_sources() -> Vec<Table> {
     let mut t = Table::new(
         "Fig. 1 — per-source carbon intensity and EWIF",
-        &["source", "renewable", "carbon (gCO2/kWh)", "EWIF (L/kWh)", "EWIF WRI (L/kWh)"],
+        &[
+            "source",
+            "renewable",
+            "carbon (gCO2/kWh)",
+            "EWIF (L/kWh)",
+            "EWIF WRI (L/kWh)",
+        ],
     );
     for source in waterwise_sustain::ALL_SOURCES {
         t.row(&[
@@ -78,7 +82,11 @@ pub fn fig01_energy_sources() -> Vec<Table> {
             source.is_renewable().to_string(),
             fmt2(source.carbon_intensity().value()),
             fmt2(source.ewif().value()),
-            fmt2(source.ewif_from(EwifDataset::WorldResourcesInstitute).value()),
+            fmt2(
+                source
+                    .ewif_from(EwifDataset::WorldResourcesInstitute)
+                    .value(),
+            ),
         ]);
     }
     vec![t]
@@ -99,7 +107,13 @@ pub fn fig02_regional_factors(scale: ExperimentScale) -> Vec<Table> {
     let estimator = FootprintEstimator::paper_default();
     let mut regional = Table::new(
         "Fig. 2(a-d) — regional annual-average factors",
-        &["region", "carbon (gCO2/kWh)", "EWIF (L/kWh)", "WUE (L/kWh)", "WSF"],
+        &[
+            "region",
+            "carbon (gCO2/kWh)",
+            "EWIF (L/kWh)",
+            "WUE (L/kWh)",
+            "WSF",
+        ],
     );
     for region in ALL_REGIONS {
         regional.row(&[
@@ -133,8 +147,7 @@ pub fn fig02_regional_factors(scale: ExperimentScale) -> Vec<Table> {
     let mean = wi.iter().sum::<f64>() / wi.len() as f64;
     let min = wi.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = wi.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let std =
-        (wi.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / wi.len() as f64).sqrt();
+    let std = (wi.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / wi.len() as f64).sqrt();
     temporal.row(&[
         "water intensity (L/kWh)".to_string(),
         fmt2(min),
@@ -149,8 +162,18 @@ pub fn fig02_regional_factors(scale: ExperimentScale) -> Vec<Table> {
 // Generic savings sweeps (used by several figures)
 // ---------------------------------------------------------------------------
 
+/// Run the baseline plus `kinds` over every configuration concurrently (one
+/// worker per core via [`Campaign::savings_matrix`]) and return, per
+/// configuration, each scheduler's carbon/water savings over the baseline.
+fn matrix_savings(
+    configs: Vec<CampaignConfig>,
+    kinds: &[SchedulerKind],
+) -> Vec<Vec<(SchedulerKind, f64, f64)>> {
+    Campaign::savings_matrix(&configs, kinds, Parallelism::Auto).expect("campaign must run")
+}
+
 /// Run `kinds` against the baseline for each delay tolerance and tabulate
-/// carbon/water savings.
+/// carbon/water savings. The tolerance campaigns run concurrently.
 fn savings_sweep(
     title: &str,
     base_config: impl Fn(f64) -> CampaignConfig,
@@ -159,13 +182,15 @@ fn savings_sweep(
 ) -> Table {
     let mut table = Table::new(
         title,
-        &["delay tolerance", "scheduler", "carbon saving", "water saving"],
+        &[
+            "delay tolerance",
+            "scheduler",
+            "carbon saving",
+            "water saving",
+        ],
     );
-    for &tol in tolerances {
-        let campaign = Campaign::new(base_config(tol));
-        let rows = campaign
-            .savings_vs_baseline(kinds)
-            .expect("campaign must run");
+    let configs: Vec<CampaignConfig> = tolerances.iter().map(|&tol| base_config(tol)).collect();
+    for (&tol, rows) in tolerances.iter().zip(matrix_savings(configs, kinds)) {
         for (kind, carbon, water) in rows {
             table.row(&[
                 tolerance_label(tol),
@@ -190,7 +215,10 @@ pub fn fig03_greedy_opportunity(scale: ExperimentScale) -> Vec<Table> {
         "Fig. 3(a) — Carbon/Water-Greedy-Opt savings vs delay tolerance",
         |tol| CampaignConfig::paper_default(scale.days, tol, scale.seed),
         &tolerances,
-        &[SchedulerKind::CarbonGreedyOpt, SchedulerKind::WaterGreedyOpt],
+        &[
+            SchedulerKind::CarbonGreedyOpt,
+            SchedulerKind::WaterGreedyOpt,
+        ],
     );
 
     let campaign = Campaign::new(CampaignConfig::paper_default(scale.days, 0.10, scale.seed));
@@ -198,10 +226,15 @@ pub fn fig03_greedy_opportunity(scale: ExperimentScale) -> Vec<Table> {
         "Fig. 3(b) — job distribution across regions (10% delay tolerance)",
         &["scheduler", "Zurich", "Madrid", "Oregon", "Milan", "Mumbai"],
     );
-    for kind in [SchedulerKind::CarbonGreedyOpt, SchedulerKind::WaterGreedyOpt] {
-        let outcome = campaign.run(kind).expect("campaign must run");
+    let outcomes = campaign
+        .run_all(&[
+            SchedulerKind::CarbonGreedyOpt,
+            SchedulerKind::WaterGreedyOpt,
+        ])
+        .expect("campaign must run");
+    for outcome in outcomes {
         let dist = outcome.summary.region_distribution();
-        let mut cells = vec![kind.label().to_string()];
+        let mut cells = vec![outcome.kind.label().to_string()];
         cells.extend(dist.iter().map(|f| pct(f * 100.0)));
         distribution.row(&cells);
     }
@@ -260,16 +293,23 @@ pub fn fig07_ecovisor(scale: ExperimentScale) -> Vec<Table> {
         "Fig. 7 — Ecovisor vs WaterWise (savings vs baseline, 50% tolerance)",
         &["dataset", "scheduler", "carbon saving", "water saving"],
     );
-    for (label, dataset) in [
+    let datasets = [
         ("electricity-maps", EwifDataset::Primary),
         ("wri", EwifDataset::WorldResourcesInstitute),
-    ] {
-        let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
-        config.telemetry.dataset = dataset;
-        let campaign = Campaign::new(config);
-        let rows = campaign
-            .savings_vs_baseline(&[SchedulerKind::Ecovisor, SchedulerKind::WaterWise])
-            .expect("campaign must run");
+    ];
+    let configs: Vec<CampaignConfig> = datasets
+        .iter()
+        .map(|&(_, dataset)| {
+            let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
+            config.telemetry.dataset = dataset;
+            config
+        })
+        .collect();
+    let per_config = matrix_savings(
+        configs,
+        &[SchedulerKind::Ecovisor, SchedulerKind::WaterWise],
+    );
+    for ((label, _), rows) in datasets.iter().zip(per_config) {
         for (kind, carbon, water) in rows {
             table.row(&[
                 label.to_string(),
@@ -292,13 +332,16 @@ pub fn fig08_weight_sensitivity(scale: ExperimentScale) -> Vec<Table> {
         "Fig. 8 — weight sensitivity (50% delay tolerance)",
         &["lambda_co2", "carbon saving", "water saving"],
     );
-    for lambda in [0.3, 0.5, 0.7] {
-        let config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed)
-            .with_weights(ObjectiveWeights::paper_default().with_carbon_weight(lambda));
-        let campaign = Campaign::new(config);
-        let rows = campaign
-            .savings_vs_baseline(&[SchedulerKind::WaterWise])
-            .expect("campaign must run");
+    let lambdas = [0.3, 0.5, 0.7];
+    let configs: Vec<CampaignConfig> = lambdas
+        .iter()
+        .map(|&lambda| {
+            CampaignConfig::paper_default(scale.days, 0.5, scale.seed)
+                .with_weights(ObjectiveWeights::paper_default().with_carbon_weight(lambda))
+        })
+        .collect();
+    let per_config = matrix_savings(configs, &[SchedulerKind::WaterWise]);
+    for (&lambda, rows) in lambdas.iter().zip(per_config) {
         let (_, carbon, water) = rows[0];
         table.row(&[format!("{lambda:.1}"), pct(carbon), pct(water)]);
     }
@@ -360,19 +403,31 @@ pub fn fig10_loadbalancers(scale: ExperimentScale) -> Vec<Table> {
 pub fn fig11_utilization(scale: ExperimentScale) -> Vec<Table> {
     let mut table = Table::new(
         "Fig. 11 — utilization sensitivity (50% delay tolerance)",
-        &["servers/region", "target util", "scheduler", "carbon saving", "water saving"],
+        &[
+            "servers/region",
+            "target util",
+            "scheduler",
+            "carbon saving",
+            "water saving",
+        ],
     );
-    for (servers, util) in [(840usize, "5%"), (280, "15%"), (168, "25%")] {
-        let config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed)
-            .with_servers_per_region(servers);
-        let campaign = Campaign::new(config);
-        let rows = campaign
-            .savings_vs_baseline(&[
-                SchedulerKind::CarbonGreedyOpt,
-                SchedulerKind::WaterGreedyOpt,
-                SchedulerKind::WaterWise,
-            ])
-            .expect("campaign must run");
+    let levels = [(840usize, "5%"), (280, "15%"), (168, "25%")];
+    let configs: Vec<CampaignConfig> = levels
+        .iter()
+        .map(|&(servers, _)| {
+            CampaignConfig::paper_default(scale.days, 0.5, scale.seed)
+                .with_servers_per_region(servers)
+        })
+        .collect();
+    let per_config = matrix_savings(
+        configs,
+        &[
+            SchedulerKind::CarbonGreedyOpt,
+            SchedulerKind::WaterGreedyOpt,
+            SchedulerKind::WaterWise,
+        ],
+    );
+    for (&(servers, util), rows) in levels.iter().zip(per_config) {
         for (kind, carbon, water) in rows {
             table.row(&[
                 servers.to_string(),
@@ -395,7 +450,12 @@ pub fn fig12_region_availability(scale: ExperimentScale) -> Vec<Table> {
     let subsets: [(&str, &[Region]); 3] = [
         (
             "Zurich-Madrid-Oregon-Milan",
-            &[Region::Zurich, Region::Madrid, Region::Oregon, Region::Milan],
+            &[
+                Region::Zurich,
+                Region::Madrid,
+                Region::Oregon,
+                Region::Milan,
+            ],
         ),
         (
             "Zurich-Milan-Mumbai",
@@ -407,13 +467,14 @@ pub fn fig12_region_availability(scale: ExperimentScale) -> Vec<Table> {
         "Fig. 12 — sensitivity to region availability (50% tolerance)",
         &["available regions", "carbon saving", "water saving"],
     );
-    for (label, regions) in subsets {
-        let config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed)
-            .with_regions(regions);
-        let campaign = Campaign::new(config);
-        let rows = campaign
-            .savings_vs_baseline(&[SchedulerKind::WaterWise])
-            .expect("campaign must run");
+    let configs: Vec<CampaignConfig> = subsets
+        .iter()
+        .map(|&(_, regions)| {
+            CampaignConfig::paper_default(scale.days, 0.5, scale.seed).with_regions(regions)
+        })
+        .collect();
+    let per_config = matrix_savings(configs, &[SchedulerKind::WaterWise]);
+    for ((label, _), rows) in subsets.iter().zip(per_config) {
         let (_, carbon, water) = rows[0];
         table.row(&[label.to_string(), pct(carbon), pct(water)]);
     }
@@ -430,7 +491,12 @@ pub fn fig12_region_availability(scale: ExperimentScale) -> Vec<Table> {
 pub fn fig13_overhead(scale: ExperimentScale) -> Vec<Table> {
     let mut table = Table::new(
         "Fig. 13 — WaterWise decision-making overhead over time",
-        &["trace", "window (min)", "mean decision time (ms)", "% of mean execution time"],
+        &[
+            "trace",
+            "window (min)",
+            "mean decision time (ms)",
+            "% of mean execution time",
+        ],
     );
     for (label, config) in [
         (
@@ -445,7 +511,9 @@ pub fn fig13_overhead(scale: ExperimentScale) -> Vec<Table> {
         ),
     ] {
         let campaign = Campaign::new(config);
-        let outcome = campaign.run(SchedulerKind::WaterWise).expect("campaign must run");
+        let outcome = campaign
+            .run(SchedulerKind::WaterWise)
+            .expect("campaign must run");
         let mean_exec = outcome
             .report
             .outcomes
@@ -494,20 +562,34 @@ pub fn fig13_overhead(scale: ExperimentScale) -> Vec<Table> {
 pub fn table2_service_time(scale: ExperimentScale) -> Vec<Table> {
     let mut table = Table::new(
         "Table 2 — service time (normalized) and delay-tolerance violations",
-        &["delay tolerance", "scheduler", "service time (x exec)", "% jobs violating"],
+        &[
+            "delay tolerance",
+            "scheduler",
+            "service time (x exec)",
+            "% jobs violating",
+        ],
     );
-    for tol in [0.25, 0.50, 0.75, 1.00] {
-        let campaign = Campaign::new(CampaignConfig::paper_default(scale.days, tol, scale.seed));
-        for kind in [
+    let tolerances = [0.25, 0.50, 0.75, 1.00];
+    let configs: Vec<CampaignConfig> = tolerances
+        .iter()
+        .map(|&tol| CampaignConfig::paper_default(scale.days, tol, scale.seed))
+        .collect();
+    let matrix = Campaign::run_matrix(
+        &configs,
+        &[
             SchedulerKind::Baseline,
             SchedulerKind::CarbonGreedyOpt,
             SchedulerKind::WaterGreedyOpt,
             SchedulerKind::WaterWise,
-        ] {
-            let outcome = campaign.run(kind).expect("campaign must run");
+        ],
+        Parallelism::Auto,
+    )
+    .expect("campaign must run");
+    for (&tol, row) in tolerances.iter().zip(&matrix) {
+        for outcome in row {
             table.row(&[
                 tolerance_label(tol),
-                kind.label().to_string(),
+                outcome.kind.label().to_string(),
                 format!("{:.3}x", outcome.summary.mean_service_stretch),
                 format!("{:.2}%", outcome.summary.violation_fraction * 100.0),
             ]);
@@ -528,9 +610,19 @@ pub fn table3_comm_overhead(scale: ExperimentScale) -> Vec<Table> {
     let transfer = waterwise_cluster::TransferModel::paper_default();
     let mut table = Table::new(
         "Table 3 — communication overhead from Oregon (averaged over benchmarks)",
-        &["destination", "transfer time (s)", "carbon overhead (% exec)", "water overhead (% exec)"],
+        &[
+            "destination",
+            "transfer time (s)",
+            "carbon overhead (% exec)",
+            "water overhead (% exec)",
+        ],
     );
-    for destination in [Region::Zurich, Region::Madrid, Region::Milan, Region::Mumbai] {
+    for destination in [
+        Region::Zurich,
+        Region::Madrid,
+        Region::Milan,
+        Region::Mumbai,
+    ] {
         let mut carbon_overheads = Vec::new();
         let mut water_overheads = Vec::new();
         let mut times = Vec::new();
@@ -583,16 +675,25 @@ pub fn table3_comm_overhead(scale: ExperimentScale) -> Vec<Table> {
 pub fn sens_perturbation(scale: ExperimentScale) -> Vec<Table> {
     let mut table = Table::new(
         "Sensitivity — ±10% estimate error (50% delay tolerance)",
-        &["carbon estimate error", "water estimate error", "carbon saving", "water saving"],
+        &[
+            "carbon estimate error",
+            "water estimate error",
+            "carbon saving",
+            "water saving",
+        ],
     );
-    for (carbon_err, water_err) in [(1.0, 1.0), (1.1, 1.0), (0.9, 1.0), (1.0, 1.1), (1.0, 0.9)] {
-        let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
-        config.estimate_carbon_error = carbon_err;
-        config.estimate_water_error = water_err;
-        let campaign = Campaign::new(config);
-        let rows = campaign
-            .savings_vs_baseline(&[SchedulerKind::WaterWise])
-            .expect("campaign must run");
+    let errors = [(1.0, 1.0), (1.1, 1.0), (0.9, 1.0), (1.0, 1.1), (1.0, 0.9)];
+    let configs: Vec<CampaignConfig> = errors
+        .iter()
+        .map(|&(carbon_err, water_err)| {
+            let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
+            config.estimate_carbon_error = carbon_err;
+            config.estimate_water_error = water_err;
+            config
+        })
+        .collect();
+    let per_config = matrix_savings(configs, &[SchedulerKind::WaterWise]);
+    for (&(carbon_err, water_err), rows) in errors.iter().zip(per_config) {
         let (_, carbon, water) = rows[0];
         table.row(&[
             format!("{:+.0}%", (carbon_err - 1.0) * 100.0),
@@ -610,13 +711,17 @@ pub fn sens_request_rate(scale: ExperimentScale) -> Vec<Table> {
         "Sensitivity — request-rate scaling (50% delay tolerance)",
         &["rate multiplier", "carbon saving", "water saving"],
     );
-    for multiplier in [1.0, 2.0] {
-        let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
-        config.trace = config.trace.clone().with_rate_multiplier(multiplier);
-        let campaign = Campaign::new(config);
-        let rows = campaign
-            .savings_vs_baseline(&[SchedulerKind::WaterWise])
-            .expect("campaign must run");
+    let multipliers = [1.0, 2.0];
+    let configs: Vec<CampaignConfig> = multipliers
+        .iter()
+        .map(|&multiplier| {
+            let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
+            config.trace = config.trace.clone().with_rate_multiplier(multiplier);
+            config
+        })
+        .collect();
+    let per_config = matrix_savings(configs, &[SchedulerKind::WaterWise]);
+    for (&multiplier, rows) in multipliers.iter().zip(per_config) {
         let (_, carbon, water) = rows[0];
         table.row(&[format!("{multiplier:.1}x"), pct(carbon), pct(water)]);
     }

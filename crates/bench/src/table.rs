@@ -26,7 +26,8 @@ impl Table {
 
     /// Append a row of display-able cells.
     pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -42,9 +43,10 @@ impl Table {
 
     /// Render the table as a string.
     pub fn render(&self) -> String {
-        let cols = self.header.len().max(
-            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
-        );
+        let cols = self
+            .header
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());

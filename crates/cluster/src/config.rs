@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::error::ConfigError;
 use crate::network::TransferModel;
 use serde::{Deserialize, Serialize};
 use waterwise_sustain::{DataCenterParams, Seconds};
@@ -71,21 +72,28 @@ impl SimulationConfig {
     }
 
     /// Validate the configuration.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.regions.is_empty() {
-            return Err("at least one region is required".into());
+            return Err(ConfigError::NoRegions);
         }
-        if self.regions.iter().any(|(_, s)| *s == 0) {
-            return Err("every region needs at least one server".into());
+        if let Some((region, _)) = self.regions.iter().find(|(_, s)| *s == 0) {
+            return Err(ConfigError::EmptyRegion { region: *region });
         }
-        if self.scheduling_interval.value() <= 0.0 {
-            return Err("scheduling interval must be positive".into());
+        // The `is_finite` clauses reject NaN and infinities, which would
+        // otherwise produce non-finite event times inside the engine.
+        let interval = self.scheduling_interval.value();
+        if interval <= 0.0 || !interval.is_finite() {
+            return Err(ConfigError::NonPositiveSchedulingInterval { seconds: interval });
         }
-        if self.delay_tolerance < 0.0 {
-            return Err("delay tolerance must be non-negative".into());
+        if self.delay_tolerance < 0.0 || !self.delay_tolerance.is_finite() {
+            return Err(ConfigError::NegativeDelayTolerance {
+                tolerance: self.delay_tolerance,
+            });
         }
-        if self.embodied_perturbation <= 0.0 {
-            return Err("embodied perturbation must be positive".into());
+        if self.embodied_perturbation <= 0.0 || !self.embodied_perturbation.is_finite() {
+            return Err(ConfigError::NonPositiveEmbodiedPerturbation {
+                factor: self.embodied_perturbation,
+            });
         }
         Ok(())
     }
@@ -124,25 +132,56 @@ mod tests {
     }
 
     #[test]
-    fn invalid_configs_are_rejected() {
+    fn invalid_configs_are_rejected_with_typed_errors() {
         let mut c = SimulationConfig::default();
         c.regions.clear();
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NoRegions));
 
         let mut c = SimulationConfig::default();
         c.scheduling_interval = Seconds::zero();
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveSchedulingInterval { .. })
+        ));
 
         let mut c = SimulationConfig::default();
         c.delay_tolerance = -0.1;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NegativeDelayTolerance { tolerance }) if tolerance == -0.1
+        ));
 
         let mut c = SimulationConfig::default();
         c.regions[0].1 = 0;
-        assert!(c.validate().is_err());
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::EmptyRegion { region }) if region == c.regions[0].0
+        ));
 
         let mut c = SimulationConfig::default();
         c.embodied_perturbation = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositiveEmbodiedPerturbation { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_numeric_fields_are_rejected() {
+        let mut c = SimulationConfig::default();
+        c.scheduling_interval = Seconds::new(f64::NAN);
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::default();
+        c.scheduling_interval = Seconds::new(f64::INFINITY);
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::default();
+        c.delay_tolerance = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = SimulationConfig::default();
+        c.embodied_perturbation = f64::INFINITY;
         assert!(c.validate().is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! the [`SchedulingContext`]).
 
 use crate::config::SimulationConfig;
+use crate::error::SimulationError;
 use crate::metrics::{CampaignSummary, JobOutcome, OverheadSample};
 use crate::scheduler::{PendingJob, Scheduler, SchedulingContext, SchedulingDecision};
 use crate::state::RegionRuntime;
@@ -34,6 +35,7 @@ pub struct SimulationReport {
 }
 
 /// Discrete-event simulator of the geo-distributed cluster.
+#[derive(Debug, Clone)]
 pub struct Simulator<P> {
     config: SimulationConfig,
     provider: P,
@@ -53,6 +55,18 @@ enum Event {
     Complete(usize),
 }
 
+impl Event {
+    /// Human-readable description used in error reports.
+    fn describe(self) -> String {
+        match self {
+            Event::Arrival(i) => format!("arrival of job {i}"),
+            Event::Round => "scheduling round".to_string(),
+            Event::Ready(i) => format!("readiness of job {i}"),
+            Event::Complete(i) => format!("completion of job {i}"),
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct QueuedEvent {
     time: f64,
@@ -69,16 +83,55 @@ impl Eq for QueuedEvent {}
 impl Ord for QueuedEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering to make BinaryHeap a min-heap on (time, seq).
+        // `total_cmp` keeps this a true total order; [`EventQueue::push`]
+        // guarantees no non-finite time ever enters the heap.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for QueuedEvent {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// The event queue: a min-heap on (time, insertion order) that rejects
+/// non-finite timestamps at insertion, so the heap invariant can never be
+/// silently corrupted by a NaN comparing as "equal" to everything.
+#[derive(Debug, Default)]
+struct EventQueue {
+    heap: BinaryHeap<QueuedEvent>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Enqueue `event` at `time`, rejecting NaN and infinite timestamps.
+    fn push(&mut self, time: f64, event: Event) -> Result<(), SimulationError> {
+        if !time.is_finite() {
+            return Err(SimulationError::NonFiniteEventTime {
+                time,
+                event: event.describe(),
+            });
+        }
+        self.heap.push(QueuedEvent {
+            time,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Remove and return the earliest event.
+    fn pop(&mut self) -> Option<QueuedEvent> {
+        self.heap.pop()
+    }
+
+    /// Whether only periodic `Round` events remain queued.
+    fn only_rounds_left(&self) -> bool {
+        self.heap.iter().all(|e| matches!(e.event, Event::Round))
     }
 }
 
@@ -94,10 +147,12 @@ struct JobRuntime {
 
 impl<P: ConditionsProvider> Simulator<P> {
     /// Create a simulator. Fails if the configuration is invalid.
-    pub fn new(config: SimulationConfig, provider: P) -> Result<Self, String> {
+    pub fn new(config: SimulationConfig, provider: P) -> Result<Self, SimulationError> {
         config.validate()?;
         let mut datacenter = config.datacenter;
-        datacenter.server = datacenter.server.perturbed_embodied(config.embodied_perturbation);
+        datacenter.server = datacenter
+            .server
+            .perturbed_embodied(config.embodied_perturbation);
         let estimator = FootprintEstimator::new(datacenter);
         Ok(Self {
             config,
@@ -118,7 +173,14 @@ impl<P: ConditionsProvider> Simulator<P> {
 
     /// Run the campaign: replay `jobs` (sorted by submit time) under
     /// `scheduler` and return the full report.
-    pub fn run(&self, jobs: &[JobSpec], scheduler: &mut dyn Scheduler) -> SimulationReport {
+    ///
+    /// Fails if the trace or transfer model would produce an event with a
+    /// non-finite timestamp (see [`SimulationError::NonFiniteEventTime`]).
+    pub fn run(
+        &self,
+        jobs: &[JobSpec],
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<SimulationReport, SimulationError> {
         let participating = self.config.region_list();
         let mut regions: Vec<RegionRuntime> = self
             .config
@@ -132,22 +194,12 @@ impl<P: ConditionsProvider> Simulator<P> {
             .map(|(i, r)| (r.region, i))
             .collect();
 
-        let mut heap: BinaryHeap<QueuedEvent> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<QueuedEvent>, time: f64, event: Event, seq: &mut u64| {
-            heap.push(QueuedEvent {
-                time,
-                seq: *seq,
-                event,
-            });
-            *seq += 1;
-        };
-
+        let mut queue = EventQueue::default();
         for (i, job) in jobs.iter().enumerate() {
-            push(&mut heap, job.submit_time.value(), Event::Arrival(i), &mut seq);
+            queue.push(job.submit_time.value(), Event::Arrival(i))?;
         }
         let first_time = jobs.first().map(|j| j.submit_time.value()).unwrap_or(0.0);
-        push(&mut heap, first_time, Event::Round, &mut seq);
+        queue.push(first_time, Event::Round)?;
 
         let interval = self.config.scheduling_interval.value();
         let tolerance = self.config.delay_tolerance;
@@ -159,7 +211,7 @@ impl<P: ConditionsProvider> Simulator<P> {
         let mut completed = 0usize;
         let mut last_time = first_time;
 
-        while let Some(QueuedEvent { time, event, .. }) = heap.pop() {
+        while let Some(QueuedEvent { time, event, .. }) = queue.pop() {
             last_time = time;
             match event {
                 Event::Arrival(i) => {
@@ -199,17 +251,16 @@ impl<P: ConditionsProvider> Simulator<P> {
                             &mut regions,
                             &mut runtimes,
                             &mut pending,
-                            &mut heap,
-                            &mut seq,
+                            &mut queue,
                             time,
-                        );
+                        )?;
                         // Jobs left in the pool count one more deferral.
                         for p in &mut pending {
                             p.2 += 1;
                         }
                     }
                     if completed < jobs.len() {
-                        push(&mut heap, time + interval, Event::Round, &mut seq);
+                        queue.push(time + interval, Event::Round)?;
                     }
                 }
                 Event::Ready(i) => {
@@ -223,12 +274,10 @@ impl<P: ConditionsProvider> Simulator<P> {
                         regions[slot].busy += 1;
                         runtimes[i].started = true;
                         runtimes[i].start_time = time;
-                        push(
-                            &mut heap,
+                        queue.push(
                             time + jobs[i].actual_execution_time.value(),
                             Event::Complete(i),
-                            &mut seq,
-                        );
+                        )?;
                     } else {
                         regions[slot].queue.push_back(i);
                     }
@@ -247,25 +296,18 @@ impl<P: ConditionsProvider> Simulator<P> {
                     if let Some(next) = regions[slot].queue.pop_front() {
                         runtimes[next].started = true;
                         runtimes[next].start_time = time;
-                        push(
-                            &mut heap,
+                        queue.push(
                             time + jobs[next].actual_execution_time.value(),
                             Event::Complete(next),
-                            &mut seq,
-                        );
+                        )?;
                     } else {
                         regions[slot].busy -= 1;
                     }
                 }
             }
-            if completed == jobs.len() && pending.is_empty() {
+            if completed == jobs.len() && pending.is_empty() && queue.only_rounds_left() {
                 // Drain any remaining Round events implicitly by stopping.
-                let no_work_left = heap
-                    .iter()
-                    .all(|e| matches!(e.event, Event::Round));
-                if no_work_left {
-                    break;
-                }
+                break;
             }
         }
 
@@ -274,10 +316,7 @@ impl<P: ConditionsProvider> Simulator<P> {
             r.advance_to(last_time);
         }
         let makespan = (last_time - first_time).max(0.0);
-        let capacity_seconds: f64 = regions
-            .iter()
-            .map(|r| r.servers as f64 * makespan)
-            .sum();
+        let capacity_seconds: f64 = regions.iter().map(|r| r.servers as f64 * makespan).sum();
         let busy_seconds: f64 = regions.iter().map(|r| r.busy_server_seconds).sum();
         let mean_utilization = if capacity_seconds > 0.0 {
             busy_seconds / capacity_seconds
@@ -286,13 +325,13 @@ impl<P: ConditionsProvider> Simulator<P> {
         };
 
         let summary = CampaignSummary::from_outcomes(&outcomes, &overhead, mean_utilization);
-        SimulationReport {
+        Ok(SimulationReport {
             scheduler_name: scheduler.name().to_string(),
             outcomes,
             overhead,
             summary,
             makespan: Seconds::new(makespan),
-        }
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -305,14 +344,11 @@ impl<P: ConditionsProvider> Simulator<P> {
         regions: &mut [RegionRuntime],
         runtimes: &mut [JobRuntime],
         pending: &mut Vec<(usize, f64, u32)>,
-        heap: &mut BinaryHeap<QueuedEvent>,
-        seq: &mut u64,
+        queue: &mut EventQueue,
         now: f64,
-    ) {
-        let by_id: HashMap<JobId, usize> = pending
-            .iter()
-            .map(|&(i, _, _)| (jobs[i].id, i))
-            .collect();
+    ) -> Result<(), SimulationError> {
+        let by_id: HashMap<JobId, usize> =
+            pending.iter().map(|&(i, _, _)| (jobs[i].id, i)).collect();
         let mut assigned: Vec<usize> = Vec::new();
         for a in &decision.assignments {
             let Some(&i) = by_id.get(&a.job) else {
@@ -330,15 +366,11 @@ impl<P: ConditionsProvider> Simulator<P> {
             runtimes[i].transfer_time = transfer_time;
             let slot = region_slot[&a.region];
             regions[slot].inbound += 1;
-            heap.push(QueuedEvent {
-                time: now + transfer_time,
-                seq: *seq,
-                event: Event::Ready(i),
-            });
-            *seq += 1;
+            queue.push(now + transfer_time, Event::Ready(i))?;
             assigned.push(i);
         }
         pending.retain(|(i, _, _)| !assigned.contains(i));
+        Ok(())
     }
 
     fn record_outcome(&self, job: &JobSpec, runtime: &JobRuntime, tolerance: f64) -> JobOutcome {
@@ -350,11 +382,10 @@ impl<P: ConditionsProvider> Simulator<P> {
         let transfer_footprint = if region == job.home_region {
             Default::default()
         } else {
-            let energy = self.config.transfer.transfer_energy(
-                job.home_region,
-                region,
-                job.package_bytes,
-            );
+            let energy =
+                self.config
+                    .transfer
+                    .transfer_energy(job.home_region, region, job.package_bytes);
             // The transfer consumes energy along the path; attribute it to the
             // destination region's conditions and exclude embodied terms.
             self.estimator
@@ -430,6 +461,22 @@ mod tests {
         TraceGenerator::new(TraceConfig::borg(0.05, seed)).generate()
     }
 
+    fn hand_built_job(submit_time: f64, execution_time: f64) -> JobSpec {
+        use waterwise_sustain::KilowattHours;
+        use waterwise_traces::Benchmark;
+        JobSpec {
+            id: JobId(0),
+            benchmark: Benchmark::Dedup,
+            submit_time: Seconds::new(submit_time),
+            home_region: Region::Oregon,
+            actual_execution_time: Seconds::new(execution_time),
+            actual_energy: KilowattHours::new(0.01),
+            estimated_execution_time: Seconds::new(execution_time),
+            estimated_energy: KilowattHours::new(0.01),
+            package_bytes: 1,
+        }
+    }
+
     fn simulator(servers: usize, tolerance: f64) -> Simulator<SyntheticTelemetry> {
         Simulator::new(
             SimulationConfig::paper_default(servers, tolerance),
@@ -441,7 +488,7 @@ mod tests {
     #[test]
     fn every_job_completes_exactly_once() {
         let jobs = small_trace(3);
-        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler);
+        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
         assert_eq!(report.summary.total_jobs, jobs.len());
         assert_eq!(report.outcomes.len(), jobs.len());
         let mut ids: Vec<u64> = report.outcomes.iter().map(|o| o.job.0).collect();
@@ -453,7 +500,7 @@ mod tests {
     #[test]
     fn home_scheduler_never_migrates_and_never_violates_generously() {
         let jobs = small_trace(5);
-        let report = simulator(200, 1.0).run(&jobs, &mut HomeScheduler);
+        let report = simulator(200, 1.0).run(&jobs, &mut HomeScheduler).unwrap();
         assert_eq!(report.summary.migration_fraction, 0.0);
         // With ample capacity and no migration, the only delay is the
         // scheduling-round granularity, so violations should be rare.
@@ -464,7 +511,7 @@ mod tests {
     #[test]
     fn service_time_is_at_least_execution_time() {
         let jobs = small_trace(7);
-        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler);
+        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
         for o in &report.outcomes {
             assert!(o.service_time().value() >= o.execution_time.value() - 1e-6);
             assert!(o.completion_time.value() > o.start_time.value());
@@ -475,7 +522,7 @@ mod tests {
     #[test]
     fn footprints_are_positive() {
         let jobs = small_trace(9);
-        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler);
+        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
         assert!(report.summary.total_carbon.value() > 0.0);
         assert!(report.summary.total_water.value() > 0.0);
         for o in &report.outcomes {
@@ -488,7 +535,9 @@ mod tests {
     fn pinning_to_a_tiny_region_queues_jobs_and_stretches_service_time() {
         let jobs = small_trace(11);
         // Only 2 servers per region: pinning everything to Zurich must queue.
-        let report = simulator(2, 0.25).run(&jobs, &mut PinScheduler(Region::Zurich));
+        let report = simulator(2, 0.25)
+            .run(&jobs, &mut PinScheduler(Region::Zurich))
+            .unwrap();
         assert!(report.summary.migration_fraction > 0.5);
         assert!(report.summary.mean_service_stretch > 1.0);
         assert_eq!(
@@ -502,7 +551,9 @@ mod tests {
     #[test]
     fn migrated_jobs_carry_transfer_overhead() {
         let jobs = small_trace(13);
-        let report = simulator(20, 0.5).run(&jobs, &mut PinScheduler(Region::Mumbai));
+        let report = simulator(20, 0.5)
+            .run(&jobs, &mut PinScheduler(Region::Mumbai))
+            .unwrap();
         let migrated: Vec<_> = report.outcomes.iter().filter(|o| o.migrated()).collect();
         assert!(!migrated.is_empty());
         for o in migrated {
@@ -519,7 +570,7 @@ mod tests {
     #[test]
     fn overhead_samples_are_recorded() {
         let jobs = small_trace(15);
-        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler);
+        let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
         assert!(!report.overhead.is_empty());
         assert!(report.summary.mean_decision_time.value() >= 0.0);
         assert!(report.summary.decision_overhead_fraction < 0.01);
@@ -527,9 +578,53 @@ mod tests {
 
     #[test]
     fn empty_trace_is_handled() {
-        let report = simulator(10, 0.5).run(&[], &mut HomeScheduler);
+        let report = simulator(10, 0.5).run(&[], &mut HomeScheduler).unwrap();
         assert_eq!(report.summary.total_jobs, 0);
         assert_eq!(report.outcomes.len(), 0);
+    }
+
+    #[test]
+    fn nan_submit_time_is_rejected_at_insertion() {
+        let jobs = vec![hand_built_job(f64::NAN, 100.0)];
+        let err = simulator(10, 0.5)
+            .run(&jobs, &mut HomeScheduler)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimulationError::NonFiniteEventTime { time, ref event }
+                if time.is_nan() && event.contains("arrival")
+        ));
+    }
+
+    #[test]
+    fn non_finite_execution_time_is_rejected_at_insertion() {
+        for bad in [f64::NAN, f64::INFINITY] {
+            let jobs = vec![hand_built_job(0.0, bad)];
+            let err = simulator(10, 0.5)
+                .run(&jobs, &mut HomeScheduler)
+                .unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SimulationError::NonFiniteEventTime { ref event, .. }
+                        if event.contains("completion")
+                ),
+                "execution time {bad} should be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_config_surfaces_as_typed_error() {
+        let err = Simulator::new(
+            SimulationConfig::paper_default(0, 0.5),
+            SyntheticTelemetry::with_seed(1),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SimulationError::Config(crate::error::ConfigError::EmptyRegion { .. })
+        ));
     }
 
     #[test]
@@ -561,7 +656,9 @@ mod tests {
             }
         }
         let jobs = small_trace(17);
-        let report = simulator(50, 0.5).run(&jobs, &mut LazyScheduler { rounds: 0 });
+        let report = simulator(50, 0.5)
+            .run(&jobs, &mut LazyScheduler { rounds: 0 })
+            .unwrap();
         assert_eq!(report.summary.total_jobs, jobs.len());
         // Deferral shows up as extra waiting time.
         assert!(report.summary.mean_service_stretch >= 1.0);

@@ -1,0 +1,139 @@
+//! Typed errors for configuration validation and simulation.
+//!
+//! Every fallible public API in this crate reports one of these enums
+//! (instead of the stringly-typed `Result<_, String>` the crate started
+//! with), so callers can match on the failure, and `waterwise-core` can wrap
+//! them into its campaign-level `WaterWiseError` without parsing messages.
+
+use std::fmt;
+use waterwise_telemetry::Region;
+
+/// A [`crate::SimulationConfig`] failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The region list is empty.
+    NoRegions,
+    /// A participating region has zero servers.
+    EmptyRegion {
+        /// The region with no servers.
+        region: Region,
+    },
+    /// The scheduling interval is zero or negative.
+    NonPositiveSchedulingInterval {
+        /// The offending interval in seconds.
+        seconds: f64,
+    },
+    /// The delay tolerance is negative.
+    NegativeDelayTolerance {
+        /// The offending tolerance.
+        tolerance: f64,
+    },
+    /// The embodied-footprint perturbation factor is zero or negative.
+    NonPositiveEmbodiedPerturbation {
+        /// The offending factor.
+        factor: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoRegions => write!(f, "at least one region is required"),
+            ConfigError::EmptyRegion { region } => {
+                write!(f, "region {region} needs at least one server")
+            }
+            ConfigError::NonPositiveSchedulingInterval { seconds } => {
+                write!(f, "scheduling interval must be positive, got {seconds} s")
+            }
+            ConfigError::NegativeDelayTolerance { tolerance } => {
+                write!(f, "delay tolerance must be non-negative, got {tolerance}")
+            }
+            ConfigError::NonPositiveEmbodiedPerturbation { factor } => {
+                write!(f, "embodied perturbation must be positive, got {factor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// The discrete-event engine could not be constructed or could not replay
+/// the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// The simulation configuration is invalid.
+    Config(ConfigError),
+    /// An event with a NaN or infinite timestamp was about to enter the
+    /// event queue. Admitting it would silently break the min-heap ordering
+    /// invariant, so the engine rejects the whole run instead.
+    NonFiniteEventTime {
+        /// The offending timestamp.
+        time: f64,
+        /// Which event carried it (for example `arrival of job 17`).
+        event: String,
+    },
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::Config(e) => write!(f, "invalid simulation config: {e}"),
+            SimulationError::NonFiniteEventTime { time, event } => {
+                write!(f, "non-finite event time {time} for {event}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimulationError::Config(e) => Some(e),
+            SimulationError::NonFiniteEventTime { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimulationError {
+    fn from(e: ConfigError) -> Self {
+        SimulationError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(ConfigError::NoRegions.to_string().contains("region"));
+        assert!(ConfigError::EmptyRegion {
+            region: Region::Milan
+        }
+        .to_string()
+        .contains("Milan"));
+        assert!(ConfigError::NonPositiveSchedulingInterval { seconds: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(ConfigError::NegativeDelayTolerance { tolerance: -0.5 }
+            .to_string()
+            .contains("-0.5"));
+        assert!(ConfigError::NonPositiveEmbodiedPerturbation { factor: 0.0 }
+            .to_string()
+            .contains('0'));
+    }
+
+    #[test]
+    fn simulation_error_wraps_config_error_as_source() {
+        use std::error::Error;
+        let e = SimulationError::from(ConfigError::NoRegions);
+        assert!(matches!(e, SimulationError::Config(_)));
+        assert!(e.source().is_some());
+        let nan = SimulationError::NonFiniteEventTime {
+            time: f64::NAN,
+            event: "arrival of job 3".into(),
+        };
+        assert!(nan.source().is_none());
+        assert!(nan.to_string().contains("job 3"));
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod metrics;
 pub mod network;
 pub mod scheduler;
@@ -33,6 +34,7 @@ pub mod state;
 
 pub use config::SimulationConfig;
 pub use engine::{SimulationReport, Simulator};
+pub use error::{ConfigError, SimulationError};
 pub use metrics::{CampaignSummary, JobOutcome};
 pub use network::TransferModel;
 pub use scheduler::{Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision};

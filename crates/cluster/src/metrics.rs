@@ -142,7 +142,11 @@ impl CampaignSummary {
         let mean_execution = if total_jobs == 0 {
             0.0
         } else {
-            outcomes.iter().map(|o| o.execution_time.value()).sum::<f64>() / total_jobs as f64
+            outcomes
+                .iter()
+                .map(|o| o.execution_time.value())
+                .sum::<f64>()
+                / total_jobs as f64
         };
         let decision_overhead_fraction = if mean_execution <= 0.0 {
             0.0
@@ -160,6 +164,22 @@ impl CampaignSummary {
             mean_utilization,
             mean_decision_time,
             decision_overhead_fraction,
+        }
+    }
+
+    /// This summary with the wall-clock-derived fields
+    /// ([`CampaignSummary::mean_decision_time`] and
+    /// [`CampaignSummary::decision_overhead_fraction`]) zeroed out.
+    ///
+    /// Every other field is a pure function of the seeded inputs, so two
+    /// logically identical campaigns — e.g. serial versus parallel
+    /// `run_all`, or two runs with the same seed — compare byte-identical
+    /// through this view (wall-clock timings never repeat exactly).
+    pub fn without_wall_clock(&self) -> Self {
+        Self {
+            mean_decision_time: Seconds::zero(),
+            decision_overhead_fraction: 0.0,
+            ..self.clone()
         }
     }
 

@@ -43,11 +43,11 @@ impl TransferModel {
         // geographic distance between the five AWS regions.
         const MS: [[f64; 5]; 5] = [
             // Zurich  Madrid  Oregon  Milan   Mumbai
-            [0.0, 17.0, 75.0, 8.0, 55.0],    // Zurich
-            [17.0, 0.0, 80.0, 15.0, 65.0],   // Madrid
-            [75.0, 80.0, 0.0, 78.0, 110.0],  // Oregon
-            [8.0, 15.0, 78.0, 0.0, 50.0],    // Milan
-            [55.0, 65.0, 110.0, 50.0, 0.0],  // Mumbai
+            [0.0, 17.0, 75.0, 8.0, 55.0],   // Zurich
+            [17.0, 0.0, 80.0, 15.0, 65.0],  // Madrid
+            [75.0, 80.0, 0.0, 78.0, 110.0], // Oregon
+            [8.0, 15.0, 78.0, 0.0, 50.0],   // Milan
+            [55.0, 65.0, 110.0, 50.0, 0.0], // Mumbai
         ];
         let mut rtt = [[0.0; 5]; 5];
         for (i, row) in MS.iter().enumerate() {
@@ -111,8 +111,16 @@ mod tests {
     #[test]
     fn same_region_transfer_is_free() {
         let m = TransferModel::paper_default();
-        assert_eq!(m.transfer_time(Region::Oregon, Region::Oregon, 1 << 30).value(), 0.0);
-        assert_eq!(m.transfer_energy(Region::Oregon, Region::Oregon, 1 << 30).value(), 0.0);
+        assert_eq!(
+            m.transfer_time(Region::Oregon, Region::Oregon, 1 << 30)
+                .value(),
+            0.0
+        );
+        assert_eq!(
+            m.transfer_energy(Region::Oregon, Region::Oregon, 1 << 30)
+                .value(),
+            0.0
+        );
     }
 
     #[test]
@@ -138,7 +146,9 @@ mod tests {
     fn oregon_to_mumbai_is_the_longest_hop_from_oregon() {
         let m = TransferModel::paper_default();
         let bytes = 500 << 20;
-        let to_mumbai = m.transfer_time(Region::Oregon, Region::Mumbai, bytes).value();
+        let to_mumbai = m
+            .transfer_time(Region::Oregon, Region::Mumbai, bytes)
+            .value();
         for r in [Region::Zurich, Region::Madrid, Region::Milan] {
             assert!(to_mumbai >= m.transfer_time(Region::Oregon, r, bytes).value());
         }
@@ -150,7 +160,9 @@ mod tests {
         // execution footprint; a ~500 MB package must move in well under the
         // shortest job's execution time (~200 s).
         let m = TransferModel::paper_default();
-        let t = m.transfer_time(Region::Oregon, Region::Mumbai, 500 << 20).value();
+        let t = m
+            .transfer_time(Region::Oregon, Region::Mumbai, 500 << 20)
+            .value();
         assert!(t < 60.0, "transfer takes {t}s");
         assert!(t > 1.0);
     }
@@ -158,7 +170,9 @@ mod tests {
     #[test]
     fn transfer_energy_is_small_but_positive() {
         let m = TransferModel::paper_default();
-        let e = m.transfer_energy(Region::Oregon, Region::Zurich, 1 << 30).value();
+        let e = m
+            .transfer_energy(Region::Oregon, Region::Zurich, 1 << 30)
+            .value();
         // ~0.2 Wh/GB marginal energy.
         assert!(e > 1e-5 && e < 1e-3, "energy {e}");
     }

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the surface the WaterWise property tests use: the
+//! [`proptest!`] macro over `name(arg in strategy, ...)` test functions,
+//! range and tuple strategies, `prop::collection::vec`, `ProptestConfig`,
+//! and the `prop_assert*` macros. Cases are sampled from a generator seeded
+//! deterministically per test (seeded by the test name), so failures
+//! reproduce across runs. Unlike the real proptest there is no shrinking:
+//! on failure the offending inputs are printed verbatim.
+
+#![deny(unsafe_code)]
+
+// Re-exported so the `proptest!` macro can name the generator through
+// `$crate::rand` from crates that do not themselves depend on `rand`.
+pub use rand;
+
+pub mod strategy;
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A size specification: a fixed length or a half-open range of lengths.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(strategy, len)` / `vec(strategy, lo..hi)`, mirroring
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            use rand::Rng;
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-runner configuration, mirroring `proptest::test_runner`.
+
+    /// How many random cases each property test executes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! The `prop::` namespace (`prop::collection::vec`, ...).
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Deterministic per-test seed: FNV-1a of the test's name, so every test
+/// draws an independent but reproducible stream.
+pub fn seed_for_test(name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Assert inside a property test; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The `proptest!` block macro: wraps `fn name(arg in strategy, ...)` items
+/// into `#[test]` functions that sample and run `cases` random cases each.
+///
+/// The user-visible `#[test]` attribute is captured by the `$(#[$meta])*`
+/// repetition (exactly as in the real proptest) and re-emitted on the
+/// generated zero-argument function.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_cases!($config, $name, ($($arg in $strat),+), $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_cases!(
+                    $crate::test_runner::Config::default(), $name,
+                    ($($arg in $strat),+), $body
+                );
+            }
+        )*
+    };
+}
+
+/// Internal: the per-test case loop shared by both `proptest!` arms.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_cases {
+    ($config:expr, $name:ident, ($($arg:ident in $strat:expr),+), $body:block) => {{
+        use $crate::strategy::Strategy as _;
+        let config: $crate::test_runner::Config = $config;
+        let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+            $crate::seed_for_test(stringify!($name)),
+        );
+        for case in 0..config.cases {
+            $(let $arg = ($strat).sample(&mut rng);)+
+            let description = format!(
+                concat!("case {} of ", stringify!($name), ":", $(" ", stringify!($arg), " = {:?}"),+),
+                case, $(&$arg),+
+            );
+            let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                $(let $arg = $arg.clone();)+
+                $body
+            }));
+            if let Err(panic) = result {
+                eprintln!("proptest failure in {description}");
+                ::std::panic::resume_unwind(panic);
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.5f64..2.0, n in 1usize..5) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategies_respect_sizes(
+            fixed in prop::collection::vec(0.0f64..1.0, 3),
+            ranged in prop::collection::vec(0u64..10, 2..6),
+            pairs in prop::collection::vec((0.0f64..1.0, 1.0f64..2.0), 4),
+        ) {
+            prop_assert_eq!(fixed.len(), 3);
+            prop_assert!(ranged.len() >= 2 && ranged.len() < 6);
+            prop_assert_eq!(pairs.len(), 4);
+            for (a, b) in pairs {
+                prop_assert!(a < 1.0 && b >= 1.0);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_block_works(seed in 0u64..100) {
+            prop_assert!(seed < 100);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(crate::seed_for_test("a"), crate::seed_for_test("b"));
+        assert_eq!(crate::seed_for_test("a"), crate::seed_for_test("a"));
+    }
+}

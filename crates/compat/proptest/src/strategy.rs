@@ -1,0 +1,93 @@
+//! Value-generation strategies, mirroring `proptest::strategy`.
+//!
+//! A [`Strategy`] deterministically maps draws from a seeded generator to
+//! values. Ranges over the numeric types the workspace tests with, tuples of
+//! strategies, and [`Just`] are provided; collections live in
+//! [`crate::collection`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Produces random values of an associated type from a seeded generator.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: std::fmt::Debug + Clone;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+/// Strategy that always yields a fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: std::fmt::Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u64, usize, u32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Just(42u64).sample(&mut rng), 42);
+    }
+
+    #[test]
+    fn tuples_sample_componentwise() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, n) = (0.0f64..1.0, 5usize..9).sample(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+        assert!((5..9).contains(&n));
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the exact surface the WaterWise workspace uses — a seedable
+//! [`rngs::StdRng`] plus [`Rng::gen_range`] over `f64`, and unsigned integer
+//! ranges — backed by a genuine xoshiro256++ generator (seeded through
+//! SplitMix64, the same expansion `rand_xoshiro` uses). The streams are
+//! deterministic per seed, which is all the workspace's reproducibility
+//! guarantees require; they do *not* match the streams of the crates.io
+//! `rand`, so regenerated traces differ numerically (but not statistically)
+//! from ones produced with the real crate.
+
+#![deny(unsafe_code)]
+
+/// Core random-source trait: everything else is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose entire stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling within a range, mirroring `rand::distributions::uniform`'s
+/// `SampleRange`. Implemented for the `Range<T>` types the workspace draws
+/// from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {:?}",
+            self
+        );
+        // 53 high-quality mantissa bits -> uniform in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's widening-multiply bounded sampling (bias is at
+                // most 2^-64 per draw, irrelevant at workspace spans).
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u64, usize, u32);
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw from a range (`rng.gen_range(0.0..1.0)`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        self.gen_range(0.0f64..1.0)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Not the same algorithm as `rand::rngs::StdRng` (ChaCha12), but a
+    /// high-quality, fast, deterministic small-state generator, which is what
+    /// the synthetic trace/telemetry generators need.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as used by rand_xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<f64> = (0..16).map(|_| a.gen_range(0.0..1.0)).collect();
+        let vb: Vec<f64> = (0..16).map(|_| b.gen_range(0.0..1.0)).collect();
+        let vc: Vec<f64> = (0..16).map(|_| c.gen_range(0.0..1.0)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-0.05f64..0.05);
+            assert!((-0.05..0.05).contains(&v));
+            let u = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_cover_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unit_draws_look_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The WaterWise workspace builds in environments without access to a crates
+//! registry, so this crate provides the exact `serde` surface the workspace
+//! uses: the `Serialize` / `Deserialize` derive macros (re-exported from the
+//! sibling `serde_derive` stub, where they expand to marker impls) and the
+//! corresponding marker traits. No wire format is implemented; the derives
+//! exist so that workspace types stay annotated identically to how they
+//! would be against the real `serde`, keeping a later swap to the crates.io
+//! version a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The stub derive implements it for the annotated type; no serializer
+/// machinery exists, so the trait carries no methods.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize {}

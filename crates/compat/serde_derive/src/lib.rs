@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline serde
+//! stub. They accept the same attribute grammar as the real derives (the
+//! `serde` helper attribute is registered) and expand to nothing: the
+//! workspace never serializes through serde at build time, it only keeps the
+//! annotations so that swapping the real crates.io `serde` back in is a
+//! manifest-only change.
+
+use proc_macro::TokenStream;
+
+/// Derive macro mirroring `serde_derive::Serialize`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive macro mirroring `serde_derive::Deserialize`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -26,13 +26,15 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod error;
 pub mod experiment;
 pub mod objective;
 pub mod sched;
 
-pub use experiment::{Campaign, CampaignConfig, CampaignOutcome, SchedulerKind};
+pub use error::WaterWiseError;
+pub use experiment::{Campaign, CampaignConfig, CampaignOutcome, Parallelism, SchedulerKind};
 pub use objective::{CandidateFootprint, ObjectiveWeights};
 pub use sched::{
-    BaselineScheduler, EcovisorScheduler, GreedyObjective, GreedyOptScheduler,
-    LeastLoadScheduler, RoundRobinScheduler, WaterWiseConfig, WaterWiseScheduler,
+    BaselineScheduler, EcovisorScheduler, GreedyObjective, GreedyOptScheduler, LeastLoadScheduler,
+    RoundRobinScheduler, WaterWiseConfig, WaterWiseScheduler,
 };

@@ -121,7 +121,11 @@ impl Normalizer {
 
     /// The normalized, weighted objective contribution of one candidate
     /// (the bracketed term of Eq. 8 without the history part).
-    pub fn objective_term(&self, candidate: &CandidateFootprint, weights: &ObjectiveWeights) -> f64 {
+    pub fn objective_term(
+        &self,
+        candidate: &CandidateFootprint,
+        weights: &ObjectiveWeights,
+    ) -> f64 {
         weights.lambda_co2 * candidate.carbon / self.max_carbon
             + weights.lambda_h2o * candidate.water / self.max_water
     }

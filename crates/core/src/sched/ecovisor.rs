@@ -16,9 +16,7 @@
 //! savings, essentially no water savings, and no cross-region shifting.
 
 use std::sync::Arc;
-use waterwise_cluster::{
-    Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision,
-};
+use waterwise_cluster::{Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision};
 use waterwise_sustain::Seconds;
 use waterwise_telemetry::ConditionsProvider;
 
@@ -194,6 +192,9 @@ mod tests {
             transfer: &transfer,
         };
         let decision = scheduler().schedule(&ctx);
-        assert!(decision.assignments.iter().all(|a| a.region == Region::Zurich));
+        assert!(decision
+            .assignments
+            .iter()
+            .all(|a| a.region == Region::Zurich));
     }
 }

@@ -11,9 +11,7 @@
 
 use crate::objective::candidate_footprints;
 use std::sync::Arc;
-use waterwise_cluster::{
-    Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision,
-};
+use waterwise_cluster::{Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision};
 use waterwise_sustain::{FootprintEstimator, Seconds};
 use waterwise_telemetry::{ConditionsProvider, Region};
 
@@ -199,14 +197,11 @@ impl Scheduler for GreedyOptScheduler {
                             .partial_cmp(&self.objective_of(b.carbon, b.water))
                             .unwrap_or(std::cmp::Ordering::Equal)
                     });
-                    if let Some(c) = sorted.iter().find(|c| {
-                        capacity
-                            .iter()
-                            .any(|(r, cap)| *r == c.region && *cap > 0)
-                    }) {
-                        if let Some((_, cap)) =
-                            capacity.iter_mut().find(|(r, _)| *r == c.region)
-                        {
+                    if let Some(c) = sorted
+                        .iter()
+                        .find(|c| capacity.iter().any(|(r, cap)| *r == c.region && *cap > 0))
+                    {
+                        if let Some((_, cap)) = capacity.iter_mut().find(|(r, _)| *r == c.region) {
                             *cap -= 1;
                         }
                         assignments.push(Assignment {

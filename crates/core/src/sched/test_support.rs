@@ -24,7 +24,9 @@ pub fn context_fixture(n: usize, seed: u64) -> ContextFixture {
             let benchmark: Benchmark = ALL_BENCHMARKS[(mix % 10) as usize];
             let home_region: Region = ALL_REGIONS[((mix / 10) % 5) as usize];
             let profile = benchmark.profile();
-            let exec = Seconds::new(profile.mean_execution_time.value() * (0.9 + (mix % 20) as f64 / 100.0));
+            let exec = Seconds::new(
+                profile.mean_execution_time.value() * (0.9 + (mix % 20) as f64 / 100.0),
+            );
             let energy = Watts::new(profile.mean_power.value()).energy_over(exec);
             PendingJob {
                 spec: JobSpec {

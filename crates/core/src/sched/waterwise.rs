@@ -18,9 +18,7 @@
 
 use crate::objective::{candidate_footprints, CandidateFootprint, Normalizer, ObjectiveWeights};
 use std::sync::Arc;
-use waterwise_cluster::{
-    Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision,
-};
+use waterwise_cluster::{Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision};
 use waterwise_milp::{BranchBoundConfig, LinExpr, Model, Sense, SimplexConfig, Var};
 use waterwise_sustain::FootprintEstimator;
 use waterwise_telemetry::{ConditionsProvider, Region};
@@ -157,6 +155,7 @@ impl WaterWiseScheduler {
 
     /// Build and solve the MILP for the selected jobs. `soften` enables the
     /// penalty relaxation of Eq. 12/13.
+    #[allow(clippy::too_many_arguments)]
     fn solve_assignment(
         &mut self,
         jobs: &[&PendingJob],
@@ -204,8 +203,8 @@ impl WaterWiseScheduler {
                 let mut coefficient = normalizers[m].objective_term(candidate, weights);
                 // History-learner reference term (normalized trailing means).
                 let (carbon_ref, water_ref) = history[n];
-                coefficient +=
-                    weights.lambda_ref * (weights.lambda_co2 * carbon_ref + weights.lambda_h2o * water_ref);
+                coefficient += weights.lambda_ref
+                    * (weights.lambda_co2 * carbon_ref + weights.lambda_h2o * water_ref);
                 objective.add_term(x[m][n], coefficient);
             }
             let _ = job;
@@ -304,8 +303,14 @@ impl WaterWiseScheduler {
                 (carbon, water)
             })
             .collect();
-        let max_carbon = raw.iter().map(|(c, _)| *c).fold(f64::MIN_POSITIVE, f64::max);
-        let max_water = raw.iter().map(|(_, w)| *w).fold(f64::MIN_POSITIVE, f64::max);
+        let max_carbon = raw
+            .iter()
+            .map(|(c, _)| *c)
+            .fold(f64::MIN_POSITIVE, f64::max);
+        let max_water = raw
+            .iter()
+            .map(|(_, w)| *w)
+            .fold(f64::MIN_POSITIVE, f64::max);
         raw.iter()
             .map(|(c, w)| (c / max_carbon, w / max_water))
             .collect()
@@ -337,7 +342,13 @@ impl Scheduler for WaterWiseScheduler {
         let candidates: Vec<Vec<CandidateFootprint>> = selected
             .iter()
             .map(|job| {
-                candidate_footprints(job, &regions, self.provider.as_ref(), &self.estimator, ctx.now)
+                candidate_footprints(
+                    job,
+                    &regions,
+                    self.provider.as_ref(),
+                    &self.estimator,
+                    ctx.now,
+                )
             })
             .collect();
         let normalizers: Vec<Normalizer> = candidates
@@ -470,11 +481,7 @@ mod tests {
         let ctx = ctx_from(&fixture, 3.0, 0.0);
         let decision = scheduler().schedule(&ctx);
         for a in &decision.assignments {
-            let job = fixture
-                .pending
-                .iter()
-                .find(|p| p.spec.id == a.job)
-                .unwrap();
+            let job = fixture.pending.iter().find(|p| p.spec.id == a.job).unwrap();
             assert_eq!(a.region, job.spec.home_region, "job {} migrated", a.job.0);
         }
     }

@@ -89,11 +89,7 @@ pub fn solve(
     // Internal key: objective mapped so that smaller is better.
     let key = |objective: f64| if maximize { -objective } else { objective };
 
-    let root_bounds: Vec<(f64, f64)> = model
-        .vars()
-        .iter()
-        .map(|v| (v.lower, v.upper))
-        .collect();
+    let root_bounds: Vec<(f64, f64)> = model.vars().iter().map(|v| (v.lower, v.upper)).collect();
 
     let mut heap = BinaryHeap::new();
     heap.push(Node {
@@ -236,18 +232,26 @@ mod tests {
         let w = m.add_binary("w");
         m.add_constraint(
             "cap",
-            LinExpr::from(x) * 5.0 + LinExpr::from(y) * 7.0 + LinExpr::from(z) * 4.0
+            LinExpr::from(x) * 5.0
+                + LinExpr::from(y) * 7.0
+                + LinExpr::from(z) * 4.0
                 + LinExpr::from(w) * 3.0,
             Sense::LessEqual,
             14.0,
         );
         m.maximize(
-            LinExpr::from(x) * 8.0 + LinExpr::from(y) * 11.0 + LinExpr::from(z) * 6.0
+            LinExpr::from(x) * 8.0
+                + LinExpr::from(y) * 11.0
+                + LinExpr::from(z) * 6.0
                 + LinExpr::from(w) * 4.0,
         );
         let sol = m.solve().unwrap();
         assert!(sol.status.has_solution());
-        assert!((sol.objective - 21.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 21.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!(m.is_feasible(&sol.values, 1e-6));
     }
 
@@ -264,7 +268,11 @@ mod tests {
         m.minimize(x + LinExpr::from(y) * 10.0);
         let sol = m.solve().unwrap();
         assert!(sol.status.has_solution());
-        assert!((sol.objective - 20.5).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 20.5).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.value(y) - 2.0).abs() < 1e-6);
         assert!((sol.value(x) - 0.5).abs() < 1e-6);
     }

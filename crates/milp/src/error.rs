@@ -78,8 +78,12 @@ mod tests {
         assert!(e.to_string().contains('x'));
         assert!(MilpError::Infeasible.to_string().contains("infeasible"));
         assert!(MilpError::Unbounded.to_string().contains("unbounded"));
-        assert!(MilpError::MissingObjective.to_string().contains("objective"));
-        assert!(MilpError::IterationLimit { spent: 3 }.to_string().contains('3'));
+        assert!(MilpError::MissingObjective
+            .to_string()
+            .contains("objective"));
+        assert!(MilpError::IterationLimit { spent: 3 }
+            .to_string()
+            .contains('3'));
         assert!(MilpError::UnknownVariable {
             index: 7,
             model_vars: 2

@@ -101,7 +101,13 @@ impl Model {
     /// Add a decision variable and return its handle.
     ///
     /// For [`VarKind::Binary`] the bounds are clamped into `[0, 1]`.
-    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lower: f64, upper: f64) -> Var {
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+    ) -> Var {
         let (lower, upper) = match kind {
             VarKind::Binary => (lower.max(0.0), upper.min(1.0)),
             _ => (lower, upper),
@@ -252,9 +258,7 @@ impl Model {
             if x < v.lower - tol || x > v.upper + tol {
                 return false;
             }
-            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
-                && (x - x.round()).abs() > tol
-            {
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary) && (x - x.round()).abs() > tol {
                 return false;
             }
         }
@@ -384,7 +388,11 @@ mod tests {
         m.maximize(x * 3.0 + y * 2.0);
         let sol = m.solve().unwrap();
         assert_eq!(sol.status, SolveStatus::Optimal);
-        assert!((sol.objective - 10.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 10.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.value(x) - 2.0).abs() < 1e-6);
         assert!((sol.value(y) - 2.0).abs() < 1e-6);
     }
@@ -459,7 +467,11 @@ mod tests {
         assert!(sol.status.has_solution());
         // The MILP optimum must differ from the fractional LP optimum of 3.
         assert!((sol.objective - 3.0).abs() > 0.5);
-        assert!((sol.objective - 2.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 2.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!(m.is_feasible(&sol.values, 1e-6));
     }
 
@@ -514,7 +526,11 @@ mod tests {
         m.minimize(y * 1.0);
         let sol = m.solve().unwrap();
         assert_eq!(sol.status, SolveStatus::Optimal);
-        assert!((sol.objective + 2.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 2.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]
@@ -578,7 +594,11 @@ mod tests {
         assert!(sol.status.has_solution());
         // Best: the job with the largest region-1 penalty (job 2) goes to
         // region 0, the rest to region 1: 1 + 2 + 3 = 6.
-        assert!((sol.objective - 6.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 6.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         // Exactly one job in region 0.
         let in_r0: f64 = (0..3).map(|j| sol.value(var(j, 0))).sum();
         assert!((in_r0 - 1.0).abs() < 1e-6);

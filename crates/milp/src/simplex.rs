@@ -191,13 +191,19 @@ impl<'a> Solver<'a> {
             let lo = problem.lower[i];
             let hi = problem.upper[i];
             if lo.is_finite() {
-                var_map.push(VarMap::Shifted { col: next_col, lower: lo });
+                var_map.push(VarMap::Shifted {
+                    col: next_col,
+                    lower: lo,
+                });
                 if hi.is_finite() {
                     bound_rows.push((next_col, hi - lo));
                 }
                 next_col += 1;
             } else if hi.is_finite() {
-                var_map.push(VarMap::Mirrored { col: next_col, upper: hi });
+                var_map.push(VarMap::Mirrored {
+                    col: next_col,
+                    upper: hi,
+                });
                 next_col += 1;
             } else {
                 var_map.push(VarMap::Split {
@@ -436,7 +442,12 @@ impl<'a> Solver<'a> {
     }
 
     /// Primal simplex loop over columns `< limit_cols`.
-    fn optimize(&mut self, obj_row: &mut Vec<f64>, obj_val: &mut f64, limit_cols: usize) -> LoopResult {
+    fn optimize(
+        &mut self,
+        obj_row: &mut [f64],
+        obj_val: &mut f64,
+        limit_cols: usize,
+    ) -> LoopResult {
         let tol = self.config.tolerance;
         let mut stall = 0usize;
         let mut last_obj = *obj_val;
@@ -576,7 +587,9 @@ mod tests {
             ],
         };
         match solve_default(&p) {
-            SimplexOutcome::Optimal { objective, values, .. } => {
+            SimplexOutcome::Optimal {
+                objective, values, ..
+            } => {
                 assert!((objective + 36.0).abs() < 1e-6);
                 assert!((values[0] - 2.0).abs() < 1e-6);
                 assert!((values[1] - 6.0).abs() < 1e-6);
@@ -600,7 +613,9 @@ mod tests {
             ],
         };
         match solve_default(&p) {
-            SimplexOutcome::Optimal { objective, values, .. } => {
+            SimplexOutcome::Optimal {
+                objective, values, ..
+            } => {
                 assert!((objective - 20.0).abs() < 1e-6);
                 assert!((values[0] - 10.0).abs() < 1e-6);
             }
@@ -620,7 +635,10 @@ mod tests {
                 constraint(&[(0, 1.0)], Sense::LessEqual, 2.0),
             ],
         };
-        assert!(matches!(solve_default(&p), SimplexOutcome::Infeasible { .. }));
+        assert!(matches!(
+            solve_default(&p),
+            SimplexOutcome::Infeasible { .. }
+        ));
     }
 
     #[test]
@@ -632,7 +650,10 @@ mod tests {
             upper: vec![f64::INFINITY],
             constraints: vec![constraint(&[(0, 1.0)], Sense::GreaterEqual, 1.0)],
         };
-        assert!(matches!(solve_default(&p), SimplexOutcome::Unbounded { .. }));
+        assert!(matches!(
+            solve_default(&p),
+            SimplexOutcome::Unbounded { .. }
+        ));
     }
 
     #[test]
@@ -679,7 +700,9 @@ mod tests {
             constraints: vec![constraint(&[(0, 1.0)], Sense::GreaterEqual, -2.0)],
         };
         match solve_default(&p) {
-            SimplexOutcome::Optimal { values, objective, .. } => {
+            SimplexOutcome::Optimal {
+                values, objective, ..
+            } => {
                 assert!((values[0] + 2.0).abs() < 1e-6);
                 assert!((objective + 2.0).abs() < 1e-6);
             }
@@ -720,7 +743,9 @@ mod tests {
             constraints: vec![],
         };
         match solve_default(&p) {
-            SimplexOutcome::Optimal { objective, values, .. } => {
+            SimplexOutcome::Optimal {
+                objective, values, ..
+            } => {
                 assert!((values[0] - 0.0).abs() < 1e-6);
                 assert!((values[1] - 5.0).abs() < 1e-6);
                 assert!((objective + 5.0).abs() < 1e-6);

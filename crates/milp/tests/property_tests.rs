@@ -9,7 +9,11 @@ use waterwise_milp::{LinExpr, Model, Sense, SolveStatus};
 
 /// Build a random binary minimization problem: `n` binary variables, a
 /// single knapsack-style capacity constraint, and a cost vector.
-fn binary_problem(costs: &[f64], weights: &[f64], capacity: f64) -> (Model, Vec<waterwise_milp::Var>) {
+fn binary_problem(
+    costs: &[f64],
+    weights: &[f64],
+    capacity: f64,
+) -> (Model, Vec<waterwise_milp::Var>) {
     let mut m = Model::new("prop-binary");
     let vars: Vec<_> = (0..costs.len())
         .map(|i| m.add_binary(format!("x{i}")))

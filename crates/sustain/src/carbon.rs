@@ -109,7 +109,8 @@ mod tests {
 
     #[test]
     fn operational_is_energy_times_intensity() {
-        let e = OperationalCarbonModel::emissions(KilowattHours::new(2.0), CarbonIntensity::new(300.0));
+        let e =
+            OperationalCarbonModel::emissions(KilowattHours::new(2.0), CarbonIntensity::new(300.0));
         assert!((e.value() - 600.0).abs() < 1e-12);
     }
 

@@ -27,6 +27,7 @@ impl ServerParams {
     pub fn m5_metal() -> Self {
         let embodied_carbon = Co2Grams::new(1_500_000.0); // ~1.5 tCO2e
         let lifetime = Seconds::from_hours(4.0 * 365.0 * 24.0); // 4 years
+
         // Embodied water derived per Eq. 4 from the manufacturing energy
         // implied by the embodied carbon at a typical fab-region carbon
         // intensity (~500 gCO2/kWh) and EWIF (~1.8 L/kWh), with WSF 0.4.

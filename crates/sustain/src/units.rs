@@ -281,4 +281,3 @@ mod tests {
         assert!(format!("{total}").contains('L'));
     }
 }
-

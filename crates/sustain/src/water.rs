@@ -211,7 +211,10 @@ mod tests {
     #[test]
     fn wue_hot_humid_is_large_but_bounded() {
         let hot = wue_from_wet_bulb(28.0).value();
-        assert!(hot > 4.0, "hot humid climate should need lots of water: {hot}");
+        assert!(
+            hot > 4.0,
+            "hot humid climate should need lots of water: {hot}"
+        );
         assert!(hot <= CoolingModel::default().max_wue);
         assert!(wue_from_wet_bulb(60.0).value() <= CoolingModel::default().max_wue);
     }

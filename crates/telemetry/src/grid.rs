@@ -59,12 +59,12 @@ impl GridModel {
         let solar_factor = (1.0 - p.solar_variability) + p.solar_variability * daylight * 2.0;
 
         // Seasonal hydro availability (peaks in late spring).
-        let hydro_factor =
-            1.0 + p.hydro_seasonality * (TAU * (day - 140.0) / 365.0).cos();
+        let hydro_factor = 1.0 + p.hydro_seasonality * (TAU * (day - 140.0) / 365.0).cos();
 
         // Slow wind swings plus per-hour noise.
         let wind_factor = (1.0 + p.wind_variability * noise.wind[hour % noise.wind.len()]).max(0.1);
-        let jitter = |idx: usize| 1.0 + p.mix_noise * noise.jitter[(hour + idx * 97) % noise.jitter.len()];
+        let jitter =
+            |idx: usize| 1.0 + p.mix_noise * noise.jitter[(hour + idx * 97) % noise.jitter.len()];
 
         let mut pairs: Vec<(EnergySource, f64)> = Vec::new();
         for (source, share) in p.base_mix.shares() {
@@ -102,7 +102,8 @@ impl GridModel {
 
     /// Generate all derived series for a horizon of `hours`.
     pub fn generate(&self, hours: usize) -> GridSeries {
-        let noise = GridNoise::generate(self.seed ^ (self.profile.region.index() as u64 + 1), hours);
+        let noise =
+            GridNoise::generate(self.seed ^ (self.profile.region.index() as u64 + 1), hours);
         let mut ci = Vec::with_capacity(hours);
         let mut ewif_p = Vec::with_capacity(hours);
         let mut ewif_w = Vec::with_capacity(hours);
@@ -111,9 +112,8 @@ impl GridModel {
             let mix = self.mix_at_hour(hour, &noise);
             // Grid-level volatility multiplier (imports/exports, demand, and
             // dispatch decisions not captured by the base mix).
-            let volatility = (self.profile.carbon_volatility
-                * noise.grid[hour % noise.grid.len()])
-            .exp();
+            let volatility =
+                (self.profile.carbon_volatility * noise.grid[hour % noise.grid.len()]).exp();
             ci.push(mix.carbon_intensity().value() * volatility);
             ewif_p.push(mix.ewif(EwifDataset::Primary).value());
             ewif_w.push(mix.ewif(EwifDataset::WorldResourcesInstitute).value());
@@ -194,7 +194,10 @@ mod tests {
             assert!(w[0] < w[1] * 1.10, "mean CI ordering violated: {means:?}");
         }
         // The extremes must still be far apart.
-        assert!(means[0] * 3.0 < means[4], "Zurich vs Mumbai gap too small: {means:?}");
+        assert!(
+            means[0] * 3.0 < means[4],
+            "Zurich vs Mumbai gap too small: {means:?}"
+        );
     }
 
     #[test]
@@ -217,7 +220,10 @@ mod tests {
     #[test]
     fn carbon_intensity_varies_over_time() {
         let s = series_for(Region::Oregon, 5, 24 * 90);
-        assert!(s.carbon_intensity.std_dev() > 5.0, "CI should have temporal variation");
+        assert!(
+            s.carbon_intensity.std_dev() > 5.0,
+            "CI should have temporal variation"
+        );
         assert!(s.carbon_intensity.max() > s.carbon_intensity.min() * 1.2);
     }
 

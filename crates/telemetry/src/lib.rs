@@ -33,8 +33,7 @@ pub mod series;
 pub mod weather;
 
 pub use provider::{
-    ConditionsProvider, ConstantConditions, PerturbedProvider, SyntheticTelemetry,
-    TelemetryConfig,
+    ConditionsProvider, ConstantConditions, PerturbedProvider, SyntheticTelemetry, TelemetryConfig,
 };
 pub use region::{Region, RegionProfile, ALL_REGIONS};
 pub use series::HourlySeries;

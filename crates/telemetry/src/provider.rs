@@ -73,7 +73,7 @@ pub struct TelemetryConfig {
 impl Default for TelemetryConfig {
     fn default() -> Self {
         Self {
-            seed: 0x57A7_E12_F00D,
+            seed: 0x057A_7E12_F00D,
             horizon_days: 30,
             dataset: EwifDataset::Primary,
             cooling: CoolingModel::default(),
@@ -319,11 +319,14 @@ mod tests {
 
     #[test]
     fn perturbation_scales_carbon_and_water() {
-        let base = ConstantConditions::from_profiles(EwifDataset::Primary, &CoolingModel::default());
+        let base =
+            ConstantConditions::from_profiles(EwifDataset::Primary, &CoolingModel::default());
         let reference = base.conditions(Region::Oregon, Seconds::zero());
         let perturbed = PerturbedProvider::new(base, 1.1, 0.9);
         let c = perturbed.conditions(Region::Oregon, Seconds::zero());
-        assert!((c.carbon_intensity.value() / reference.carbon_intensity.value() - 1.1).abs() < 1e-9);
+        assert!(
+            (c.carbon_intensity.value() / reference.carbon_intensity.value() - 1.1).abs() < 1e-9
+        );
         assert!((c.ewif.value() / reference.ewif.value() - 0.9).abs() < 1e-9);
         assert!((c.wue.value() / reference.wue.value() - 0.9).abs() < 1e-9);
         assert_eq!(c.wsf, reference.wsf);
@@ -355,6 +358,9 @@ mod tests {
         let telemetry = SyntheticTelemetry::with_seed(2).shared();
         let direct = telemetry.conditions(Region::Mumbai, Seconds::from_hours(3.0));
         let via_trait: &dyn ConditionsProvider = &telemetry;
-        assert_eq!(via_trait.conditions(Region::Mumbai, Seconds::from_hours(3.0)), direct);
+        assert_eq!(
+            via_trait.conditions(Region::Mumbai, Seconds::from_hours(3.0)),
+            direct
+        );
     }
 }

@@ -16,7 +16,10 @@ pub struct HourlySeries {
 impl HourlySeries {
     /// Build a series from hourly samples. Panics if `values` is empty.
     pub fn new(values: Vec<f64>) -> Self {
-        assert!(!values.is_empty(), "an HourlySeries needs at least one sample");
+        assert!(
+            !values.is_empty(),
+            "an HourlySeries needs at least one sample"
+        );
         Self { values }
     }
 
@@ -74,7 +77,10 @@ impl HourlySeries {
 
     /// Maximum sample.
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Population standard deviation of the samples.

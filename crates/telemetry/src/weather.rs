@@ -31,8 +31,8 @@ impl WeatherModel {
     pub fn deterministic_wet_bulb(&self, hour: usize) -> f64 {
         let day = (hour / 24) as f64;
         let hour_of_day = (hour % 24) as f64;
-        let seasonal = self.climate.seasonal_amplitude
-            * (TAU * (day - self.climate.peak_day) / 365.0).cos();
+        let seasonal =
+            self.climate.seasonal_amplitude * (TAU * (day - self.climate.peak_day) / 365.0).cos();
         // Diurnal peak mid-afternoon (15:00), trough just before dawn.
         let diurnal = self.climate.diurnal_amplitude * (TAU * (hour_of_day - 15.0) / 24.0).cos();
         self.climate.mean_wet_bulb + seasonal + diurnal

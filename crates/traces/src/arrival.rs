@@ -168,9 +168,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_per_seed() {
-        let a = ArrivalModel::new(TraceKind::BorgLike, 1.0, 42).arrivals_within(Seconds::from_hours(6.0));
-        let b = ArrivalModel::new(TraceKind::BorgLike, 1.0, 42).arrivals_within(Seconds::from_hours(6.0));
-        let c = ArrivalModel::new(TraceKind::BorgLike, 1.0, 43).arrivals_within(Seconds::from_hours(6.0));
+        let a = ArrivalModel::new(TraceKind::BorgLike, 1.0, 42)
+            .arrivals_within(Seconds::from_hours(6.0));
+        let b = ArrivalModel::new(TraceKind::BorgLike, 1.0, 42)
+            .arrivals_within(Seconds::from_hours(6.0));
+        let c = ArrivalModel::new(TraceKind::BorgLike, 1.0, 43)
+            .arrivals_within(Seconds::from_hours(6.0));
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

@@ -109,7 +109,10 @@ impl TraceGenerator {
             cfg.benchmarks.clone()
         };
         let total_weight: f64 = cfg.region_weights.iter().sum();
-        assert!(total_weight > 0.0, "at least one region weight must be positive");
+        assert!(
+            total_weight > 0.0,
+            "at least one region weight must be positive"
+        );
 
         times
             .into_iter()
@@ -130,7 +133,8 @@ impl TraceGenerator {
                 let estimated_execution_time =
                     Seconds::new(profile.mean_execution_time.value() * estimate_jitter);
                 let estimated_energy = KilowattHours::new(
-                    profile.mean_energy().value() * sample_lognormal(&mut rng, profile.estimate_error_cv),
+                    profile.mean_energy().value()
+                        * sample_lognormal(&mut rng, profile.estimate_error_cv),
                 );
                 JobSpec {
                     id: JobId(i as u64),
@@ -192,9 +196,16 @@ mod tests {
 
     #[test]
     fn alibaba_is_much_denser_than_borg() {
-        let borg = TraceGenerator::new(TraceConfig::borg(0.25, 3)).generate().len();
-        let ali = TraceGenerator::new(TraceConfig::alibaba(0.25, 3)).generate().len();
-        assert!(ali as f64 > 5.0 * borg as f64, "alibaba {ali} vs borg {borg}");
+        let borg = TraceGenerator::new(TraceConfig::borg(0.25, 3))
+            .generate()
+            .len();
+        let ali = TraceGenerator::new(TraceConfig::alibaba(0.25, 3))
+            .generate()
+            .len();
+        assert!(
+            ali as f64 > 5.0 * borg as f64,
+            "alibaba {ali} vs borg {borg}"
+        );
     }
 
     #[test]
@@ -222,7 +233,10 @@ mod tests {
         let mean_err: f64 =
             jobs.iter().map(|j| j.estimate_error()).sum::<f64>() / jobs.len() as f64;
         assert!(mean_err > 0.01, "estimates should be noisy, err {mean_err}");
-        assert!(mean_err < 0.6, "estimates should be in the right ballpark, err {mean_err}");
+        assert!(
+            mean_err < 0.6,
+            "estimates should be in the right ballpark, err {mean_err}"
+        );
     }
 
     #[test]
@@ -236,7 +250,9 @@ mod tests {
 
     #[test]
     fn rate_multiplier_doubles_volume() {
-        let base = TraceGenerator::new(TraceConfig::borg(0.25, 31)).generate().len() as f64;
+        let base = TraceGenerator::new(TraceConfig::borg(0.25, 31))
+            .generate()
+            .len() as f64;
         let doubled = TraceGenerator::new(TraceConfig::borg(0.25, 31).with_rate_multiplier(2.0))
             .generate()
             .len() as f64;
@@ -250,7 +266,10 @@ mod tests {
         for j in jobs {
             let implied_power =
                 j.actual_energy.value() * 3600.0 * 1000.0 / j.actual_execution_time.value();
-            assert!(implied_power > 100.0 && implied_power < 900.0, "power {implied_power}");
+            assert!(
+                implied_power > 100.0 && implied_power < 900.0,
+                "power {implied_power}"
+            );
         }
     }
 }

@@ -60,7 +60,8 @@ impl JobSpec {
     /// actual_execution_time`.
     pub fn deadline(&self, tolerance: f64) -> Seconds {
         Seconds::new(
-            self.submit_time.value() + (1.0 + tolerance.max(0.0)) * self.actual_execution_time.value(),
+            self.submit_time.value()
+                + (1.0 + tolerance.max(0.0)) * self.actual_execution_time.value(),
         )
     }
 }

@@ -52,7 +52,9 @@ impl TraceStatistics {
                 0.0
             }),
             mean_execution_time: Seconds::new(
-                jobs.iter().map(|j| j.actual_execution_time.value()).sum::<f64>()
+                jobs.iter()
+                    .map(|j| j.actual_execution_time.value())
+                    .sum::<f64>()
                     / jobs.len() as f64,
             ),
             total_energy: jobs.iter().map(|j| j.actual_energy).sum(),

@@ -50,7 +50,9 @@ fn main() {
         );
     }
 
-    let waterwise = campaign.run(SchedulerKind::WaterWise).expect("campaign run");
+    let waterwise = campaign
+        .run(SchedulerKind::WaterWise)
+        .expect("campaign run");
     println!("\nWaterWise placement distribution:");
     for region in ALL_REGIONS {
         let share = waterwise.summary.region_distribution()[region.index()];

@@ -9,7 +9,9 @@
 use waterwise::core::{Campaign, CampaignConfig, SchedulerKind};
 
 fn main() {
-    println!("WaterWise under increasing capacity pressure (0.05-day Borg-like trace, 50% tolerance)\n");
+    println!(
+        "WaterWise under increasing capacity pressure (0.05-day Borg-like trace, 50% tolerance)\n"
+    );
     println!(
         "{:>15} {:>12} {:>14} {:>14} {:>12} {:>12}",
         "servers/region", "utilization", "carbon saving", "water saving", "stretch", "violations"

@@ -11,7 +11,9 @@ use waterwise::core::{Campaign, CampaignConfig, ObjectiveWeights, SchedulerKind}
 fn main() {
     let days = 0.08;
     let seed = 11;
-    println!("carbon/water savings of WaterWise vs the baseline (rows: λ_CO2, cols: delay tolerance)\n");
+    println!(
+        "carbon/water savings of WaterWise vs the baseline (rows: λ_CO2, cols: delay tolerance)\n"
+    );
     println!(
         "{:>8} {:>16} {:>16} {:>16}",
         "λ_CO2", "tol 25%", "tol 50%", "tol 100%"

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use waterwise::core::{Campaign, CampaignConfig, SchedulerKind};
-use waterwise::sustain::{
-    FootprintEstimator, JobResourceUsage, KilowattHours, Seconds,
-};
+use waterwise::sustain::{FootprintEstimator, JobResourceUsage, KilowattHours, Seconds};
 use waterwise::telemetry::{ConditionsProvider, Region, SyntheticTelemetry, ALL_REGIONS};
 
 proptest! {
