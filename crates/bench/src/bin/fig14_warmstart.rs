@@ -1,0 +1,9 @@
+//! Cold vs warm-started rolling-horizon solve comparison (Fig. 14 of this
+//! reproduction; not a figure of the paper). See the crate docs for scaling.
+
+fn main() {
+    let scale = waterwise_bench::ExperimentScale::from_env();
+    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig14_warmstart(
+        scale,
+    ));
+}

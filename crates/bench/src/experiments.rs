@@ -554,6 +554,86 @@ pub fn fig13_overhead(scale: ExperimentScale) -> Vec<Table> {
 }
 
 // ---------------------------------------------------------------------------
+// Fig. 14 — warm-started rolling-horizon solves (this reproduction's own
+// overhead study; not a figure of the paper)
+// ---------------------------------------------------------------------------
+
+/// Fig. 14: cold versus warm-started rolling-horizon solving on the Fig. 5
+/// workload, across sliding-window (horizon) lengths. Reports simplex pivots
+/// per solve — total and on the steady-state slots (the last three quarters
+/// of the campaign's rounds) — warm-start coverage, decision latency, and
+/// the steady-state pivot speedup of warm over cold.
+pub fn fig14_warmstart(scale: ExperimentScale) -> Vec<Table> {
+    let mut table = Table::new(
+        "Fig. 14 — cold vs warm-started solves (Borg-like trace, 50% tolerance)",
+        &[
+            "horizon",
+            "mode",
+            "rounds",
+            "pivots/solve",
+            "steady pivots/solve",
+            "warm solve %",
+            "mean decision (ms)",
+            "steady pivot speedup",
+        ],
+    );
+    for horizon in [Some(16), Some(32), Some(64), None] {
+        // NaN until the cold run actually reports steady-state pivots, so a
+        // skipped or empty cold row can never yield a bogus speedup.
+        let mut cold_steady_pivots = f64::NAN;
+        for warm in [false, true] {
+            let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
+            config.waterwise.warm_start = warm;
+            config.waterwise.horizon = horizon;
+            let outcome = Campaign::new(config)
+                .run(SchedulerKind::WaterWise)
+                .expect("campaign must run");
+            let samples: Vec<_> = outcome
+                .report
+                .overhead
+                .iter()
+                .filter(|s| s.solver.is_some_and(|a| a.solves > 0))
+                .collect();
+            if samples.is_empty() {
+                continue;
+            }
+            let activity_over = |range: &[&waterwise_cluster::OverheadSample]| {
+                let mut total = waterwise_cluster::SolverActivity::default();
+                for s in range {
+                    if let Some(a) = &s.solver {
+                        total.accumulate(a);
+                    }
+                }
+                total
+            };
+            let total = activity_over(&samples);
+            // Steady state: skip the warm-up quarter of the rounds.
+            let steady = activity_over(&samples[samples.len() / 4..]);
+            let steady_pivots = steady.pivots_per_solve();
+            if !warm {
+                cold_steady_pivots = steady_pivots;
+            }
+            let speedup = if warm && steady_pivots > 0.0 && cold_steady_pivots.is_finite() {
+                format!("{:.2}x", cold_steady_pivots / steady_pivots)
+            } else {
+                "-".to_string()
+            };
+            table.row(&[
+                horizon.map_or("capacity".to_string(), |h| h.to_string()),
+                if warm { "warm" } else { "cold" }.to_string(),
+                samples.len().to_string(),
+                fmt2(total.pivots_per_solve()),
+                fmt2(steady_pivots),
+                format!("{:.0}%", total.warm_solve_fraction() * 100.0),
+                fmt2(outcome.summary.mean_decision_time.value() * 1000.0),
+                speedup,
+            ]);
+        }
+    }
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
 // Table 2 — service time and violations
 // ---------------------------------------------------------------------------
 

@@ -36,6 +36,21 @@ impl Table {
         self.rows.len()
     }
 
+    /// The data rows (used by the golden regression tests to read cells
+    /// back without parsing the rendered output).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// One cell by (row, column), or `""` when out of range.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
     /// `true` if the table has no data rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()

@@ -1,0 +1,102 @@
+//! Golden regression tests for the headline paper figures.
+//!
+//! These pin the carbon/water savings the Fig. 5 and Fig. 8 experiments
+//! report at a fixed scale (0.05 days, seed 42) so that solver or scheduler
+//! refactors cannot silently shift the reproduced results. The campaigns are
+//! fully deterministic for a fixed seed, so the real output matches the
+//! golden values exactly today; the tolerance below only absorbs genuine
+//! float-level reorderings (e.g. a different but equivalent pivot order).
+//!
+//! If a change moves a number past the tolerance on purpose (a modeling
+//! change, a new dataset), re-run the bins with `WATERWISE_DAYS=0.05
+//! WATERWISE_SEED=42` and update the goldens in the same commit, explaining
+//! why in the commit message.
+
+use waterwise_bench::experiments::{fig05_waterwise_google, fig08_weight_sensitivity};
+use waterwise_bench::{ExperimentScale, Table};
+
+/// Tolerance in percentage points on the reported savings.
+const TOLERANCE_PP: f64 = 0.25;
+
+fn golden_scale() -> ExperimentScale {
+    ExperimentScale {
+        days: 0.05,
+        seed: 42,
+    }
+}
+
+fn parse_pct(cell: &str) -> f64 {
+    cell.trim()
+        .trim_end_matches('%')
+        .parse()
+        .unwrap_or_else(|_| panic!("cell `{cell}` is not a percentage"))
+}
+
+/// Assert that `table` row `row` holds the expected label prefix cells and
+/// carbon/water savings (last two columns) within [`TOLERANCE_PP`].
+fn assert_savings_row(table: &Table, row: usize, labels: &[&str], carbon: f64, water: f64) {
+    for (col, expected) in labels.iter().enumerate() {
+        assert_eq!(
+            table.cell(row, col),
+            *expected,
+            "row {row} label column {col}"
+        );
+    }
+    let carbon_cell = parse_pct(table.cell(row, labels.len()));
+    let water_cell = parse_pct(table.cell(row, labels.len() + 1));
+    assert!(
+        (carbon_cell - carbon).abs() <= TOLERANCE_PP,
+        "row {row} ({labels:?}): carbon saving {carbon_cell}% drifted from golden {carbon}%"
+    );
+    assert!(
+        (water_cell - water).abs() <= TOLERANCE_PP,
+        "row {row} ({labels:?}): water saving {water_cell}% drifted from golden {water}%"
+    );
+}
+
+#[test]
+fn fig05_headline_savings_match_goldens() {
+    let tables = fig05_waterwise_google(golden_scale());
+    let table = &tables[0];
+    assert_eq!(table.len(), 12, "4 tolerances x 3 schedulers");
+    // (tolerance, scheduler, carbon saving %, water saving %), captured from
+    // `WATERWISE_DAYS=0.05 WATERWISE_SEED=42 fig05_waterwise_google`.
+    let goldens = [
+        ("25%", "carbon-greedy-opt", 50.9, -16.1),
+        ("25%", "water-greedy-opt", -9.0, 40.4),
+        ("25%", "waterwise", 17.0, 21.7),
+        ("50%", "carbon-greedy-opt", 51.1, -16.1),
+        ("50%", "water-greedy-opt", -9.0, 40.6),
+        ("50%", "waterwise", 17.1, 21.9),
+        ("75%", "carbon-greedy-opt", 51.1, -16.1),
+        ("75%", "water-greedy-opt", -9.0, 40.6),
+        ("75%", "waterwise", 17.1, 21.9),
+        ("100%", "carbon-greedy-opt", 51.1, -16.1),
+        ("100%", "water-greedy-opt", -9.0, 40.6),
+        ("100%", "waterwise", 17.1, 21.9),
+    ];
+    for (row, (tolerance, scheduler, carbon, water)) in goldens.iter().enumerate() {
+        assert_savings_row(table, row, &[tolerance, scheduler], *carbon, *water);
+    }
+}
+
+#[test]
+fn fig08_weight_sensitivity_matches_goldens() {
+    let tables = fig08_weight_sensitivity(golden_scale());
+    let table = &tables[0];
+    assert_eq!(table.len(), 3, "three lambda values");
+    let goldens = [
+        ("0.3", -6.1, 40.1),
+        ("0.5", 17.1, 21.9),
+        ("0.7", 51.1, -16.1),
+    ];
+    for (row, (lambda, carbon, water)) in goldens.iter().enumerate() {
+        assert_savings_row(table, row, &[lambda], *carbon, *water);
+    }
+    // The qualitative Fig. 8 trend must hold regardless of exact values:
+    // higher lambda_co2 -> more carbon saving, less water saving.
+    let carbon: Vec<f64> = (0..3).map(|r| parse_pct(table.cell(r, 1))).collect();
+    let water: Vec<f64> = (0..3).map(|r| parse_pct(table.cell(r, 2))).collect();
+    assert!(carbon[0] < carbon[1] && carbon[1] < carbon[2]);
+    assert!(water[0] > water[1] && water[1] > water[2]);
+}

@@ -235,13 +235,21 @@ impl<P: ConditionsProvider> Simulator<P> {
                             delay_tolerance: tolerance,
                             transfer: &self.config.transfer,
                         };
+                        let solver_before = scheduler.solver_activity();
                         let started = Instant::now();
                         let decision = scheduler.schedule(&ctx);
                         let elapsed = started.elapsed().as_secs_f64();
+                        // Attribute this round's solver work (cold vs warm
+                        // solves, pivots, nodes) to the overhead sample.
+                        let solver = match (solver_before, scheduler.solver_activity()) {
+                            (Some(before), Some(after)) => Some(after.delta_since(&before)),
+                            _ => None,
+                        };
                         overhead.push(OverheadSample {
                             sim_time: Seconds::new(time),
                             wall_clock: Seconds::new(elapsed),
                             batch_size: pending_jobs.len(),
+                            solver,
                         });
                         self.apply_decision(
                             &decision,

@@ -35,7 +35,9 @@ pub mod state;
 pub use config::SimulationConfig;
 pub use engine::{SimulationReport, Simulator};
 pub use error::{ConfigError, SimulationError};
-pub use metrics::{CampaignSummary, JobOutcome};
+pub use metrics::{CampaignSummary, JobOutcome, OverheadSample};
 pub use network::TransferModel;
-pub use scheduler::{Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision};
+pub use scheduler::{
+    Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,
+};
 pub use state::RegionView;

@@ -1,5 +1,6 @@
 //! Per-job outcomes and campaign-level summary metrics.
 
+use crate::scheduler::SolverActivity;
 use serde::{Deserialize, Serialize};
 use waterwise_sustain::{Co2Grams, FootprintBreakdown, Liters, Seconds};
 use waterwise_telemetry::Region;
@@ -74,6 +75,9 @@ pub struct OverheadSample {
     pub wall_clock: Seconds,
     /// Number of pending jobs offered in the round.
     pub batch_size: usize,
+    /// Solver work spent in this round (`None` for schedulers that do not
+    /// run an optimization solver).
+    pub solver: Option<SolverActivity>,
 }
 
 /// Aggregated results of one campaign.
@@ -101,6 +105,10 @@ pub struct CampaignSummary {
     /// Decision time as a fraction of the mean job execution time (Fig. 13's
     /// y-axis).
     pub decision_overhead_fraction: f64,
+    /// Total solver work across the campaign (zeroed for schedulers without
+    /// a solver). Deterministic for a fixed seed, unlike the wall-clock
+    /// fields.
+    pub solver: SolverActivity,
 }
 
 impl CampaignSummary {
@@ -153,6 +161,10 @@ impl CampaignSummary {
         } else {
             mean_decision_time.value() / mean_execution
         };
+        let mut solver = SolverActivity::default();
+        for sample in overhead.iter().filter_map(|s| s.solver.as_ref()) {
+            solver.accumulate(sample);
+        }
         Self {
             total_jobs,
             total_carbon,
@@ -164,6 +176,7 @@ impl CampaignSummary {
             mean_utilization,
             mean_decision_time,
             decision_overhead_fraction,
+            solver,
         }
     }
 
@@ -308,15 +321,34 @@ mod tests {
                 sim_time: Seconds::new(0.0),
                 wall_clock: Seconds::new(0.2),
                 batch_size: 10,
+                solver: Some(SolverActivity {
+                    solves: 2,
+                    warm_solves: 0,
+                    simplex_pivots: 40,
+                    warm_pivots: 0,
+                    nodes: 2,
+                }),
             },
             OverheadSample {
                 sim_time: Seconds::new(60.0),
                 wall_clock: Seconds::new(0.4),
                 batch_size: 20,
+                solver: Some(SolverActivity {
+                    solves: 1,
+                    warm_solves: 1,
+                    simplex_pivots: 10,
+                    warm_pivots: 10,
+                    nodes: 1,
+                }),
             },
         ];
         let s = CampaignSummary::from_outcomes(&outcomes, &overhead, 0.2);
         assert!((s.mean_decision_time.value() - 0.3).abs() < 1e-12);
         assert!((s.decision_overhead_fraction - 0.003).abs() < 1e-12);
+        assert_eq!(s.solver.solves, 3);
+        assert_eq!(s.solver.warm_solves, 1);
+        assert_eq!(s.solver.simplex_pivots, 50);
+        assert!((s.solver.warm_solve_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.solver.pivots_per_solve() - 50.0 / 3.0).abs() < 1e-12);
     }
 }

@@ -102,6 +102,65 @@ impl SchedulingDecision {
     }
 }
 
+/// Cumulative optimization-solver counters a scheduler may expose so the
+/// engine can attribute per-round solver work (Fig. 13/14 overhead
+/// experiments). Schedulers that do not run a solver return `None` from
+/// [`Scheduler::solver_activity`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverActivity {
+    /// Simplex runs performed (across all branch-and-bound nodes).
+    pub solves: usize,
+    /// Simplex runs that were warm-started (crash basis, phase 1 skipped).
+    pub warm_solves: usize,
+    /// Total simplex pivots.
+    pub simplex_pivots: usize,
+    /// Pivots spent in warm-started runs.
+    pub warm_pivots: usize,
+    /// Branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+impl SolverActivity {
+    /// Counters accumulated since `earlier` (both snapshots of the same
+    /// scheduler).
+    pub fn delta_since(&self, earlier: &SolverActivity) -> SolverActivity {
+        SolverActivity {
+            solves: self.solves - earlier.solves,
+            warm_solves: self.warm_solves - earlier.warm_solves,
+            simplex_pivots: self.simplex_pivots - earlier.simplex_pivots,
+            warm_pivots: self.warm_pivots - earlier.warm_pivots,
+            nodes: self.nodes - earlier.nodes,
+        }
+    }
+
+    /// Add another activity sample into this one.
+    pub fn accumulate(&mut self, other: &SolverActivity) {
+        self.solves += other.solves;
+        self.warm_solves += other.warm_solves;
+        self.simplex_pivots += other.simplex_pivots;
+        self.warm_pivots += other.warm_pivots;
+        self.nodes += other.nodes;
+    }
+
+    /// Fraction of simplex runs that were warm-started.
+    pub fn warm_solve_fraction(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.warm_solves as f64 / self.solves as f64
+        }
+    }
+
+    /// Mean pivots per simplex run.
+    pub fn pivots_per_solve(&self) -> f64 {
+        if self.solves == 0 {
+            0.0
+        } else {
+            self.simplex_pivots as f64 / self.solves as f64
+        }
+    }
+}
+
 /// A placement policy. Called once per scheduling round.
 pub trait Scheduler: Send {
     /// Short name used in logs, tables, and experiment output.
@@ -109,6 +168,13 @@ pub trait Scheduler: Send {
 
     /// Decide placements for (a subset of) the pending jobs.
     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision;
+
+    /// Cumulative solver counters, if this scheduler runs an optimization
+    /// solver. The engine snapshots this around every [`Scheduler::schedule`]
+    /// call to attribute per-round solver work in the overhead samples.
+    fn solver_activity(&self) -> Option<SolverActivity> {
+        None
+    }
 }
 
 #[cfg(test)]

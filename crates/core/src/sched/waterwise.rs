@@ -17,11 +17,17 @@
 //!    constraint at a cost `σ` in the objective.
 
 use crate::objective::{candidate_footprints, CandidateFootprint, Normalizer, ObjectiveWeights};
+use std::collections::HashMap;
 use std::sync::Arc;
-use waterwise_cluster::{Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision};
-use waterwise_milp::{BranchBoundConfig, LinExpr, Model, Sense, SimplexConfig, Var};
+use waterwise_cluster::{
+    Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,
+};
+use waterwise_milp::{
+    BranchBoundConfig, LinExpr, Model, Sense, SimplexConfig, SolverWorkspace, Var, WarmStats,
+};
 use waterwise_sustain::FootprintEstimator;
 use waterwise_telemetry::{ConditionsProvider, Region};
+use waterwise_traces::JobId;
 
 /// Configuration of the WaterWise decision controller.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +43,16 @@ pub struct WaterWiseConfig {
     pub simplex: SimplexConfig,
     /// Branch-and-bound configuration forwarded to the solver.
     pub branch_bound: BranchBoundConfig,
+    /// Warm-start each slot's MILP from the carried-forward previous
+    /// assignment plus a greedy completion (rolling-horizon mode). The
+    /// schedule produced is identical to cold solving; only the solver work
+    /// differs (see `SolveStats::warm`).
+    pub warm_start: bool,
+    /// Optional sliding-window cap on how many jobs enter one MILP. `None`
+    /// bounds the window by the remaining cluster capacity only (the paper's
+    /// behavior); `Some(h)` additionally caps it at the `h` most urgent
+    /// jobs, deferring the rest to later slots.
+    pub horizon: Option<usize>,
 }
 
 impl Default for WaterWiseConfig {
@@ -47,6 +63,8 @@ impl Default for WaterWiseConfig {
             soft_penalty: 10.0,
             simplex: SimplexConfig::default(),
             branch_bound: BranchBoundConfig::default(),
+            warm_start: true,
+            horizon: None,
         }
     }
 }
@@ -55,6 +73,18 @@ impl WaterWiseConfig {
     /// Override the carbon weight (`λ_H2O` becomes `1 − λ_CO2`).
     pub fn with_carbon_weight(mut self, lambda_co2: f64) -> Self {
         self.weights = self.weights.with_carbon_weight(lambda_co2);
+        self
+    }
+
+    /// Enable or disable warm-started solves.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Set the sliding-window job cap per solve.
+    pub fn with_horizon(mut self, horizon: Option<usize>) -> Self {
+        self.horizon = horizon;
         self
     }
 }
@@ -73,6 +103,8 @@ pub struct SolveStats {
     pub simplex_iterations: usize,
     /// Total branch-and-bound nodes across all solves.
     pub nodes: usize,
+    /// Cold-vs-warm solver split from the shared [`SolverWorkspace`].
+    pub warm: WarmStats,
 }
 
 /// The WaterWise scheduler.
@@ -81,6 +113,12 @@ pub struct WaterWiseScheduler {
     estimator: FootprintEstimator,
     config: WaterWiseConfig,
     stats: SolveStats,
+    /// Reusable solver allocations + warm-start accounting; persists across
+    /// scheduling rounds because the engine reuses the scheduler instance.
+    workspace: SolverWorkspace,
+    /// Previous slot's chosen region per still-pending job, carried forward
+    /// as the warm-start hint of the next solve.
+    carried: HashMap<JobId, Region>,
 }
 
 impl WaterWiseScheduler {
@@ -99,6 +137,8 @@ impl WaterWiseScheduler {
             estimator,
             config,
             stats: SolveStats::default(),
+            workspace: SolverWorkspace::new(),
+            carried: HashMap::new(),
         }
     }
 
@@ -195,19 +235,40 @@ impl WaterWiseScheduler {
             })
             .collect();
 
-        // Objective (Eq. 8 / Eq. 12).
-        let mut objective = LinExpr::zero();
+        // Objective coefficients (Eq. 8 / Eq. 12) and delay-constraint data,
+        // computed once and shared between the model and the warm-start hint.
+        let mut coeffs: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
+        let mut latency_ratio: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
+        let mut remaining_tolerance: Vec<f64> = Vec::with_capacity(jobs.len());
         for (m, job) in jobs.iter().enumerate() {
-            for (n, _region) in regions.iter().enumerate() {
+            let exec = job.spec.estimated_execution_time.value().max(1.0);
+            let waited = job.waiting_time(ctx.now).value();
+            remaining_tolerance.push((ctx.delay_tolerance - waited / exec).max(0.0));
+            let mut row = Vec::with_capacity(n_regions);
+            let mut lat_row = Vec::with_capacity(n_regions);
+            for (n, region) in regions.iter().enumerate() {
                 let candidate = &candidates[m][n];
                 let mut coefficient = normalizers[m].objective_term(candidate, weights);
                 // History-learner reference term (normalized trailing means).
                 let (carbon_ref, water_ref) = history[n];
                 coefficient += weights.lambda_ref
                     * (weights.lambda_co2 * carbon_ref + weights.lambda_h2o * water_ref);
-                objective.add_term(x[m][n], coefficient);
+                row.push(coefficient);
+                let latency = ctx
+                    .transfer
+                    .transfer_time(job.spec.home_region, *region, job.spec.package_bytes)
+                    .value();
+                lat_row.push(latency / exec);
             }
-            let _ = job;
+            coeffs.push(row);
+            latency_ratio.push(lat_row);
+        }
+
+        let mut objective = LinExpr::zero();
+        for (m, _) in jobs.iter().enumerate() {
+            for n in 0..n_regions {
+                objective.add_term(x[m][n], coeffs[m][n]);
+            }
         }
         if soften {
             for p in penalties.iter().flatten() {
@@ -234,16 +295,9 @@ impl WaterWiseScheduler {
         // Eq. 11 / Eq. 13: delay tolerance on the transfer-latency ratio,
         // tightened by the time the job has already spent waiting.
         for (m, job) in jobs.iter().enumerate() {
-            let exec = job.spec.estimated_execution_time.value().max(1.0);
-            let waited = job.waiting_time(ctx.now).value();
-            let remaining_tolerance = (ctx.delay_tolerance - waited / exec).max(0.0);
             let mut expr = LinExpr::zero();
-            for (n, region) in regions.iter().enumerate() {
-                let latency = ctx
-                    .transfer
-                    .transfer_time(job.spec.home_region, *region, job.spec.package_bytes)
-                    .value();
-                expr.add_term(x[m][n], latency / exec);
+            for n in 0..n_regions {
+                expr.add_term(x[m][n], latency_ratio[m][n]);
             }
             if let Some(p) = penalties[m] {
                 expr.add_term(p, -1.0);
@@ -252,15 +306,36 @@ impl WaterWiseScheduler {
                 format!("delay_{}", job.spec.id.0),
                 expr,
                 Sense::LessEqual,
-                remaining_tolerance,
+                remaining_tolerance[m],
             );
         }
 
+        let hint = if self.config.warm_start {
+            self.build_hint(
+                jobs,
+                ctx,
+                &model,
+                &x,
+                &penalties,
+                &coeffs,
+                &latency_ratio,
+                &remaining_tolerance,
+                soften,
+            )
+        } else {
+            None
+        };
         let solution = model
-            .solve_with(&self.config.simplex, &self.config.branch_bound)
+            .solve_warm(
+                &self.config.simplex,
+                &self.config.branch_bound,
+                hint.as_deref(),
+                &mut self.workspace,
+            )
             .ok()?;
         self.stats.simplex_iterations += solution.simplex_iterations;
         self.stats.nodes += solution.nodes_explored;
+        self.stats.warm = self.workspace.stats();
         if !solution.status.has_solution() {
             return None;
         }
@@ -274,6 +349,11 @@ impl WaterWiseScheduler {
                 }
             }
             if let Some(region) = chosen {
+                // Carried forward as the next slot's warm-start hint should
+                // the job remain pending (e.g. the engine rejects the
+                // placement); pruned at the end of `schedule` once the job
+                // leaves the pending pool.
+                self.carried.insert(job.spec.id, region);
                 assignments.push(Assignment {
                     job: job.spec.id,
                     region,
@@ -281,6 +361,57 @@ impl WaterWiseScheduler {
             }
         }
         Some(assignments)
+    }
+
+    /// Build the warm-start hint for the current model: the previous slot's
+    /// region choice where one is carried and still feasible, completed
+    /// greedily (cheapest feasible region per job under remaining capacity).
+    /// Returns `None` when no complete feasible candidate exists — the solve
+    /// then starts cold, exactly as without warm starting.
+    #[allow(clippy::too_many_arguments)]
+    fn build_hint(
+        &self,
+        jobs: &[&PendingJob],
+        ctx: &SchedulingContext<'_>,
+        model: &Model,
+        x: &[Vec<Var>],
+        penalties: &[Option<Var>],
+        coeffs: &[Vec<f64>],
+        latency_ratio: &[Vec<f64>],
+        remaining_tolerance: &[f64],
+        soften: bool,
+    ) -> Option<Vec<f64>> {
+        let n_regions = x.first()?.len();
+        let mut capacity_left: Vec<usize> =
+            ctx.regions.iter().map(|v| v.remaining_capacity()).collect();
+        let mut hint = vec![0.0; model.num_vars()];
+        for (m, job) in jobs.iter().enumerate() {
+            let feasible = |n: usize, capacity_left: &[usize]| {
+                capacity_left[n] > 0
+                    && (soften || latency_ratio[m][n] <= remaining_tolerance[m] + 1e-12)
+            };
+            let carried = self
+                .carried
+                .get(&job.spec.id)
+                .and_then(|region| ctx.regions.iter().position(|v| v.region == *region))
+                .filter(|&n| feasible(n, &capacity_left));
+            let chosen = carried.or_else(|| {
+                (0..n_regions)
+                    .filter(|&n| feasible(n, &capacity_left))
+                    .min_by(|&a, &b| {
+                        coeffs[m][a]
+                            .partial_cmp(&coeffs[m][b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    })
+            })?;
+            capacity_left[chosen] -= 1;
+            hint[x[m][chosen].index()] = 1.0;
+            if let Some(p) = penalties[m] {
+                hint[p.index()] = (latency_ratio[m][chosen] - remaining_tolerance[m]).max(0.0);
+            }
+        }
+        Some(hint)
     }
 
     /// Normalized trailing-window footprints per region, the `CO2_ref` /
@@ -334,9 +465,15 @@ impl Scheduler for WaterWiseScheduler {
         }
         self.stats.rounds += 1;
 
-        // Algorithm 1, lines 5–7: slack management when over capacity.
+        // Algorithm 1, lines 5–7: slack management when over capacity. The
+        // rolling-horizon window additionally caps the batch at the most
+        // urgent `horizon` jobs; the rest stay pending for later slots.
+        let window = self
+            .config
+            .horizon
+            .map_or(total_capacity, |h| h.max(1).min(total_capacity));
         let all_jobs: Vec<&PendingJob> = ctx.pending.iter().collect();
-        let selected = self.slack_select(&all_jobs, ctx, &regions, total_capacity);
+        let selected = self.slack_select(&all_jobs, ctx, &regions, window);
 
         // Candidate footprints and per-job normalizers (Eq. 7).
         let candidates: Vec<Vec<CandidateFootprint>> = selected
@@ -384,7 +521,26 @@ impl Scheduler for WaterWiseScheduler {
                 .unwrap_or_default()
             }
         };
+        // Prune carried-forward choices for jobs that already left the
+        // pending pool. Entries for jobs assigned *this* round survive one
+        // more round on purpose: if the engine rejects a placement the job
+        // stays pending and its carried region seeds the next hint;
+        // otherwise the job disappears from `pending` and the entry is
+        // dropped here next round.
+        self.carried
+            .retain(|id, _| ctx.pending.iter().any(|p| p.spec.id == *id));
         SchedulingDecision { assignments }
+    }
+
+    fn solver_activity(&self) -> Option<SolverActivity> {
+        let warm = self.workspace.stats();
+        Some(SolverActivity {
+            solves: warm.cold_solves + warm.warm_solves,
+            warm_solves: warm.warm_solves,
+            simplex_pivots: warm.cold_pivots + warm.warm_pivots,
+            warm_pivots: warm.warm_pivots,
+            nodes: self.stats.nodes,
+        })
     }
 }
 
@@ -537,6 +693,77 @@ mod tests {
             counts
         };
         assert_ne!(dist(&a), dist(&b), "weights should change the distribution");
+    }
+
+    #[test]
+    fn warm_start_produces_identical_decisions_to_cold() {
+        // Several rounds over the same fixture with evolving time: warm and
+        // cold schedulers must agree on every single placement.
+        let mut fixture = context_fixture(18, 21);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(6.0);
+        }
+        let provider: Arc<dyn ConditionsProvider> = Arc::new(SyntheticTelemetry::with_seed(3));
+        let mut warm = WaterWiseScheduler::new(
+            provider.clone(),
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default().with_warm_start(true),
+        );
+        let mut cold = WaterWiseScheduler::new(
+            provider,
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default().with_warm_start(false),
+        );
+        for hour in [6.0, 6.5, 7.0, 9.0] {
+            let ctx = ctx_from(&fixture, hour, 0.5);
+            let a = warm.schedule(&ctx);
+            let b = cold.schedule(&ctx);
+            assert_eq!(a, b, "warm and cold schedules diverged at hour {hour}");
+        }
+        let warm_stats = warm.stats().warm;
+        let cold_stats = cold.stats().warm;
+        assert!(warm_stats.warm_solves > 0, "warm path never engaged");
+        assert_eq!(cold_stats.warm_solves, 0);
+        assert!(
+            warm_stats.warm_pivots * 2 <= cold_stats.cold_pivots + cold_stats.warm_pivots,
+            "warm pivots {} should be at most half of cold pivots {}",
+            warm_stats.warm_pivots,
+            cold_stats.cold_pivots
+        );
+    }
+
+    #[test]
+    fn horizon_caps_the_solve_window_and_defers_the_rest() {
+        let mut fixture = context_fixture(20, 23);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(6.0);
+        }
+        let ctx = ctx_from(&fixture, 6.0, 1.0);
+        let mut sched = WaterWiseScheduler::new(
+            Arc::new(SyntheticTelemetry::with_seed(3)),
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default().with_horizon(Some(5)),
+        );
+        let decision = sched.schedule(&ctx);
+        assert_eq!(decision.assignments.len(), 5, "window must cap the batch");
+        assert_eq!(sched.stats().slack_truncations, 1);
+    }
+
+    #[test]
+    fn solver_activity_reports_cumulative_work() {
+        let fixture = context_fixture(10, 25);
+        let ctx = ctx_from(&fixture, 6.0, 0.5);
+        let mut sched = scheduler();
+        assert_eq!(sched.solver_activity().unwrap(), SolverActivity::default());
+        sched.schedule(&ctx);
+        let activity = sched.solver_activity().unwrap();
+        assert!(activity.solves > 0);
+        assert!(activity.simplex_pivots > 0);
+        assert_eq!(
+            activity.simplex_pivots,
+            sched.stats().simplex_iterations,
+            "workspace pivots and solution iterations must agree"
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   variables, with incumbent pruning and a configurable gap/iteration
 //!   budget.
 //! * [`solution`] — solve status and per-variable value extraction.
+//! * [`workspace`] — reusable allocations and cold/warm solve accounting for
+//!   rolling-horizon (repeated) solves; see [`Model::solve_warm`].
 //!
 //! The scheduling MILPs WaterWise builds (binary assignment variables with
 //! per-job equality constraints and per-region capacity constraints) have LP
@@ -45,6 +47,7 @@ pub mod expr;
 pub mod model;
 pub mod simplex;
 pub mod solution;
+pub mod workspace;
 
 pub use branch_bound::BranchBoundConfig;
 pub use error::MilpError;
@@ -52,3 +55,4 @@ pub use expr::{LinExpr, Var};
 pub use model::{Constraint, Model, Sense, VarKind};
 pub use simplex::{SimplexConfig, SimplexOutcome};
 pub use solution::{Solution, SolveStatus};
+pub use workspace::{SolverWorkspace, WarmStats};

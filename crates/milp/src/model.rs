@@ -6,6 +6,7 @@ use crate::error::MilpError;
 use crate::expr::{LinExpr, Var};
 use crate::simplex::{self, SimplexConfig, SimplexOutcome};
 use crate::solution::{Solution, SolveStatus};
+use crate::workspace::SolverWorkspace;
 use serde::{Deserialize, Serialize};
 
 /// The kind of a decision variable.
@@ -280,16 +281,41 @@ impl Model {
         if self.has_integer_vars() {
             branch_bound::solve(self, simplex_config, bb_config)
         } else {
-            self.solve_lp_relaxation(simplex_config, None)
+            self.solve_lp_relaxation(simplex_config, None, None, None)
+        }
+    }
+
+    /// Solve with a warm start: `hint` is a prior solution for a similar
+    /// model (seeds the branch-and-bound incumbent and the simplex crash
+    /// basis when feasible; ignored otherwise), and `workspace` carries
+    /// reusable allocations plus cold/warm statistics across solves.
+    ///
+    /// The returned solution is the same optimum [`Model::solve_with`]
+    /// finds — warm starting changes only the amount of work spent.
+    pub fn solve_warm(
+        &self,
+        simplex_config: &SimplexConfig,
+        bb_config: &BranchBoundConfig,
+        hint: Option<&[f64]>,
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Solution, MilpError> {
+        self.validate()?;
+        if self.has_integer_vars() {
+            branch_bound::solve_warm(self, simplex_config, bb_config, hint, Some(workspace))
+        } else {
+            self.solve_lp_relaxation(simplex_config, None, hint, Some(workspace))
         }
     }
 
     /// Solve the LP relaxation (integrality dropped), optionally with
-    /// per-variable bound overrides — used by branch & bound.
+    /// per-variable bound overrides, a warm-start hint, and a reusable
+    /// workspace — used by branch & bound.
     pub(crate) fn solve_lp_relaxation(
         &self,
         config: &SimplexConfig,
         bound_overrides: Option<&[(f64, f64)]>,
+        hint: Option<&[f64]>,
+        workspace: Option<&mut SolverWorkspace>,
     ) -> Result<Solution, MilpError> {
         let (direction, objective) = self.objective.as_ref().ok_or(MilpError::MissingObjective)?;
         let sign = match direction {
@@ -333,7 +359,7 @@ impl Model {
                 })
                 .collect(),
         };
-        let outcome = simplex::solve(&problem, config);
+        let outcome = simplex::solve_with_hint(&problem, config, hint, workspace);
         let solution = match outcome {
             SimplexOutcome::Optimal {
                 values, iterations, ..

@@ -15,8 +15,21 @@
 //! Entering-variable selection uses Dantzig's rule with an automatic switch
 //! to Bland's rule after a stall, which guarantees termination on degenerate
 //! problems.
+//!
+//! # Warm starts
+//!
+//! [`solve_with_hint`] accepts a prior primal point (e.g. the previous
+//! scheduling slot's solution). The solver uses it to build a *crash basis*:
+//! guided pivots bring the hint's support columns into the basis under the
+//! standard ratio test (so primal feasibility of the extended problem is
+//! preserved), preferring to evict artificial variables on ties. When the
+//! crash drives every artificial to zero, phase 1 is skipped entirely and
+//! phase 2 starts at (or next to) the hinted vertex; otherwise the solver
+//! falls back to a normal phase 1 from the crashed basis. The result is
+//! always the same optimum a cold solve finds — only the pivot path differs.
 
 use crate::model::Sense;
+use crate::workspace::SolverWorkspace;
 use serde::{Deserialize, Serialize};
 
 /// A constraint in "model form" for the LP solver.
@@ -162,9 +175,21 @@ impl Tableau {
     }
 }
 
-/// Solve a linear program with the two-phase primal simplex.
+/// Solve a linear program with the two-phase primal simplex (cold start).
 pub fn solve(problem: &LpProblem, config: &SimplexConfig) -> SimplexOutcome {
-    Solver::new(problem, config).run()
+    solve_with_hint(problem, config, None, None)
+}
+
+/// Solve a linear program, optionally warm-started from a prior primal point
+/// (`hint`, in original-variable space) and reusing allocations from a
+/// [`SolverWorkspace`]. Cold/warm pivot counts are recorded on the workspace.
+pub fn solve_with_hint(
+    problem: &LpProblem,
+    config: &SimplexConfig,
+    hint: Option<&[f64]>,
+    workspace: Option<&mut SolverWorkspace>,
+) -> SimplexOutcome {
+    Solver::new(problem, config, hint, workspace).run()
 }
 
 struct Solver<'a> {
@@ -175,13 +200,25 @@ struct Solver<'a> {
     /// Costs on solver columns (for phase 2), plus the constant offset from
     /// bound shifts.
     solver_costs: Vec<f64>,
+    structural_cols: usize,
     num_artificials: usize,
     iterations: usize,
     max_iterations: usize,
+    hint: Option<&'a [f64]>,
+    workspace: Option<&'a mut SolverWorkspace>,
+    /// Whether the crash basis eliminated every artificial (phase 1 skipped).
+    warm_applied: bool,
+    /// Whether a hint was offered but the crash failed to clear phase 1.
+    hint_rejected: bool,
 }
 
 impl<'a> Solver<'a> {
-    fn new(problem: &'a LpProblem, config: &SimplexConfig) -> Self {
+    fn new(
+        problem: &'a LpProblem,
+        config: &SimplexConfig,
+        hint: Option<&'a [f64]>,
+        workspace: Option<&'a mut SolverWorkspace>,
+    ) -> Self {
         // --- 1. Map original variables to non-negative solver variables. ---
         let mut var_map = Vec::with_capacity(problem.num_vars);
         let mut next_col = 0usize;
@@ -283,9 +320,15 @@ impl<'a> Solver<'a> {
         let non_artificial_cols = structural_cols + num_slack;
         let total_cols = non_artificial_cols + num_artificial;
 
-        // --- 4. Build the tableau. ---
+        // --- 4. Build the tableau (rows pooled via the workspace). ---
+        let mut workspace = workspace;
         let m = rows.len();
-        let mut a = vec![vec![0.0; total_cols + 1]; m];
+        let mut a: Vec<Vec<f64>> = (0..m)
+            .map(|_| match workspace.as_deref_mut() {
+                Some(ws) => ws.take_row(total_cols + 1),
+                None => vec![0.0; total_cols + 1],
+            })
+            .collect();
         let mut basis = vec![0usize; m];
         let mut slack_cursor = structural_cols;
         let mut artificial_cursor = non_artificial_cols;
@@ -347,17 +390,50 @@ impl<'a> Solver<'a> {
                 cols: total_cols,
             },
             solver_costs,
+            structural_cols,
             num_artificials: num_artificial,
             iterations: 0,
             max_iterations,
+            hint,
+            workspace,
+            warm_applied: false,
+            hint_rejected: false,
         }
     }
 
     fn run(mut self) -> SimplexOutcome {
+        let outcome = self.run_phases();
+        if let Some(ws) = self.workspace.take() {
+            ws.record_solve(self.warm_applied, self.iterations);
+            if self.hint_rejected {
+                ws.record_rejected_hint();
+            }
+            ws.recycle_rows(self.tableau.a.drain(..));
+        }
+        outcome
+    }
+
+    fn run_phases(&mut self) -> SimplexOutcome {
         let tol = self.config.tolerance;
 
-        // ---- Phase 1: minimize the sum of artificial variables. ----
+        // ---- Phase 0: crash a basis from the warm-start hint, if any. ----
+        // Only worth doing when artificial variables exist: the payoff of
+        // the crash is skipping phase 1. Without artificials the all-slack
+        // basis is already feasible and the cold path is optimal work.
+        let mut skip_phase1 = false;
         if self.num_artificials > 0 {
+            if let Some(hint) = self.hint {
+                if self.warm_crash(hint) {
+                    self.warm_applied = true;
+                    skip_phase1 = true;
+                } else {
+                    self.hint_rejected = true;
+                }
+            }
+        }
+
+        // ---- Phase 1: minimize the sum of artificial variables. ----
+        if self.num_artificials > 0 && !skip_phase1 {
             let cols = self.tableau.cols;
             let mut phase1_costs = vec![0.0; cols];
             for c in self.tableau.non_artificial_cols..cols {
@@ -419,6 +495,96 @@ impl<'a> Solver<'a> {
             objective,
             values,
             iterations: self.iterations,
+        }
+    }
+
+    /// Build a crash basis from a prior primal point: bring the hint's
+    /// support columns into the basis with ratio-test pivots (feasibility of
+    /// the extended problem is preserved throughout), preferring to evict
+    /// artificial variables on ties. Returns `true` when every artificial
+    /// ended at zero, i.e. phase 1 can be skipped.
+    fn warm_crash(&mut self, hint: &[f64]) -> bool {
+        let tol = self.config.tolerance;
+        // Map the hint into non-negative solver-variable space.
+        let mut y = vec![0.0; self.tableau.cols];
+        for (i, map) in self.var_map.iter().enumerate() {
+            let x = hint.get(i).copied().unwrap_or(0.0);
+            match *map {
+                VarMap::Shifted { col, lower } => y[col] = (x - lower).max(0.0),
+                VarMap::Mirrored { col, upper } => y[col] = (upper - x).max(0.0),
+                VarMap::Split { pos, neg } => {
+                    y[pos] = x.max(0.0);
+                    y[neg] = (-x).max(0.0);
+                }
+            }
+        }
+        let mut support: Vec<usize> = (0..self.structural_cols).filter(|&c| y[c] > tol).collect();
+        // Largest hint values first: they are the most likely basic columns.
+        support.sort_by(|&a, &b| {
+            y[b].partial_cmp(&y[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let mut in_basis = vec![false; self.tableau.cols];
+        for &b in &self.tableau.basis {
+            in_basis[b] = true;
+        }
+        let mut dummy_obj = vec![0.0; self.tableau.cols + 1];
+        let mut dummy_val = 0.0;
+        for col in support {
+            if in_basis[col] || self.iterations >= self.max_iterations {
+                continue;
+            }
+            // Standard ratio test; ties prefer evicting an artificial, then
+            // the smallest basis column index (Bland) for determinism.
+            let mut leaving: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut leaving_artificial = false;
+            for r in 0..self.tableau.rows() {
+                let a_rc = self.tableau.a[r][col];
+                if a_rc <= tol {
+                    continue;
+                }
+                let ratio = self.tableau.rhs(r) / a_rc;
+                let is_artificial = self.tableau.basis[r] >= self.tableau.non_artificial_cols;
+                let better = match leaving {
+                    None => true,
+                    Some(l) => {
+                        if ratio < best_ratio - tol {
+                            true
+                        } else if ratio < best_ratio + tol {
+                            (is_artificial && !leaving_artificial)
+                                || (is_artificial == leaving_artificial
+                                    && self.tableau.basis[r] < self.tableau.basis[l])
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if better {
+                    best_ratio = ratio;
+                    leaving = Some(r);
+                    leaving_artificial = is_artificial;
+                }
+            }
+            if let Some(row) = leaving {
+                in_basis[self.tableau.basis[row]] = false;
+                self.tableau.pivot(row, col, &mut dummy_obj, &mut dummy_val);
+                in_basis[col] = true;
+                self.iterations += 1;
+            }
+        }
+        // Only called when artificials exist (see `run_phases`).
+        debug_assert!(self.num_artificials > 0);
+        let artificial_sum: f64 = (0..self.tableau.rows())
+            .filter(|&r| self.tableau.basis[r] >= self.tableau.non_artificial_cols)
+            .map(|r| self.tableau.rhs(r))
+            .sum();
+        if artificial_sum <= 1e-6 {
+            self.evict_basic_artificials(tol);
+            true
+        } else {
+            false
         }
     }
 
@@ -730,6 +896,105 @@ mod tests {
             SimplexOutcome::Optimal { objective, .. } => assert!((objective + 1.0).abs() < 1e-6),
             other => panic!("expected optimal, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn warm_hint_reaches_the_same_optimum_with_fewer_pivots() {
+        // The Eq.9-shaped structure: equalities force artificials, so a cold
+        // solve pays a full phase 1 that the warm crash skips.
+        let n = 6usize;
+        let p = LpProblem {
+            num_vars: 2 * n,
+            costs: (0..2 * n).map(|i| 1.0 + ((i * 7) % 5) as f64).collect(),
+            lower: vec![0.0; 2 * n],
+            upper: vec![1.0; 2 * n],
+            constraints: (0..n)
+                .map(|j| constraint(&[(2 * j, 1.0), (2 * j + 1, 1.0)], Sense::Equal, 1.0))
+                .collect(),
+        };
+        let config = SimplexConfig::default();
+        let SimplexOutcome::Optimal {
+            objective: cold_obj,
+            values: cold_values,
+            iterations: cold_iters,
+        } = solve(&p, &config)
+        else {
+            panic!("cold solve must be optimal")
+        };
+        let mut ws = SolverWorkspace::new();
+        let SimplexOutcome::Optimal {
+            objective: warm_obj,
+            values: warm_values,
+            iterations: warm_iters,
+        } = solve_with_hint(&p, &config, Some(&cold_values), Some(&mut ws))
+        else {
+            panic!("warm solve must be optimal")
+        };
+        assert!((warm_obj - cold_obj).abs() < 1e-9);
+        for (c, w) in cold_values.iter().zip(&warm_values) {
+            assert!((c - w).abs() < 1e-9);
+        }
+        assert!(
+            warm_iters < cold_iters,
+            "warm {warm_iters} pivots should beat cold {cold_iters}"
+        );
+        let stats = ws.stats();
+        assert_eq!(stats.warm_solves, 1);
+        assert_eq!(stats.cold_solves, 0);
+        assert_eq!(stats.warm_pivots, warm_iters);
+    }
+
+    #[test]
+    fn infeasible_hint_support_falls_back_to_cold_phase_one() {
+        // Hint pointing at an infeasible corner: crash pivots cannot satisfy
+        // the >= row, so phase 1 must still run and the hint is rejected —
+        // but the answer is unchanged.
+        let p = LpProblem {
+            num_vars: 2,
+            costs: vec![2.0, 3.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            constraints: vec![
+                constraint(&[(0, 1.0), (1, 1.0)], Sense::Equal, 10.0),
+                constraint(&[(0, 1.0)], Sense::GreaterEqual, 3.0),
+            ],
+        };
+        let mut ws = SolverWorkspace::new();
+        let bogus_hint = [0.0, 0.0];
+        match solve_with_hint(
+            &p,
+            &SimplexConfig::default(),
+            Some(&bogus_hint),
+            Some(&mut ws),
+        ) {
+            SimplexOutcome::Optimal { objective, .. } => {
+                assert!((objective - 20.0).abs() < 1e-6)
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+        assert_eq!(ws.stats().rejected_hints, 1);
+        assert_eq!(ws.stats().cold_solves, 1);
+    }
+
+    #[test]
+    fn workspace_rows_are_reused_across_solves() {
+        let p = LpProblem {
+            num_vars: 2,
+            costs: vec![-3.0, -5.0],
+            lower: vec![0.0, 0.0],
+            upper: vec![f64::INFINITY, f64::INFINITY],
+            constraints: vec![
+                constraint(&[(0, 1.0)], Sense::LessEqual, 4.0),
+                constraint(&[(1, 2.0)], Sense::LessEqual, 12.0),
+                constraint(&[(0, 3.0), (1, 2.0)], Sense::LessEqual, 18.0),
+            ],
+        };
+        let mut ws = SolverWorkspace::new();
+        let first = solve_with_hint(&p, &SimplexConfig::default(), None, Some(&mut ws));
+        assert_eq!(ws.pooled_rows(), 3, "three tableau rows must be recycled");
+        let second = solve_with_hint(&p, &SimplexConfig::default(), None, Some(&mut ws));
+        assert_eq!(first, second, "workspace reuse must not change results");
+        assert_eq!(ws.stats().cold_solves, 2);
     }
 
     #[test]

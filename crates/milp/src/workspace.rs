@@ -1,0 +1,168 @@
+//! Reusable solver state for rolling-horizon (repeated) solves.
+//!
+//! A [`SolverWorkspace`] serves two purposes:
+//!
+//! * **Allocation reuse** — the dense simplex tableau is the dominant
+//!   allocation of a solve; the workspace pools the row vectors so a
+//!   scheduler re-solving every slot does not pay a fresh `m × n` allocation
+//!   per round.
+//! * **Warm-start accounting** — every simplex run that goes through a
+//!   workspace records whether it was warm-started (crash basis built from a
+//!   prior solution, phase 1 skipped) or cold (two-phase from the all-slack
+//!   basis), and how many pivots it spent. The cold-vs-warm split is what the
+//!   Fig. 14 overhead experiment and the scheduler's `SolveStats` report.
+
+use serde::{Deserialize, Serialize};
+
+/// Cold-vs-warm solve counters accumulated by a [`SolverWorkspace`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarmStats {
+    /// Simplex runs performed without a usable warm-start hint.
+    pub cold_solves: usize,
+    /// Simplex runs that built a crash basis from a prior solution and
+    /// skipped phase 1 entirely.
+    pub warm_solves: usize,
+    /// Pivots spent in cold runs (both phases). Runs whose hint was
+    /// rejected count here too, *including* their wasted crash pivots —
+    /// this bucket measures what non-warm solves actually cost, not what an
+    /// ideal hint-free solver would have cost.
+    pub cold_pivots: usize,
+    /// Pivots spent in warm runs (crash pivots + phase 2).
+    pub warm_pivots: usize,
+    /// Hints that were offered but rejected (crash basis could not eliminate
+    /// the artificial variables, so the run fell back to a cold phase 1).
+    pub rejected_hints: usize,
+}
+
+impl WarmStats {
+    /// Counters accumulated since `earlier` (both taken from the same
+    /// workspace).
+    pub fn delta_since(&self, earlier: &WarmStats) -> WarmStats {
+        WarmStats {
+            cold_solves: self.cold_solves - earlier.cold_solves,
+            warm_solves: self.warm_solves - earlier.warm_solves,
+            cold_pivots: self.cold_pivots - earlier.cold_pivots,
+            warm_pivots: self.warm_pivots - earlier.warm_pivots,
+            rejected_hints: self.rejected_hints - earlier.rejected_hints,
+        }
+    }
+
+    /// Mean pivots per cold solve (0 when no cold solve happened).
+    pub fn mean_cold_pivots(&self) -> f64 {
+        if self.cold_solves == 0 {
+            0.0
+        } else {
+            self.cold_pivots as f64 / self.cold_solves as f64
+        }
+    }
+
+    /// Mean pivots per warm solve (0 when no warm solve happened).
+    pub fn mean_warm_pivots(&self) -> f64 {
+        if self.warm_solves == 0 {
+            0.0
+        } else {
+            self.warm_pivots as f64 / self.warm_solves as f64
+        }
+    }
+}
+
+/// Reusable allocations plus warm-start statistics shared across solves.
+///
+/// Create one per scheduler (or per thread) and pass it to
+/// [`crate::Model::solve_warm`]; the workspace is deliberately not `Sync` —
+/// concurrent campaigns each carry their own.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    /// Pool of tableau rows returned by finished solves.
+    row_pool: Vec<Vec<f64>>,
+    stats: WarmStats,
+}
+
+impl SolverWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulated cold/warm statistics.
+    pub fn stats(&self) -> WarmStats {
+        self.stats
+    }
+
+    /// Take a row buffer of exactly `width` zeros from the pool (or allocate
+    /// a fresh one).
+    pub(crate) fn take_row(&mut self, width: usize) -> Vec<f64> {
+        match self.row_pool.pop() {
+            Some(mut row) => {
+                row.clear();
+                row.resize(width, 0.0);
+                row
+            }
+            None => vec![0.0; width],
+        }
+    }
+
+    /// Return row buffers to the pool for the next solve.
+    pub(crate) fn recycle_rows(&mut self, rows: impl IntoIterator<Item = Vec<f64>>) {
+        // Cap the pool so a one-off giant solve doesn't pin memory forever.
+        const MAX_POOLED_ROWS: usize = 4096;
+        for row in rows {
+            if self.row_pool.len() >= MAX_POOLED_ROWS {
+                break;
+            }
+            self.row_pool.push(row);
+        }
+    }
+
+    /// Number of pooled row buffers (exposed for tests).
+    pub fn pooled_rows(&self) -> usize {
+        self.row_pool.len()
+    }
+
+    pub(crate) fn record_solve(&mut self, warm: bool, pivots: usize) {
+        if warm {
+            self.stats.warm_solves += 1;
+            self.stats.warm_pivots += pivots;
+        } else {
+            self.stats.cold_solves += 1;
+            self.stats.cold_pivots += pivots;
+        }
+    }
+
+    pub(crate) fn record_rejected_hint(&mut self) {
+        self.stats.rejected_hints += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_recycled_and_zeroed() {
+        let mut ws = SolverWorkspace::new();
+        let mut row = ws.take_row(4);
+        row[2] = 7.0;
+        ws.recycle_rows([row]);
+        assert_eq!(ws.pooled_rows(), 1);
+        let row = ws.take_row(6);
+        assert_eq!(row, vec![0.0; 6]);
+        assert_eq!(ws.pooled_rows(), 0);
+    }
+
+    #[test]
+    fn stats_deltas_subtract_fieldwise() {
+        let mut ws = SolverWorkspace::new();
+        ws.record_solve(false, 10);
+        let before = ws.stats();
+        ws.record_solve(true, 3);
+        ws.record_rejected_hint();
+        let delta = ws.stats().delta_since(&before);
+        assert_eq!(delta.warm_solves, 1);
+        assert_eq!(delta.warm_pivots, 3);
+        assert_eq!(delta.cold_solves, 0);
+        assert_eq!(delta.rejected_hints, 1);
+        assert!(ws.stats().mean_cold_pivots() > 9.9);
+        assert!(ws.stats().mean_warm_pivots() < 3.1);
+    }
+}

@@ -260,6 +260,115 @@ fn parallel_run_all_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn warm_started_rolling_horizon_matches_cold_solves_exactly() {
+    // The tentpole invariant: warm starting (carried-forward assignments +
+    // crash bases + incumbent seeding) is a pure performance optimization.
+    // Schedules must be byte-identical and the accounted footprints equal to
+    // within 1e-9, while the solver does measurably less pivot work.
+    let mut cold_config = CampaignConfig::small_demo(42);
+    cold_config.waterwise.warm_start = false;
+    let mut warm_config = CampaignConfig::small_demo(42);
+    warm_config.waterwise.warm_start = true;
+    let cold = Campaign::new(cold_config)
+        .run(SchedulerKind::WaterWise)
+        .unwrap();
+    let warm = Campaign::new(warm_config)
+        .run(SchedulerKind::WaterWise)
+        .unwrap();
+
+    assert_eq!(
+        cold.report.outcomes, warm.report.outcomes,
+        "warm-started schedules must be byte-identical to cold solves"
+    );
+    assert!((cold.summary.total_carbon.value() - warm.summary.total_carbon.value()).abs() < 1e-9);
+    assert!((cold.summary.total_water.value() - warm.summary.total_water.value()).abs() < 1e-9);
+
+    // The performance side of the contract: the warm path engages on nearly
+    // every solve and at least halves the pivots per solve.
+    let warm_solver = warm.summary.solver;
+    let cold_solver = cold.summary.solver;
+    assert_eq!(cold_solver.warm_solves, 0);
+    assert!(
+        warm_solver.warm_solve_fraction() > 0.9,
+        "warm start engaged on only {:.0}% of solves",
+        warm_solver.warm_solve_fraction() * 100.0
+    );
+    assert!(
+        warm_solver.pivots_per_solve() * 2.0 <= cold_solver.pivots_per_solve(),
+        "expected >=2x pivot cut: warm {:.1} vs cold {:.1} pivots/solve",
+        warm_solver.pivots_per_solve(),
+        cold_solver.pivots_per_solve()
+    );
+}
+
+#[test]
+fn warm_start_equivalence_holds_under_parallel_campaigns() {
+    // The same invariant through the parallel sweep machinery: a serial
+    // cold run, a parallel cold run, and a parallel warm run of the same
+    // matrix must agree on every outcome.
+    let make_configs = |warm: bool, parallelism: Parallelism| -> Vec<CampaignConfig> {
+        [3u64, 9u64]
+            .iter()
+            .map(|&seed| {
+                let mut config = CampaignConfig::small_demo(seed).with_parallelism(parallelism);
+                config.waterwise.warm_start = warm;
+                config
+            })
+            .collect()
+    };
+    let kinds = [SchedulerKind::WaterWise];
+    let serial_cold = Campaign::run_matrix(
+        &make_configs(false, Parallelism::Serial),
+        &kinds,
+        Parallelism::Serial,
+    )
+    .unwrap();
+    let parallel_cold = Campaign::run_matrix(
+        &make_configs(false, Parallelism::Auto),
+        &kinds,
+        Parallelism::Auto,
+    )
+    .unwrap();
+    let parallel_warm = Campaign::run_matrix(
+        &make_configs(true, Parallelism::Auto),
+        &kinds,
+        Parallelism::Auto,
+    )
+    .unwrap();
+    for ((sc, pc), pw) in serial_cold
+        .iter()
+        .flatten()
+        .zip(parallel_cold.iter().flatten())
+        .zip(parallel_warm.iter().flatten())
+    {
+        assert_eq!(sc.report.outcomes, pc.report.outcomes);
+        assert_eq!(
+            sc.report.outcomes, pw.report.outcomes,
+            "warm-started parallel campaign diverged from the serial cold reference"
+        );
+        assert!((sc.summary.total_carbon.value() - pw.summary.total_carbon.value()).abs() < 1e-9);
+        assert!((sc.summary.total_water.value() - pw.summary.total_water.value()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn rolling_horizon_window_still_completes_every_job() {
+    // A tight sliding window defers work across more slots but must never
+    // lose jobs, and savings should stay positive.
+    let mut config = CampaignConfig::paper_default(0.08, 0.5, 5);
+    config.waterwise.horizon = Some(24);
+    let campaign = Campaign::new(config);
+    let expected = campaign.jobs().len();
+    let rows = campaign
+        .savings_vs_baseline(&[SchedulerKind::WaterWise])
+        .unwrap();
+    let outcome = campaign.run(SchedulerKind::WaterWise).unwrap();
+    assert_eq!(outcome.summary.total_jobs, expected, "window lost jobs");
+    let (_, carbon, _water) = rows[0];
+    assert!(carbon > 0.0, "carbon saving {carbon:.1}%");
+}
+
+#[test]
 fn invalid_campaign_configs_surface_typed_errors() {
     let mut config = CampaignConfig::small_demo(1);
     config.simulation.regions.clear();
