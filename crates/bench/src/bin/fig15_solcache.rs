@@ -1,0 +1,9 @@
+//! Cross-campaign MILP solution-cache comparison (Fig. 15 of this
+//! reproduction; not a figure of the paper). See the crate docs for scaling.
+
+fn main() {
+    let scale = waterwise_bench::ExperimentScale::from_env();
+    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig15_solcache(
+        scale,
+    ));
+}

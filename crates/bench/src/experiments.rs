@@ -2,7 +2,10 @@
 //! prints so that integration tests can assert on the numbers.
 
 use crate::table::{fmt2, pct, Table};
-use waterwise_core::{Campaign, CampaignConfig, ObjectiveWeights, Parallelism, SchedulerKind};
+use waterwise_core::{
+    Campaign, CampaignConfig, ObjectiveWeights, Parallelism, SchedulerKind, SolutionCache,
+    SolutionCacheMode,
+};
 use waterwise_sustain::{EwifDataset, FootprintEstimator, Seconds};
 use waterwise_telemetry::{
     ConditionsProvider, Region, SyntheticTelemetry, TelemetryConfig, ALL_REGIONS,
@@ -634,6 +637,105 @@ pub fn fig14_warmstart(scale: ExperimentScale) -> Vec<Table> {
 }
 
 // ---------------------------------------------------------------------------
+// Fig. 15 — cross-campaign solution caching (this reproduction's own study;
+// not a figure of the paper)
+// ---------------------------------------------------------------------------
+
+/// Fig. 15: MILP solution-cache effectiveness on a tolerance × weight
+/// campaign matrix (the Fig. 5 / Fig. 8 sweep axes), comparing three modes:
+/// no cache, one cache per campaign cell, and a single cache shared across
+/// the whole `run_matrix` sweep. Schedules are asserted byte-identical
+/// across all three modes; only solver work and cache traffic differ.
+pub fn fig15_solcache(scale: ExperimentScale) -> Vec<Table> {
+    let tolerances = [0.25, 0.50, 1.00];
+    let lambdas = [0.3, 0.5, 0.7];
+    let configs = |mode: &SolutionCacheMode, warm_start: bool| -> Vec<CampaignConfig> {
+        tolerances
+            .iter()
+            .flat_map(|&tol| {
+                lambdas.iter().map(move |&lambda| {
+                    CampaignConfig::paper_default(scale.days, tol, scale.seed)
+                        .with_weights(ObjectiveWeights::paper_default().with_carbon_weight(lambda))
+                })
+            })
+            .map(|mut config| {
+                config.waterwise.warm_start = warm_start;
+                config.with_solution_cache(mode.clone())
+            })
+            .collect()
+    };
+
+    let mut table = Table::new(
+        "Fig. 15 — MILP solution cache across a 3×3 tolerance/weight matrix",
+        &[
+            "mode",
+            "sched hints",
+            "cells",
+            "solves",
+            "pivots/solve",
+            "lookups",
+            "exact hits",
+            "hint hits",
+            "hit rate",
+            "evictions",
+        ],
+    );
+    // One handle shared by every `shared` row: the second (cold-scheduler)
+    // sweep replays bit-identical models against the warmed cache, so its
+    // exact hits skip those solves entirely.
+    let shared = SolutionCache::shared();
+    let rows = [
+        (SolutionCacheMode::Off, true),
+        (SolutionCacheMode::PerCampaign, true),
+        (SolutionCacheMode::Shared(shared.clone()), true),
+        (SolutionCacheMode::Off, false),
+        (SolutionCacheMode::Shared(shared), false),
+    ];
+    let mut reference: Option<Vec<Vec<waterwise_cluster::JobOutcome>>> = None;
+    for (mode, warm_start) in &rows {
+        let matrix = Campaign::run_matrix(
+            &configs(mode, *warm_start),
+            &[SchedulerKind::WaterWise],
+            Parallelism::Auto,
+        )
+        .expect("campaign must run");
+        let mut total = waterwise_cluster::SolverActivity::default();
+        let mut schedules = Vec::with_capacity(matrix.len());
+        for row in &matrix {
+            for outcome in row {
+                total.accumulate(&outcome.summary.solver);
+                schedules.push(outcome.report.outcomes.clone());
+            }
+        }
+        // The determinism guarantee, checked end to end: every cache mode —
+        // and the warm/cold scheduler split — must reproduce the cache-free
+        // schedules byte for byte.
+        match &reference {
+            None => reference = Some(schedules),
+            Some(baseline) => assert_eq!(
+                baseline,
+                &schedules,
+                "{} mode changed a schedule",
+                mode.label()
+            ),
+        }
+        table.row(&[
+            mode.label().to_string(),
+            if *warm_start { "carried" } else { "none" }.to_string(),
+            matrix.len().to_string(),
+            total.solves.to_string(),
+            fmt2(total.pivots_per_solve()),
+            total.cache_lookups().to_string(),
+            total.cache_exact_hits.to_string(),
+            total.cache_hint_hits.to_string(),
+            pct(total.cache_hit_fraction() * 100.0),
+            total.cache_evictions.to_string(),
+        ]);
+    }
+    vec![table]
+}
+
+// ---------------------------------------------------------------------------
 // Table 2 — service time and violations
 // ---------------------------------------------------------------------------
 
@@ -845,6 +947,38 @@ mod tests {
         // Overhead must be well under 5% of the execution footprint.
         let rendered = tables[0].render();
         assert!(!rendered.contains("inf"));
+    }
+
+    #[test]
+    fn fig15_shared_cache_hits_at_least_30_percent() {
+        let tables = fig15_solcache(tiny());
+        let table = &tables[0];
+        assert_eq!(table.len(), 5, "three cache modes plus two cold rows");
+        assert_eq!(table.cell(0, 0), "off");
+        assert_eq!(table.cell(0, 5), "0", "off mode must not touch a cache");
+        // Shared mode: hit rate over the 3×3 matrix must reach the 30%
+        // warm-hint target.
+        assert_eq!(table.cell(2, 0), "shared");
+        let hit_rate: f64 = table
+            .cell(2, 8)
+            .trim_end_matches('%')
+            .parse()
+            .expect("hit rate cell must be a percentage");
+        assert!(
+            hit_rate >= 30.0,
+            "shared-matrix hit rate {hit_rate}% below the 30% target"
+        );
+        // The cold re-sweep replays bit-identical models against the warmed
+        // shared cache: exact hits must skip solves outright.
+        assert_eq!(table.cell(4, 0), "shared");
+        let exact: usize = table.cell(4, 6).parse().unwrap();
+        assert!(exact > 0, "pre-warmed cache produced no exact hits");
+        let cold_solves: usize = table.cell(3, 3).parse().unwrap();
+        let cached_solves: usize = table.cell(4, 3).parse().unwrap();
+        assert!(
+            cached_solves < cold_solves,
+            "exact hits must reduce solve count ({cached_solves} vs {cold_solves})"
+        );
     }
 
     #[test]

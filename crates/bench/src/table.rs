@@ -99,14 +99,29 @@ impl Table {
     }
 }
 
-/// Format a float with two decimals (most table cells).
+/// Placeholder rendered for undefined values (for example the savings of a
+/// zero-job campaign, which [`waterwise_cluster::saving_percent`] reports as
+/// NaN).
+pub const PLACEHOLDER: &str = "—";
+
+/// Format a float with two decimals (most table cells). Non-finite values
+/// render as [`PLACEHOLDER`] instead of leaking `NaN`/`inf` into tables.
 pub fn fmt2(value: f64) -> String {
-    format!("{value:.2}")
+    if value.is_finite() {
+        format!("{value:.2}")
+    } else {
+        PLACEHOLDER.to_string()
+    }
 }
 
-/// Format a percentage with one decimal.
+/// Format a percentage with one decimal; non-finite values render as
+/// [`PLACEHOLDER`].
 pub fn pct(value: f64) -> String {
-    format!("{value:.1}%")
+    if value.is_finite() {
+        format!("{value:.1}%")
+    } else {
+        PLACEHOLDER.to_string()
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +145,20 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(fmt2(1.234), "1.23");
         assert_eq!(pct(21.456), "21.5%");
+    }
+
+    #[test]
+    fn undefined_values_render_as_placeholder() {
+        // A zero-job campaign reports NaN savings; tables must show a
+        // placeholder rather than "NaN%".
+        assert_eq!(pct(f64::NAN), PLACEHOLDER);
+        assert_eq!(pct(f64::INFINITY), PLACEHOLDER);
+        assert_eq!(fmt2(f64::NAN), PLACEHOLDER);
+        assert_eq!(fmt2(f64::NEG_INFINITY), PLACEHOLDER);
+        assert!(
+            waterwise_cluster::saving_percent(0.0, 5.0).is_nan(),
+            "zero baselines feed the placeholder path"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::metrics::{CampaignSummary, JobOutcome, OverheadSample};
 use crate::scheduler::{PendingJob, Scheduler, SchedulingContext, SchedulingDecision};
 use crate::state::RegionRuntime;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::time::Instant;
 use waterwise_sustain::{FootprintEstimator, JobResourceUsage, Seconds};
 use waterwise_telemetry::{ConditionsProvider, Region};
@@ -181,6 +181,16 @@ impl<P: ConditionsProvider> Simulator<P> {
         jobs: &[JobSpec],
         scheduler: &mut dyn Scheduler,
     ) -> Result<SimulationReport, SimulationError> {
+        // Assignments are keyed by job id; a duplicate would leave one twin
+        // pending forever (the round loop would never drain), so reject the
+        // malformed trace up front with a typed error.
+        let mut seen_ids: HashSet<JobId> = HashSet::with_capacity(jobs.len());
+        for job in jobs {
+            if !seen_ids.insert(job.id) {
+                return Err(SimulationError::DuplicateJobId { id: job.id });
+            }
+        }
+
         let participating = self.config.region_list();
         let mut regions: Vec<RegionRuntime> = self
             .config
@@ -272,9 +282,15 @@ impl<P: ConditionsProvider> Simulator<P> {
                     }
                 }
                 Event::Ready(i) => {
-                    let region = runtimes[i]
-                        .assigned_region
-                        .expect("ready event for unassigned job");
+                    // Name the job by its trace id, not the internal array
+                    // index `event.describe()` would render — the two only
+                    // coincide for 0..n traces.
+                    let region = runtimes[i].assigned_region.ok_or_else(|| {
+                        SimulationError::UnassignedJob {
+                            job: jobs[i].id,
+                            event: format!("readiness of job {}", jobs[i].id.0),
+                        }
+                    })?;
                     let slot = region_slot[&region];
                     regions[slot].advance_to(time);
                     regions[slot].inbound = regions[slot].inbound.saturating_sub(1);
@@ -291,15 +307,18 @@ impl<P: ConditionsProvider> Simulator<P> {
                     }
                 }
                 Event::Complete(i) => {
-                    let region = runtimes[i]
-                        .assigned_region
-                        .expect("completion event for unassigned job");
+                    let region = runtimes[i].assigned_region.ok_or_else(|| {
+                        SimulationError::UnassignedJob {
+                            job: jobs[i].id,
+                            event: format!("completion of job {}", jobs[i].id.0),
+                        }
+                    })?;
                     let slot = region_slot[&region];
                     regions[slot].advance_to(time);
                     runtimes[i].completed = true;
                     runtimes[i].completion_time = time;
                     completed += 1;
-                    outcomes.push(self.record_outcome(&jobs[i], &runtimes[i], tolerance));
+                    outcomes.push(self.record_outcome(&jobs[i], &runtimes[i], tolerance)?);
                     // Free the server and admit the next queued job, if any.
                     if let Some(next) = regions[slot].queue.pop_front() {
                         runtimes[next].started = true;
@@ -381,8 +400,18 @@ impl<P: ConditionsProvider> Simulator<P> {
         Ok(())
     }
 
-    fn record_outcome(&self, job: &JobSpec, runtime: &JobRuntime, tolerance: f64) -> JobOutcome {
-        let region = runtime.assigned_region.expect("outcome for unassigned job");
+    fn record_outcome(
+        &self,
+        job: &JobSpec,
+        runtime: &JobRuntime,
+        tolerance: f64,
+    ) -> Result<JobOutcome, SimulationError> {
+        let region = runtime
+            .assigned_region
+            .ok_or_else(|| SimulationError::UnassignedJob {
+                job: job.id,
+                event: format!("outcome of job {}", job.id.0),
+            })?;
         let start = Seconds::new(runtime.start_time);
         let conditions = self.provider.conditions(region, start);
         let usage = JobResourceUsage::new(job.actual_energy, job.actual_execution_time);
@@ -401,7 +430,7 @@ impl<P: ConditionsProvider> Simulator<P> {
         };
         let service_time = runtime.completion_time - job.submit_time.value();
         let allowed = (1.0 + tolerance) * job.actual_execution_time.value();
-        JobOutcome {
+        Ok(JobOutcome {
             job: job.id,
             home_region: job.home_region,
             executed_region: region,
@@ -413,7 +442,7 @@ impl<P: ConditionsProvider> Simulator<P> {
             transfer_footprint,
             transfer_time: Seconds::new(runtime.transfer_time),
             violated_tolerance: service_time > allowed + 1e-6,
-        }
+        })
     }
 }
 
@@ -620,6 +649,24 @@ mod tests {
                 "execution time {bad} should be rejected, got {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_job_ids_fail_the_campaign_with_a_typed_error() {
+        // Two jobs sharing an id would leave one twin unschedulable forever
+        // (assignments are keyed by id); the engine must reject the trace
+        // instead of spinning or panicking.
+        let mut a = hand_built_job(0.0, 50.0);
+        let mut b = hand_built_job(10.0, 60.0);
+        a.id = JobId(7);
+        b.id = JobId(7);
+        let err = simulator(10, 0.5)
+            .run(&[a, b], &mut HomeScheduler)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimulationError::DuplicateJobId { id: JobId(7) }
+        ));
     }
 
     #[test]

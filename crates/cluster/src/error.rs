@@ -7,6 +7,7 @@
 
 use std::fmt;
 use waterwise_telemetry::Region;
+use waterwise_traces::JobId;
 
 /// A [`crate::SimulationConfig`] failed validation.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,6 +73,24 @@ pub enum SimulationError {
         /// Which event carried it (for example `arrival of job 17`).
         event: String,
     },
+    /// A readiness/completion event was dispatched for a job that has no
+    /// assigned region. This is an engine-invariant violation (events are
+    /// only scheduled after assignment); reporting it as an error fails the
+    /// one affected campaign instead of panicking the whole parallel run.
+    UnassignedJob {
+        /// The job the event referenced.
+        job: JobId,
+        /// Which event was being dispatched (for example `readiness of job 3`).
+        event: String,
+    },
+    /// The trace contains two jobs with the same id. Assignments are keyed
+    /// by job id, so a duplicate would leave one of the twins unschedulable
+    /// forever (the campaign would never terminate); the engine rejects the
+    /// trace up front instead.
+    DuplicateJobId {
+        /// The id that appears more than once.
+        id: JobId,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -81,6 +100,12 @@ impl fmt::Display for SimulationError {
             SimulationError::NonFiniteEventTime { time, event } => {
                 write!(f, "non-finite event time {time} for {event}")
             }
+            SimulationError::UnassignedJob { job, event } => {
+                write!(f, "{event}: {job} has no assigned region")
+            }
+            SimulationError::DuplicateJobId { id } => {
+                write!(f, "trace contains duplicate id {id}")
+            }
         }
     }
 }
@@ -89,7 +114,9 @@ impl std::error::Error for SimulationError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimulationError::Config(e) => Some(e),
-            SimulationError::NonFiniteEventTime { .. } => None,
+            SimulationError::NonFiniteEventTime { .. }
+            | SimulationError::UnassignedJob { .. }
+            | SimulationError::DuplicateJobId { .. } => None,
         }
     }
 }
@@ -135,5 +162,20 @@ mod tests {
         };
         assert!(nan.source().is_none());
         assert!(nan.to_string().contains("job 3"));
+    }
+
+    #[test]
+    fn event_dispatch_errors_name_the_job() {
+        use std::error::Error;
+        let unassigned = SimulationError::UnassignedJob {
+            job: JobId(17),
+            event: "readiness of job 17".into(),
+        };
+        assert!(unassigned.to_string().contains("job-17"));
+        assert!(unassigned.to_string().contains("no assigned region"));
+        assert!(unassigned.source().is_none());
+        let duplicate = SimulationError::DuplicateJobId { id: JobId(4) };
+        assert!(duplicate.to_string().contains("job-4"));
+        assert!(duplicate.to_string().contains("duplicate"));
     }
 }

@@ -35,7 +35,7 @@ pub mod state;
 pub use config::SimulationConfig;
 pub use engine::{SimulationReport, Simulator};
 pub use error::{ConfigError, SimulationError};
-pub use metrics::{CampaignSummary, JobOutcome, OverheadSample};
+pub use metrics::{saving_percent, CampaignSummary, JobOutcome, OverheadSample};
 pub use network::TransferModel;
 pub use scheduler::{
     Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,

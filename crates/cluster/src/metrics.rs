@@ -222,9 +222,14 @@ impl CampaignSummary {
 
 /// Percentage saving of `candidate` relative to `baseline` (positive when the
 /// candidate is smaller).
+///
+/// A non-positive or non-finite baseline (for example a zero-job campaign
+/// with no footprint at all) has no meaningful saving; the result is NaN so
+/// renderers can show a placeholder (`waterwise-bench` prints `—`) instead
+/// of a fabricated `0.0%`.
 pub fn saving_percent(baseline: f64, candidate: f64) -> f64 {
-    if baseline <= 0.0 {
-        0.0
+    if baseline <= 0.0 || !baseline.is_finite() {
+        f64::NAN
     } else {
         (baseline - candidate) / baseline * 100.0
     }
@@ -300,8 +305,11 @@ mod tests {
         );
         assert!((better.carbon_saving_vs(&baseline) - 25.0).abs() < 1e-9);
         assert!((better.water_saving_vs(&baseline) - 20.0).abs() < 1e-9);
-        // A baseline with zero footprint yields zero saving rather than NaN.
-        assert_eq!(saving_percent(0.0, 5.0), 0.0);
+        // A baseline with zero footprint (zero-job campaign) has no defined
+        // saving: NaN signals "render a placeholder", never a silent 0%.
+        assert!(saving_percent(0.0, 5.0).is_nan());
+        assert!(saving_percent(f64::NAN, 5.0).is_nan());
+        assert!(saving_percent(-1.0, 5.0).is_nan());
     }
 
     #[test]
@@ -327,6 +335,7 @@ mod tests {
                     simplex_pivots: 40,
                     warm_pivots: 0,
                     nodes: 2,
+                    ..SolverActivity::default()
                 }),
             },
             OverheadSample {
@@ -339,6 +348,10 @@ mod tests {
                     simplex_pivots: 10,
                     warm_pivots: 10,
                     nodes: 1,
+                    cache_exact_hits: 1,
+                    cache_hint_hits: 1,
+                    cache_misses: 0,
+                    cache_evictions: 0,
                 }),
             },
         ];
@@ -350,5 +363,9 @@ mod tests {
         assert_eq!(s.solver.simplex_pivots, 50);
         assert!((s.solver.warm_solve_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert!((s.solver.pivots_per_solve() - 50.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.solver.cache_exact_hits, 1);
+        assert_eq!(s.solver.cache_hint_hits, 1);
+        assert_eq!(s.solver.cache_lookups(), 2);
+        assert!((s.solver.cache_hit_fraction() - 1.0).abs() < 1e-12);
     }
 }

@@ -118,18 +118,34 @@ pub struct SolverActivity {
     pub warm_pivots: usize,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Solution-cache lookups whose exact fingerprint matched (the solve was
+    /// skipped entirely). Zero for schedulers without a cache.
+    pub cache_exact_hits: usize,
+    /// Solution-cache lookups that supplied a warm-start hint.
+    pub cache_hint_hits: usize,
+    /// Solution-cache lookups that found nothing.
+    pub cache_misses: usize,
+    /// Cache entries this scheduler's insertions displaced.
+    pub cache_evictions: usize,
 }
 
 impl SolverActivity {
     /// Counters accumulated since `earlier` (both snapshots of the same
-    /// scheduler).
+    /// scheduler). Saturating: a reset or replaced counter source clamps the
+    /// delta to zero instead of underflowing.
     pub fn delta_since(&self, earlier: &SolverActivity) -> SolverActivity {
         SolverActivity {
-            solves: self.solves - earlier.solves,
-            warm_solves: self.warm_solves - earlier.warm_solves,
-            simplex_pivots: self.simplex_pivots - earlier.simplex_pivots,
-            warm_pivots: self.warm_pivots - earlier.warm_pivots,
-            nodes: self.nodes - earlier.nodes,
+            solves: self.solves.saturating_sub(earlier.solves),
+            warm_solves: self.warm_solves.saturating_sub(earlier.warm_solves),
+            simplex_pivots: self.simplex_pivots.saturating_sub(earlier.simplex_pivots),
+            warm_pivots: self.warm_pivots.saturating_sub(earlier.warm_pivots),
+            nodes: self.nodes.saturating_sub(earlier.nodes),
+            cache_exact_hits: self
+                .cache_exact_hits
+                .saturating_sub(earlier.cache_exact_hits),
+            cache_hint_hits: self.cache_hint_hits.saturating_sub(earlier.cache_hint_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 
@@ -140,6 +156,26 @@ impl SolverActivity {
         self.simplex_pivots += other.simplex_pivots;
         self.warm_pivots += other.warm_pivots;
         self.nodes += other.nodes;
+        self.cache_exact_hits += other.cache_exact_hits;
+        self.cache_hint_hits += other.cache_hint_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_evictions += other.cache_evictions;
+    }
+
+    /// Total solution-cache lookups.
+    pub fn cache_lookups(&self) -> usize {
+        self.cache_exact_hits + self.cache_hint_hits + self.cache_misses
+    }
+
+    /// Fraction of cache lookups that hit (exact or hint); 0 without
+    /// lookups.
+    pub fn cache_hit_fraction(&self) -> f64 {
+        let lookups = self.cache_lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.cache_exact_hits + self.cache_hint_hits) as f64 / lookups as f64
+        }
     }
 
     /// Fraction of simplex runs that were warm-started.
@@ -239,6 +275,31 @@ mod tests {
         assert_eq!(ctx.total_remaining_capacity(), 4);
         assert!(ctx.region_view(Region::Zurich).is_some());
         assert!(ctx.region_view(Region::Milan).is_none());
+    }
+
+    #[test]
+    fn solver_activity_deltas_saturate_and_cache_fractions_guard_zero() {
+        let later = SolverActivity {
+            solves: 1,
+            cache_exact_hits: 2,
+            cache_hint_hits: 1,
+            cache_misses: 1,
+            ..SolverActivity::default()
+        };
+        let earlier = SolverActivity {
+            solves: 5,
+            simplex_pivots: 100,
+            ..SolverActivity::default()
+        };
+        // A replaced workspace (counters reset) must clamp to zero, not
+        // underflow.
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.solves, 0);
+        assert_eq!(delta.simplex_pivots, 0);
+        assert_eq!(delta.cache_exact_hits, 2);
+        assert_eq!(later.cache_lookups(), 4);
+        assert!((later.cache_hit_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(SolverActivity::default().cache_hit_fraction(), 0.0);
     }
 
     #[test]

@@ -32,9 +32,14 @@ pub mod objective;
 pub mod sched;
 
 pub use error::WaterWiseError;
-pub use experiment::{Campaign, CampaignConfig, CampaignOutcome, Parallelism, SchedulerKind};
+pub use experiment::{
+    Campaign, CampaignConfig, CampaignOutcome, Parallelism, SchedulerKind, SolutionCacheMode,
+};
+// Solution-cache handle types, re-exported so campaign drivers can build a
+// shared cache without depending on `waterwise-milp` directly.
 pub use objective::{CandidateFootprint, ObjectiveWeights};
 pub use sched::{
     BaselineScheduler, EcovisorScheduler, GreedyObjective, GreedyOptScheduler, LeastLoadScheduler,
     RoundRobinScheduler, WaterWiseConfig, WaterWiseScheduler,
 };
+pub use waterwise_milp::{CacheStats, SolutionCache, SolutionCacheHandle};

@@ -23,7 +23,8 @@ use waterwise_cluster::{
     Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,
 };
 use waterwise_milp::{
-    BranchBoundConfig, LinExpr, Model, Sense, SimplexConfig, SolverWorkspace, Var, WarmStats,
+    BranchBoundConfig, CacheStats, LinExpr, Model, Sense, SimplexConfig, SolutionCacheHandle,
+    SolverWorkspace, Var, WarmStats,
 };
 use waterwise_sustain::FootprintEstimator;
 use waterwise_telemetry::{ConditionsProvider, Region};
@@ -83,8 +84,12 @@ impl WaterWiseConfig {
     }
 
     /// Set the sliding-window job cap per solve.
+    ///
+    /// `Some(0)` is clamped to `Some(1)` at build time: a zero-job window
+    /// would produce an empty solve batch every slot and stall pending jobs
+    /// forever.
     pub fn with_horizon(mut self, horizon: Option<usize>) -> Self {
-        self.horizon = horizon;
+        self.horizon = horizon.map(|h| h.max(1));
         self
     }
 }
@@ -105,6 +110,9 @@ pub struct SolveStats {
     pub nodes: usize,
     /// Cold-vs-warm solver split from the shared [`SolverWorkspace`].
     pub warm: WarmStats,
+    /// Solution-cache traffic of this scheduler's workspace (all zero when
+    /// no cache is attached).
+    pub cache: CacheStats,
 }
 
 /// The WaterWise scheduler.
@@ -154,6 +162,21 @@ impl WaterWiseScheduler {
     /// Solver statistics accumulated so far.
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// Attach a (possibly shared) solution cache to this scheduler's solver
+    /// workspace. Subsequent solves consult it before cold/warm solving; an
+    /// exact fingerprint match skips the solve, a structural match only
+    /// contributes a warm-start hint, so the produced schedule is identical
+    /// with or without the cache.
+    pub fn attach_cache(&mut self, cache: SolutionCacheHandle) {
+        self.workspace.attach_cache(cache);
+    }
+
+    /// Builder form of [`WaterWiseScheduler::attach_cache`].
+    pub fn with_cache(mut self, cache: SolutionCacheHandle) -> Self {
+        self.attach_cache(cache);
+        self
     }
 
     /// The configuration in use.
@@ -336,6 +359,7 @@ impl WaterWiseScheduler {
         self.stats.simplex_iterations += solution.simplex_iterations;
         self.stats.nodes += solution.nodes_explored;
         self.stats.warm = self.workspace.stats();
+        self.stats.cache = self.workspace.cache_stats();
         if !solution.status.has_solution() {
             return None;
         }
@@ -534,12 +558,17 @@ impl Scheduler for WaterWiseScheduler {
 
     fn solver_activity(&self) -> Option<SolverActivity> {
         let warm = self.workspace.stats();
+        let cache = self.workspace.cache_stats();
         Some(SolverActivity {
             solves: warm.cold_solves + warm.warm_solves,
             warm_solves: warm.warm_solves,
             simplex_pivots: warm.cold_pivots + warm.warm_pivots,
             warm_pivots: warm.warm_pivots,
             nodes: self.stats.nodes,
+            cache_exact_hits: cache.exact_hits,
+            cache_hint_hits: cache.hint_hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
         })
     }
 }
@@ -747,6 +776,66 @@ mod tests {
         let decision = sched.schedule(&ctx);
         assert_eq!(decision.assignments.len(), 5, "window must cap the batch");
         assert_eq!(sched.stats().slack_truncations, 1);
+    }
+
+    #[test]
+    fn zero_horizon_is_clamped_at_config_build_time() {
+        // Regression: `with_horizon(Some(0))` used to yield an empty solve
+        // batch every slot, deferring every pending job forever. The config
+        // builder now clamps to a one-job window.
+        let config = WaterWiseConfig::default().with_horizon(Some(0));
+        assert_eq!(config.horizon, Some(1));
+
+        let mut fixture = context_fixture(8, 27);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(6.0);
+        }
+        let ctx = ctx_from(&fixture, 6.0, 1.0);
+        let mut sched = WaterWiseScheduler::new(
+            Arc::new(SyntheticTelemetry::with_seed(3)),
+            FootprintEstimator::paper_default(),
+            config,
+        );
+        let decision = sched.schedule(&ctx);
+        assert_eq!(
+            decision.assignments.len(),
+            1,
+            "a clamped zero horizon must still make progress"
+        );
+    }
+
+    #[test]
+    fn attached_cache_never_changes_decisions_and_reports_traffic() {
+        let mut fixture = context_fixture(14, 29);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(6.0);
+        }
+        let provider: Arc<dyn ConditionsProvider> = Arc::new(SyntheticTelemetry::with_seed(3));
+        let mut plain = WaterWiseScheduler::new(
+            provider.clone(),
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default(),
+        );
+        let mut cached = WaterWiseScheduler::new(
+            provider,
+            FootprintEstimator::paper_default(),
+            WaterWiseConfig::default(),
+        )
+        .with_cache(waterwise_milp::SolutionCache::shared());
+        for hour in [6.0, 6.25, 6.5, 7.0] {
+            let ctx = ctx_from(&fixture, hour, 0.5);
+            let a = plain.schedule(&ctx);
+            let b = cached.schedule(&ctx);
+            assert_eq!(a, b, "cache changed the schedule at hour {hour}");
+        }
+        assert_eq!(plain.stats().cache, waterwise_milp::CacheStats::default());
+        let stats = cached.stats().cache;
+        assert!(stats.lookups() > 0, "cache was never consulted");
+        assert!(stats.insertions > 0, "optimal solves were never published");
+        let activity = cached.solver_activity().unwrap();
+        assert_eq!(activity.cache_exact_hits, stats.exact_hits);
+        assert_eq!(activity.cache_hint_hits, stats.hint_hits);
+        assert_eq!(activity.cache_misses, stats.misses);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`solution`] — solve status and per-variable value extraction.
 //! * [`workspace`] — reusable allocations and cold/warm solve accounting for
 //!   rolling-horizon (repeated) solves; see [`Model::solve_warm`].
+//! * [`cache`] — a sharded, thread-safe model-fingerprint → solution cache
+//!   shared across repeated (and concurrent) campaigns; exact fingerprint
+//!   matches skip the solve, structural matches warm-start it.
 //!
 //! The scheduling MILPs WaterWise builds (binary assignment variables with
 //! per-job equality constraints and per-region capacity constraints) have LP
@@ -42,6 +45,7 @@
 #![deny(unsafe_code)]
 
 pub mod branch_bound;
+pub mod cache;
 pub mod error;
 pub mod expr;
 pub mod model;
@@ -50,6 +54,7 @@ pub mod solution;
 pub mod workspace;
 
 pub use branch_bound::BranchBoundConfig;
+pub use cache::{CacheLookup, CacheStats, ModelFingerprint, SolutionCache, SolutionCacheHandle};
 pub use error::MilpError;
 pub use expr::{LinExpr, Var};
 pub use model::{Constraint, Model, Sense, VarKind};

@@ -2,6 +2,7 @@
 //! entry points.
 
 use crate::branch_bound::{self, BranchBoundConfig};
+use crate::cache::{CacheLookup, ModelFingerprint};
 use crate::error::MilpError;
 use crate::expr::{LinExpr, Var};
 use crate::simplex::{self, SimplexConfig, SimplexOutcome};
@@ -266,6 +267,21 @@ impl Model {
         self.constraints.iter().all(|c| c.is_satisfied(values, tol))
     }
 
+    /// Rank a warm-start candidate: smaller is better. Infeasible points
+    /// rank behind every feasible one (the solver would reject them and
+    /// fall back cold), feasible points by objective value oriented so that
+    /// improving the objective improves the rank.
+    fn hint_preference(&self, values: &[f64]) -> f64 {
+        if !self.is_feasible(values, 1e-6) {
+            return f64::INFINITY;
+        }
+        match &self.objective {
+            Some((Direction::Minimize, expr)) => expr.evaluate(values),
+            Some((Direction::Maximize, expr)) => -expr.evaluate(values),
+            None => 0.0,
+        }
+    }
+
     /// Solve with default configuration.
     pub fn solve(&self) -> Result<Solution, MilpError> {
         self.solve_with(&SimplexConfig::default(), &BranchBoundConfig::default())
@@ -292,6 +308,14 @@ impl Model {
     ///
     /// The returned solution is the same optimum [`Model::solve_with`]
     /// finds — warm starting changes only the amount of work spent.
+    ///
+    /// When the workspace carries a [`crate::SolutionCache`], the model is
+    /// fingerprinted and the cache consulted first: an exact fingerprint
+    /// match returns the stored solution without solving (the cached entry
+    /// was produced by a bit-identical model and configuration), while a
+    /// structural match only contributes its values as the warm-start hint
+    /// — never trusted as optimal. Solutions solved to optimality are
+    /// published back into the cache.
     pub fn solve_warm(
         &self,
         simplex_config: &SimplexConfig,
@@ -300,11 +324,52 @@ impl Model {
         workspace: &mut SolverWorkspace,
     ) -> Result<Solution, MilpError> {
         self.validate()?;
-        if self.has_integer_vars() {
-            branch_bound::solve_warm(self, simplex_config, bb_config, hint, Some(workspace))
-        } else {
-            self.solve_lp_relaxation(simplex_config, None, hint, Some(workspace))
+        let fingerprint = workspace
+            .cache()
+            .is_some()
+            .then(|| ModelFingerprint::of(self, simplex_config, bb_config));
+        let mut cached_hint: Option<Vec<f64>> = None;
+        if let Some(fingerprint) = fingerprint {
+            match workspace.cache_lookup(fingerprint) {
+                CacheLookup::Exact(solution) => return Ok(solution),
+                CacheLookup::Hint(values) if values.len() == self.num_vars() => {
+                    cached_hint = Some(values);
+                }
+                CacheLookup::Hint(_) | CacheLookup::Miss => {}
+            }
         }
+        // Two candidate hints can coexist: the caller's (for example a
+        // carried-forward prior assignment, tailored to this objective) and
+        // the cache's (the optimum of a structurally identical model that
+        // may have been solved under *different* objective data). Keep the
+        // one that scores better on this model's own objective — the solver
+        // validates the survivor before use, so the choice affects work,
+        // never results.
+        let hint = match (&cached_hint, hint) {
+            (Some(cached), Some(caller)) => {
+                if self.hint_preference(cached) <= self.hint_preference(caller) {
+                    Some(cached.as_slice())
+                } else {
+                    Some(caller)
+                }
+            }
+            (Some(cached), None) => Some(cached.as_slice()),
+            (None, caller) => caller,
+        };
+        let solution = if self.has_integer_vars() {
+            branch_bound::solve_warm(self, simplex_config, bb_config, hint, Some(workspace))?
+        } else {
+            self.solve_lp_relaxation(simplex_config, None, hint, Some(workspace))?
+        };
+        if let Some(fingerprint) = fingerprint {
+            // Only certified optima are cached: a budget-limited incumbent
+            // is hint-dependent, and replaying it on an exact hit could
+            // diverge from what a cache-free solve returns.
+            if solution.status == SolveStatus::Optimal {
+                workspace.cache_insert(fingerprint, &solution);
+            }
+        }
+        Ok(solution)
     }
 
     /// Solve the LP relaxation (integrality dropped), optionally with

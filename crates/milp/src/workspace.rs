@@ -12,6 +12,8 @@
 //!   basis), and how many pivots it spent. The cold-vs-warm split is what the
 //!   Fig. 14 overhead experiment and the scheduler's `SolveStats` report.
 
+use crate::cache::{CacheLookup, CacheStats, ModelFingerprint, SolutionCacheHandle};
+use crate::solution::Solution;
 use serde::{Deserialize, Serialize};
 
 /// Cold-vs-warm solve counters accumulated by a [`SolverWorkspace`].
@@ -36,14 +38,16 @@ pub struct WarmStats {
 
 impl WarmStats {
     /// Counters accumulated since `earlier` (both taken from the same
-    /// workspace).
+    /// workspace). Saturating: if the workspace was reset or replaced
+    /// between the two snapshots, the delta clamps to zero instead of
+    /// underflowing the campaign-level counters.
     pub fn delta_since(&self, earlier: &WarmStats) -> WarmStats {
         WarmStats {
-            cold_solves: self.cold_solves - earlier.cold_solves,
-            warm_solves: self.warm_solves - earlier.warm_solves,
-            cold_pivots: self.cold_pivots - earlier.cold_pivots,
-            warm_pivots: self.warm_pivots - earlier.warm_pivots,
-            rejected_hints: self.rejected_hints - earlier.rejected_hints,
+            cold_solves: self.cold_solves.saturating_sub(earlier.cold_solves),
+            warm_solves: self.warm_solves.saturating_sub(earlier.warm_solves),
+            cold_pivots: self.cold_pivots.saturating_sub(earlier.cold_pivots),
+            warm_pivots: self.warm_pivots.saturating_sub(earlier.warm_pivots),
+            rejected_hints: self.rejected_hints.saturating_sub(earlier.rejected_hints),
         }
     }
 
@@ -76,6 +80,12 @@ pub struct SolverWorkspace {
     /// Pool of tableau rows returned by finished solves.
     row_pool: Vec<Vec<f64>>,
     stats: WarmStats,
+    /// Optional shared solution cache consulted by [`crate::Model::solve_warm`]
+    /// before any cold/warm solving.
+    cache: Option<SolutionCacheHandle>,
+    /// This workspace's own view of its cache traffic (the shared cache also
+    /// keeps aggregate counters across every workspace attached to it).
+    cache_stats: CacheStats,
 }
 
 impl SolverWorkspace {
@@ -87,6 +97,49 @@ impl SolverWorkspace {
     /// Accumulated cold/warm statistics.
     pub fn stats(&self) -> WarmStats {
         self.stats
+    }
+
+    /// Attach a (possibly shared) solution cache. Subsequent
+    /// [`crate::Model::solve_warm`] calls consult it before solving and
+    /// publish optimal solutions back into it.
+    pub fn attach_cache(&mut self, cache: SolutionCacheHandle) {
+        self.cache = Some(cache);
+    }
+
+    /// Detach the solution cache, returning the handle if one was attached.
+    pub fn detach_cache(&mut self) -> Option<SolutionCacheHandle> {
+        self.cache.take()
+    }
+
+    /// The attached solution cache, if any.
+    pub fn cache(&self) -> Option<&SolutionCacheHandle> {
+        self.cache.as_ref()
+    }
+
+    /// This workspace's cache hit/miss/eviction counters (all zero when no
+    /// cache is attached).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
+    }
+
+    /// Probe the attached cache for `fingerprint`, recording the outcome in
+    /// this workspace's local counters. Returns `Miss` when no cache is
+    /// attached.
+    pub(crate) fn cache_lookup(&mut self, fingerprint: ModelFingerprint) -> CacheLookup {
+        let Some(cache) = &self.cache else {
+            return CacheLookup::Miss;
+        };
+        let lookup = cache.lookup(fingerprint);
+        self.cache_stats.record_lookup(&lookup);
+        lookup
+    }
+
+    /// Publish a solution into the attached cache (no-op without one).
+    pub(crate) fn cache_insert(&mut self, fingerprint: ModelFingerprint, solution: &Solution) {
+        if let Some(cache) = &self.cache {
+            let evicted = cache.insert(fingerprint, solution);
+            self.cache_stats.record_insert(evicted);
+        }
     }
 
     /// Take a row buffer of exactly `width` zeros from the pool (or allocate

@@ -1,0 +1,139 @@
+//! Property tests for the solution cache: caching may change the amount of
+//! solver work, never the result.
+
+use proptest::prelude::*;
+use waterwise_milp::{
+    BranchBoundConfig, LinExpr, Model, SimplexConfig, SolutionCache, SolverWorkspace,
+};
+
+/// The WaterWise shape: assignment equality rows plus capacity rows. The
+/// `cost` closure varies across "campaign cells", the structure does not.
+fn assignment_model(n_jobs: usize, n_regions: usize, capacity: f64, seed: u64) -> Model {
+    let mut m = Model::new("cache-prop");
+    let mut vars = vec![];
+    for j in 0..n_jobs {
+        for r in 0..n_regions {
+            vars.push(m.add_binary(format!("x_{j}_{r}")));
+        }
+    }
+    let v = |j: usize, r: usize| vars[j * n_regions + r];
+    for j in 0..n_jobs {
+        let expr = LinExpr::sum((0..n_regions).map(|r| LinExpr::from(v(j, r))));
+        m.add_constraint(
+            format!("assign_{j}"),
+            expr,
+            waterwise_milp::Sense::Equal,
+            1.0,
+        );
+    }
+    for r in 0..n_regions {
+        let expr = LinExpr::sum((0..n_jobs).map(|j| LinExpr::from(v(j, r))));
+        m.add_constraint(
+            format!("cap_{r}"),
+            expr,
+            waterwise_milp::Sense::LessEqual,
+            capacity,
+        );
+    }
+    let mut obj = LinExpr::zero();
+    for j in 0..n_jobs {
+        for r in 0..n_regions {
+            // Distinct powers of two make every assignment's total cost
+            // unique (binary representations), so the optimum is unique and
+            // byte-level value equality is well-defined even under hints.
+            let cost = 0.1 + (seed as f64 + 1.0) * (1u64 << (j * n_regions + r)) as f64 * 1e-6;
+            obj.add_term(v(j, r), cost);
+        }
+    }
+    m.minimize(obj);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Solving a sweep of structurally identical models (varying objective
+    /// "weights" per cell, like a `run_matrix` sweep) produces byte-identical
+    /// solutions with the cache off, with a fresh cache, and on a second
+    /// pass over a warmed cache (exact hits).
+    #[test]
+    fn cache_on_and_off_solutions_are_byte_identical(
+        n_jobs in 1usize..6,
+        n_regions in 1usize..4,
+        seeds in prop::collection::vec(0u64..50, 1..5),
+    ) {
+        let capacity = n_jobs.div_ceil(n_regions) as f64;
+        let simplex = SimplexConfig::default();
+        let bb = BranchBoundConfig::default();
+
+        let mut plain_ws = SolverWorkspace::new();
+        let mut cached_ws = SolverWorkspace::new();
+        cached_ws.attach_cache(SolutionCache::shared());
+
+        let mut first_pass = Vec::new();
+        for &seed in &seeds {
+            let model = assignment_model(n_jobs, n_regions, capacity, seed);
+            let plain = model.solve_warm(&simplex, &bb, None, &mut plain_ws).unwrap();
+            let cached = model.solve_warm(&simplex, &bb, None, &mut cached_ws).unwrap();
+            prop_assert_eq!(plain.status, cached.status);
+            prop_assert_eq!(
+                &plain.values, &cached.values,
+                "cache changed the solution for seed {}", seed
+            );
+            first_pass.push(cached);
+        }
+        // After the first cell, every later cell structurally matches.
+        if seeds.len() > 1 {
+            let stats = cached_ws.cache_stats();
+            prop_assert!(
+                stats.hint_hits + stats.exact_hits >= seeds.len() - 1,
+                "expected cross-cell hits, got {:?}", stats
+            );
+        }
+
+        // Re-solving a cached cell is an exact fingerprint match: the stored
+        // solution comes back without any solving. (Each structural key
+        // retains a bucket of recent exact variants, so every cell of the
+        // sweep — not just the last — stays resident.)
+        let before = cached_ws.cache_stats();
+        let last_seed = *seeds.last().unwrap();
+        let model = assignment_model(n_jobs, n_regions, capacity, last_seed);
+        let again = model.solve_warm(&simplex, &bb, None, &mut cached_ws).unwrap();
+        prop_assert_eq!(&again.values, &first_pass.last().unwrap().values);
+        prop_assert_eq!(again.simplex_iterations, 0, "exact hit must skip the solve");
+        let delta = cached_ws.cache_stats().delta_since(&before);
+        prop_assert_eq!(delta.exact_hits, 1);
+        prop_assert_eq!(delta.misses, 0);
+    }
+
+    /// A caller-supplied hint and a cache hint coexist: results still match
+    /// the cache-free solve exactly.
+    #[test]
+    fn cache_and_caller_hints_compose(
+        n_jobs in 2usize..5,
+        seed_a in 0u64..50,
+        seed_b in 50u64..100,
+    ) {
+        let n_regions = 3;
+        let capacity = n_jobs as f64;
+        let simplex = SimplexConfig::default();
+        let bb = BranchBoundConfig::default();
+
+        let warmup = assignment_model(n_jobs, n_regions, capacity, seed_a);
+        let target = assignment_model(n_jobs, n_regions, capacity, seed_b);
+
+        let mut plain_ws = SolverWorkspace::new();
+        let reference = target.solve_warm(&simplex, &bb, None, &mut plain_ws).unwrap();
+
+        let mut cached_ws = SolverWorkspace::new();
+        cached_ws.attach_cache(SolutionCache::shared());
+        let warm_solution = warmup.solve_warm(&simplex, &bb, None, &mut cached_ws).unwrap();
+        // Offer the warmup optimum as the caller hint too; the cache hint
+        // (same values, via the structural key) takes precedence.
+        let cached = target
+            .solve_warm(&simplex, &bb, Some(&warm_solution.values), &mut cached_ws)
+            .unwrap();
+        prop_assert_eq!(&cached.values, &reference.values);
+        prop_assert!((cached.objective - reference.objective).abs() < 1e-9);
+    }
+}

@@ -392,3 +392,99 @@ fn decision_overhead_is_negligible() {
         outcome.summary.decision_overhead_fraction
     );
 }
+
+#[test]
+fn solution_cache_modes_are_byte_identical_across_a_matrix_and_hit() {
+    use waterwise::core::{SolutionCache, SolutionCacheMode};
+    // The Fig. 15 setup end to end: a 3×3 tolerance × weight sweep, run
+    // with the cache off, per-campaign, and shared across the whole matrix.
+    let tolerances = [0.25, 0.50, 1.00];
+    let lambdas = [0.3, 0.5, 0.7];
+    let configs = |mode: &SolutionCacheMode| -> Vec<CampaignConfig> {
+        tolerances
+            .iter()
+            .flat_map(|&tol| {
+                lambdas.iter().map(move |&lambda| {
+                    CampaignConfig::small_demo(42)
+                        .with_delay_tolerance(tol)
+                        .with_weights(ObjectiveWeights::paper_default().with_carbon_weight(lambda))
+                })
+            })
+            .map(|config| config.with_solution_cache(mode.clone()))
+            .collect()
+    };
+    let shared = SolutionCache::shared();
+    let modes = [
+        SolutionCacheMode::Off,
+        SolutionCacheMode::PerCampaign,
+        SolutionCacheMode::Shared(shared.clone()),
+    ];
+    let mut reference: Option<Vec<_>> = None;
+    for mode in &modes {
+        let matrix = Campaign::run_matrix(
+            &configs(mode),
+            &[SchedulerKind::WaterWise],
+            Parallelism::Auto,
+        )
+        .unwrap();
+        let schedules: Vec<_> = matrix
+            .iter()
+            .flat_map(|row| row.iter().map(|o| o.report.outcomes.clone()))
+            .collect();
+        match &reference {
+            None => reference = Some(schedules),
+            Some(baseline) => assert_eq!(
+                baseline,
+                &schedules,
+                "{} cache mode changed a schedule",
+                mode.label()
+            ),
+        }
+    }
+    // The shared handle saw the whole sweep; neighboring cells must reuse
+    // each other's incumbents well past the 30% target.
+    let stats = shared.stats();
+    assert!(stats.lookups() > 0, "shared cache saw no traffic");
+    assert!(
+        stats.hit_fraction() >= 0.30,
+        "shared-matrix hit rate {:.1}% below the 30% target ({stats:?})",
+        stats.hit_fraction() * 100.0
+    );
+}
+
+#[test]
+fn malformed_trace_fails_with_a_typed_error_not_a_panic() {
+    use waterwise::cluster::{SimulationConfig, SimulationError, Simulator};
+    // Two jobs sharing an id would leave one twin pending forever
+    // (assignments are keyed by job id); the engine must reject the trace
+    // with a typed error so a parallel campaign only loses that one cell.
+    let campaign = small_campaign(5);
+    let mut jobs = campaign.jobs().to_vec();
+    assert!(jobs.len() >= 2);
+    jobs[1].id = jobs[0].id;
+    let simulator = Simulator::new(
+        SimulationConfig::paper_default(40, 0.5),
+        campaign.telemetry().clone(),
+    )
+    .unwrap();
+    let mut scheduler = campaign.build_scheduler(SchedulerKind::WaterWise);
+    let err = simulator.run(&jobs, scheduler.as_mut()).unwrap_err();
+    assert!(
+        matches!(err, SimulationError::DuplicateJobId { id } if id == jobs[0].id),
+        "expected DuplicateJobId, got {err:?}"
+    );
+    assert!(err.to_string().contains("duplicate"));
+}
+
+#[test]
+fn zero_horizon_campaign_still_completes_every_job() {
+    // Regression: `with_horizon(Some(0))` used to stall every pending job
+    // forever; the config builder now clamps the window to one job.
+    let mut config = CampaignConfig::small_demo(7);
+    config.waterwise = config.waterwise.with_horizon(Some(0));
+    assert_eq!(config.waterwise.horizon, Some(1));
+    let campaign = Campaign::new(config);
+    let expected = campaign.jobs().len();
+    let outcome = campaign.run(SchedulerKind::WaterWise).unwrap();
+    assert_eq!(outcome.summary.total_jobs, expected, "window lost jobs");
+}
