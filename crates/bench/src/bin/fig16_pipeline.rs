@@ -1,0 +1,11 @@
+//! Pipelined vs synchronous simulation engine on the Fig. 5 workload
+//! (Fig. 16 of this reproduction; not a figure of the paper). Asserts
+//! byte-identical schedules across engine modes and reports wall-clock,
+//! event-path stalls, and arrival overlap. See the crate docs for scaling.
+
+fn main() {
+    let scale = waterwise_bench::ExperimentScale::from_env();
+    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig16_pipeline(
+        scale,
+    ));
+}

@@ -6,6 +6,75 @@ use serde::{Deserialize, Serialize};
 use waterwise_sustain::{DataCenterParams, Seconds};
 use waterwise_telemetry::{Region, ALL_REGIONS};
 
+/// How the engine executes one campaign.
+///
+/// Both modes replay the trace through the same deterministic core and are
+/// guaranteed to produce **byte-identical schedules, outcomes, and
+/// summaries** (wall-clock measurements aside); the mode only decides
+/// whether scheduler solves and footprint accounting run inline on the
+/// event loop or on dedicated pipeline stages.
+///
+/// ```
+/// use waterwise_cluster::EngineMode;
+///
+/// // A zero-worker pipeline cannot make progress; it normalizes to Sync.
+/// assert_eq!(EngineMode::Pipelined { workers: 0 }.normalized(), EngineMode::Sync);
+/// assert_eq!(
+///     EngineMode::Pipelined { workers: 3 }.normalized(),
+///     EngineMode::Pipelined { workers: 3 },
+/// );
+/// assert!(!EngineMode::default().is_pipelined());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Everything runs inline on the caller's thread: each scheduling-round
+    /// solve and each job's footprint accounting block event processing
+    /// (the reference behavior).
+    #[default]
+    Sync,
+    /// The engine runs as a pipeline: a dedicated *solver stage* thread owns
+    /// the scheduler and receives round snapshots over a bounded channel
+    /// (decisions are committed back in strict slot order), arrival events
+    /// ahead of the commit barrier are ingested while a solve is in flight,
+    /// and footprint accounting is sharded across `workers − 1` accounting
+    /// threads (with one worker, accounting stays on the event thread).
+    ///
+    /// `workers` counts the auxiliary threads in total; `workers: 0` is
+    /// normalized to [`EngineMode::Sync`] — see [`EngineMode::normalized`].
+    Pipelined {
+        /// Total auxiliary threads: one solver stage plus
+        /// `workers − 1` footprint-accounting shards.
+        workers: usize,
+    },
+}
+
+impl EngineMode {
+    /// Resolve degenerate configurations: `Pipelined { workers: 0 }` has no
+    /// thread to run the solver stage on, so it clamps to [`EngineMode::Sync`]
+    /// (mirroring how a zero-job scheduling horizon clamps to one job instead
+    /// of stalling forever). Every engine entry point normalizes before
+    /// dispatching.
+    pub fn normalized(self) -> Self {
+        match self {
+            EngineMode::Pipelined { workers: 0 } => EngineMode::Sync,
+            other => other,
+        }
+    }
+
+    /// Whether this mode (after normalization) runs the pipelined engine.
+    pub fn is_pipelined(self) -> bool {
+        matches!(self.normalized(), EngineMode::Pipelined { .. })
+    }
+
+    /// Stable label used in experiment output.
+    pub fn label(self) -> String {
+        match self.normalized() {
+            EngineMode::Sync => "sync".to_string(),
+            EngineMode::Pipelined { workers } => format!("pipelined({workers})"),
+        }
+    }
+}
+
 /// Configuration of one simulated campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
@@ -24,6 +93,9 @@ pub struct SimulationConfig {
     /// Multiplicative perturbation of the embodied footprints (the ±10%
     /// sensitivity analysis); 1.0 = unperturbed.
     pub embodied_perturbation: f64,
+    /// How the engine executes the campaign (synchronous or pipelined).
+    /// Schedules are byte-identical either way; see [`EngineMode`].
+    pub engine: EngineMode,
 }
 
 impl SimulationConfig {
@@ -44,7 +116,14 @@ impl SimulationConfig {
             datacenter: DataCenterParams::paper_default(),
             transfer: TransferModel::paper_default(),
             embodied_perturbation: 1.0,
+            engine: EngineMode::default(),
         }
+    }
+
+    /// Override the engine execution mode.
+    pub fn with_engine_mode(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Restrict the campaign to a subset of regions, keeping server counts.
@@ -164,6 +243,27 @@ mod tests {
             c.validate(),
             Err(ConfigError::NonPositiveEmbodiedPerturbation { .. })
         ));
+    }
+
+    #[test]
+    fn engine_mode_normalization_clamps_zero_workers_to_sync() {
+        assert_eq!(EngineMode::Sync.normalized(), EngineMode::Sync);
+        assert_eq!(
+            EngineMode::Pipelined { workers: 0 }.normalized(),
+            EngineMode::Sync
+        );
+        assert_eq!(
+            EngineMode::Pipelined { workers: 2 }.normalized(),
+            EngineMode::Pipelined { workers: 2 }
+        );
+        assert!(!EngineMode::Pipelined { workers: 0 }.is_pipelined());
+        assert!(EngineMode::Pipelined { workers: 1 }.is_pipelined());
+        assert_eq!(EngineMode::Pipelined { workers: 0 }.label(), "sync");
+        assert_eq!(EngineMode::Pipelined { workers: 4 }.label(), "pipelined(4)");
+        assert_eq!(SimulationConfig::default().engine, EngineMode::Sync);
+        let c = SimulationConfig::default().with_engine_mode(EngineMode::Pipelined { workers: 2 });
+        assert!(c.engine.is_pipelined());
+        assert!(c.validate().is_ok());
     }
 
     #[test]

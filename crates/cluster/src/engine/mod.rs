@@ -1,0 +1,575 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine replays a workload trace against a set of regional server
+//! pools, consulting a [`Scheduler`] every scheduling round and accounting
+//! carbon and water footprints with the environmental conditions in effect
+//! when each job starts. It replaces the paper's physical 175-node AWS
+//! deployment (the scheduler code is identical in both worlds — it only sees
+//! the [`SchedulingContext`]).
+//!
+//! # Execution modes
+//!
+//! The engine runs in one of two modes, selected by
+//! [`crate::config::EngineMode`] on the simulation configuration:
+//!
+//! * **Sync** — the reference behavior: scheduler solves and footprint
+//!   accounting run inline on the event loop, one event at a time.
+//! * **Pipelined** — the event loop, the scheduler (the *solver stage*),
+//!   and footprint accounting run as separate stages connected by bounded
+//!   channels; see the `pipeline` submodule for the stage layout and the
+//!   commit protocol.
+//!
+//! Both modes drive the *same* deterministic core (the private `SimState`)
+//! and are guaranteed to produce byte-identical schedules and summaries;
+//! the mode only changes which thread executes each piece of work. The
+//! guarantee is enforced by the unit tests below, by the property tests in
+//! `tests/pipeline_equivalence.rs`, and by campaign-level integration
+//! tests.
+
+pub(crate) mod pipeline;
+pub(crate) mod queue;
+#[cfg(test)]
+mod tests;
+
+use crate::config::{EngineMode, SimulationConfig};
+use crate::error::SimulationError;
+use crate::metrics::{CampaignSummary, JobOutcome, OverheadSample};
+use crate::scheduler::{
+    PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,
+};
+use crate::state::{RegionRuntime, RegionView};
+use queue::{Event, EventQueue, QueuedEvent};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use waterwise_sustain::{FootprintEstimator, JobResourceUsage, Seconds};
+use waterwise_telemetry::{ConditionsProvider, Region};
+use waterwise_traces::{JobId, JobSpec};
+
+/// The result of simulating one campaign with one scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationReport {
+    /// Name of the scheduler that produced this report.
+    pub scheduler_name: String,
+    /// Per-job outcomes in completion order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Scheduler decision-overhead samples, one per round that had work.
+    pub overhead: Vec<OverheadSample>,
+    /// Aggregate summary.
+    pub summary: CampaignSummary,
+    /// Total simulated time from first submission to last completion.
+    pub makespan: Seconds,
+}
+
+/// Discrete-event simulator of the geo-distributed cluster.
+///
+/// ```
+/// use waterwise_cluster::{SimulationConfig, Simulator};
+/// use waterwise_telemetry::SyntheticTelemetry;
+///
+/// let config = SimulationConfig::paper_default(40, 0.5);
+/// let simulator = Simulator::new(config, SyntheticTelemetry::with_seed(1)).unwrap();
+/// assert_eq!(simulator.config().regions.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<P> {
+    config: SimulationConfig,
+    provider: P,
+    estimator: FootprintEstimator,
+}
+
+/// Per-job bookkeeping the engine maintains while a job moves through
+/// arrival → assignment → transfer → execution → completion.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct JobRuntime {
+    pub(crate) assigned_region: Option<Region>,
+    pub(crate) transfer_time: f64,
+    pub(crate) start_time: f64,
+    pub(crate) completion_time: f64,
+    pub(crate) started: bool,
+    pub(crate) completed: bool,
+}
+
+/// Everything footprint accounting needs about one completed job, copied out
+/// of the engine state so the pipelined driver can compute the
+/// [`JobOutcome`] on an accounting shard while the event loop keeps moving.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompletionRecord {
+    /// Position of this completion in completion order (the index of the
+    /// outcome in [`SimulationReport::outcomes`]).
+    pub(crate) index: usize,
+    /// Index of the job in the campaign's trace.
+    pub(crate) job: usize,
+    /// The job's final runtime bookkeeping.
+    pub(crate) runtime: JobRuntime,
+}
+
+/// The mode-independent engine core: event queue, region/job bookkeeping,
+/// and the slot commit logic. Both the synchronous driver
+/// ([`Simulator::run`] with [`EngineMode::Sync`]) and the pipelined driver
+/// ([`pipeline::run_pipelined`]) drive exactly this state machine, which is
+/// what makes their schedules byte-identical by construction: every state
+/// transition an engine mode may take lives here, and the drivers only
+/// choose *which thread* performs the scheduler solve and the footprint
+/// accounting.
+pub(crate) struct SimState<'a> {
+    pub(crate) jobs: &'a [JobSpec],
+    participating: Vec<Region>,
+    regions: Vec<RegionRuntime>,
+    region_slot: HashMap<Region, usize>,
+    pub(crate) queue: EventQueue,
+    pub(crate) interval: f64,
+    pub(crate) tolerance: f64,
+    runtimes: Vec<JobRuntime>,
+    /// Pending pool: job indices with the time the controller received them
+    /// and the number of rounds the job has been deferred.
+    pub(crate) pending: Vec<(usize, f64, u32)>,
+    pub(crate) overhead: Vec<OverheadSample>,
+    pub(crate) completed: usize,
+    /// Completions recorded so far (the next [`CompletionRecord::index`]).
+    pub(crate) completions: usize,
+    pub(crate) last_time: f64,
+    first_time: f64,
+}
+
+impl<'a> SimState<'a> {
+    /// Validate the trace, enqueue every arrival plus the first scheduling
+    /// round, and build the initial region state.
+    pub(crate) fn new(
+        config: &SimulationConfig,
+        jobs: &'a [JobSpec],
+    ) -> Result<Self, SimulationError> {
+        // Assignments are keyed by job id; a duplicate would leave one twin
+        // pending forever (the round loop would never drain), so reject the
+        // malformed trace up front with a typed error.
+        let mut seen_ids: HashSet<JobId> = HashSet::with_capacity(jobs.len());
+        for job in jobs {
+            if !seen_ids.insert(job.id) {
+                return Err(SimulationError::DuplicateJobId { id: job.id });
+            }
+        }
+
+        let participating = config.region_list();
+        let regions: Vec<RegionRuntime> = config
+            .regions
+            .iter()
+            .map(|(r, servers)| RegionRuntime::new(*r, *servers))
+            .collect();
+        let region_slot: HashMap<Region, usize> = regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.region, i))
+            .collect();
+
+        let mut queue = EventQueue::default();
+        for (i, job) in jobs.iter().enumerate() {
+            queue.push(job.submit_time.value(), Event::Arrival(i))?;
+        }
+        let first_time = jobs.first().map(|j| j.submit_time.value()).unwrap_or(0.0);
+        queue.push(first_time, Event::Round)?;
+
+        Ok(Self {
+            jobs,
+            participating,
+            regions,
+            region_slot,
+            queue,
+            interval: config.scheduling_interval.value(),
+            tolerance: config.delay_tolerance,
+            runtimes: vec![JobRuntime::default(); jobs.len()],
+            pending: Vec::new(),
+            overhead: Vec::new(),
+            completed: 0,
+            completions: 0,
+            last_time: first_time,
+            first_time,
+        })
+    }
+
+    /// A job arrived at its home region's decision controller.
+    pub(crate) fn handle_arrival(&mut self, i: usize, time: f64) {
+        self.pending.push((i, time, 0));
+    }
+
+    /// Snapshot the scheduler-visible state for a round: the pending jobs
+    /// (with received times and deferral counts) and the per-region views.
+    pub(crate) fn snapshot(&self) -> (Vec<PendingJob>, Vec<RegionView>) {
+        let pending_jobs = self
+            .pending
+            .iter()
+            .map(|&(i, received, deferrals)| PendingJob {
+                spec: self.jobs[i].clone(),
+                received_at: Seconds::new(received),
+                deferrals,
+            })
+            .collect();
+        let views = self.regions.iter().map(|r| r.view()).collect();
+        (pending_jobs, views)
+    }
+
+    /// Commit a round's decision: enact the placements, count a deferral for
+    /// every snapshot job left pending, and schedule the next round.
+    ///
+    /// `snapshot_len` is the pending-pool size when the round's snapshot was
+    /// taken and `seq_base` the sequence block reserved at that moment (see
+    /// [`EventQueue::reserve`]). The decision's `Ready` events are stamped
+    /// with `seq_base + k` and the next round with `seq_base + snapshot_len`
+    /// — the exact keys a synchronous inline commit hands out — so the
+    /// pipelined driver may ingest arrivals between snapshot and commit
+    /// without perturbing event order. Assignments are matched against the
+    /// snapshot prefix of the pending pool only: a decision can never reach
+    /// jobs that arrived after its snapshot, in either engine mode.
+    pub(crate) fn commit_round(
+        &mut self,
+        decision: &SchedulingDecision,
+        snapshot_len: usize,
+        seq_base: u64,
+        now: f64,
+        config: &SimulationConfig,
+    ) -> Result<(), SimulationError> {
+        let by_id: HashMap<JobId, usize> = self
+            .pending
+            .iter()
+            .take(snapshot_len)
+            .map(|&(i, _, _)| (self.jobs[i].id, i))
+            .collect();
+        let mut assigned: Vec<usize> = Vec::new();
+        for a in &decision.assignments {
+            let Some(&i) = by_id.get(&a.job) else {
+                continue; // Unknown or already-scheduled job id: ignore.
+            };
+            if !self.participating.contains(&a.region) || self.runtimes[i].assigned_region.is_some()
+            {
+                continue;
+            }
+            let transfer_time = config
+                .transfer
+                .transfer_time(
+                    self.jobs[i].home_region,
+                    a.region,
+                    self.jobs[i].package_bytes,
+                )
+                .value();
+            self.runtimes[i].assigned_region = Some(a.region);
+            self.runtimes[i].transfer_time = transfer_time;
+            let slot = self.region_slot[&a.region];
+            self.regions[slot].inbound += 1;
+            self.queue.push_with_seq(
+                now + transfer_time,
+                seq_base + assigned.len() as u64,
+                Event::Ready(i),
+            )?;
+            assigned.push(i);
+        }
+        // Drop the assigned jobs from the pool; jobs that were *offered*
+        // this round (the snapshot prefix) and stayed count one more
+        // deferral. Arrivals ingested after the snapshot are untouched.
+        let mut position = 0usize;
+        self.pending.retain_mut(|entry| {
+            let offered = position < snapshot_len;
+            position += 1;
+            if assigned.contains(&entry.0) {
+                return false;
+            }
+            if offered {
+                entry.2 += 1;
+            }
+            true
+        });
+        if self.completed < self.jobs.len() {
+            self.queue.push_with_seq(
+                now + self.interval,
+                seq_base + snapshot_len as u64,
+                Event::Round,
+            )?;
+        }
+        Ok(())
+    }
+
+    /// A job's package transfer completed: start it or queue it in its
+    /// assigned region.
+    pub(crate) fn handle_ready(&mut self, i: usize, time: f64) -> Result<(), SimulationError> {
+        // Name the job by its trace id, not the internal array index
+        // `Event::describe` would render — the two only coincide for 0..n
+        // traces.
+        let region =
+            self.runtimes[i]
+                .assigned_region
+                .ok_or_else(|| SimulationError::UnassignedJob {
+                    job: self.jobs[i].id,
+                    event: format!("readiness of job {}", self.jobs[i].id.0),
+                })?;
+        let slot = self.region_slot[&region];
+        self.regions[slot].advance_to(time);
+        self.regions[slot].inbound = self.regions[slot].inbound.saturating_sub(1);
+        if self.regions[slot].busy < self.regions[slot].servers {
+            self.regions[slot].busy += 1;
+            self.runtimes[i].started = true;
+            self.runtimes[i].start_time = time;
+            self.queue.push(
+                time + self.jobs[i].actual_execution_time.value(),
+                Event::Complete(i),
+            )?;
+        } else {
+            self.regions[slot].queue.push_back(i);
+        }
+        Ok(())
+    }
+
+    /// A job finished executing: free the server (or admit the next queued
+    /// job) and return the record footprint accounting needs.
+    pub(crate) fn handle_complete(
+        &mut self,
+        i: usize,
+        time: f64,
+    ) -> Result<CompletionRecord, SimulationError> {
+        let region =
+            self.runtimes[i]
+                .assigned_region
+                .ok_or_else(|| SimulationError::UnassignedJob {
+                    job: self.jobs[i].id,
+                    event: format!("completion of job {}", self.jobs[i].id.0),
+                })?;
+        let slot = self.region_slot[&region];
+        self.regions[slot].advance_to(time);
+        self.runtimes[i].completed = true;
+        self.runtimes[i].completion_time = time;
+        self.completed += 1;
+        let record = CompletionRecord {
+            index: self.completions,
+            job: i,
+            runtime: self.runtimes[i],
+        };
+        self.completions += 1;
+        // Free the server and admit the next queued job, if any.
+        if let Some(next) = self.regions[slot].queue.pop_front() {
+            self.runtimes[next].started = true;
+            self.runtimes[next].start_time = time;
+            self.queue.push(
+                time + self.jobs[next].actual_execution_time.value(),
+                Event::Complete(next),
+            )?;
+        } else {
+            self.regions[slot].busy -= 1;
+        }
+        Ok(record)
+    }
+
+    /// Whether the campaign is finished: every job completed, nothing
+    /// pending, and only periodic rounds left queued.
+    pub(crate) fn should_stop(&self) -> bool {
+        self.completed == self.jobs.len()
+            && self.pending.is_empty()
+            && self.queue.only_rounds_left()
+    }
+
+    /// Close the utilization integrals and return
+    /// `(makespan, mean_utilization)`.
+    pub(crate) fn finalize(&mut self) -> (f64, f64) {
+        for r in &mut self.regions {
+            r.advance_to(self.last_time);
+        }
+        let makespan = (self.last_time - self.first_time).max(0.0);
+        let capacity_seconds: f64 = self
+            .regions
+            .iter()
+            .map(|r| r.servers as f64 * makespan)
+            .sum();
+        let busy_seconds: f64 = self.regions.iter().map(|r| r.busy_server_seconds).sum();
+        let mean_utilization = if capacity_seconds > 0.0 {
+            busy_seconds / capacity_seconds
+        } else {
+            0.0
+        };
+        (makespan, mean_utilization)
+    }
+}
+
+/// Run one `Scheduler::schedule` call, timing it and attributing the solver
+/// work spent during the call (cold vs warm solves, pivots, nodes, cache
+/// traffic). Both engine drivers record exactly this measurement per round,
+/// so the per-round `OverheadSample::solver` deltas cannot diverge between
+/// modes.
+pub(crate) fn timed_schedule(
+    scheduler: &mut dyn Scheduler,
+    ctx: &SchedulingContext<'_>,
+) -> (SchedulingDecision, f64, Option<SolverActivity>) {
+    let before = scheduler.solver_activity();
+    let started = Instant::now();
+    let decision = scheduler.schedule(ctx);
+    let elapsed = started.elapsed().as_secs_f64();
+    let solver = match (before, scheduler.solver_activity()) {
+        (Some(before), Some(after)) => Some(after.delta_since(&before)),
+        _ => None,
+    };
+    (decision, elapsed, solver)
+}
+
+impl<P: ConditionsProvider> Simulator<P> {
+    /// Create a simulator. Fails if the configuration is invalid.
+    pub fn new(config: SimulationConfig, provider: P) -> Result<Self, SimulationError> {
+        config.validate()?;
+        let mut datacenter = config.datacenter;
+        datacenter.server = datacenter
+            .server
+            .perturbed_embodied(config.embodied_perturbation);
+        let estimator = FootprintEstimator::new(datacenter);
+        Ok(Self {
+            config,
+            provider,
+            estimator,
+        })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The footprint estimator (after applying any embodied perturbation).
+    pub fn estimator(&self) -> &FootprintEstimator {
+        &self.estimator
+    }
+
+    /// Run the campaign: replay `jobs` (sorted by submit time) under
+    /// `scheduler` and return the full report.
+    ///
+    /// Dispatches on the configured [`EngineMode`] (after
+    /// [`EngineMode::normalized`], so a zero-worker pipeline runs
+    /// synchronously). The produced schedule is byte-identical across
+    /// modes.
+    ///
+    /// Fails if the trace contains duplicate job ids, if the trace or
+    /// transfer model would produce an event with a non-finite timestamp
+    /// (see [`SimulationError::NonFiniteEventTime`]), or — pipelined mode
+    /// only — if a pipeline stage dies or violates the commit protocol.
+    pub fn run(
+        &self,
+        jobs: &[JobSpec],
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<SimulationReport, SimulationError> {
+        match self.config.engine.normalized() {
+            EngineMode::Sync => self.run_sync(jobs, scheduler),
+            EngineMode::Pipelined { workers } => {
+                pipeline::run_pipelined(self, jobs, scheduler, workers)
+            }
+        }
+    }
+
+    /// The synchronous driver: every stage of the slot lifecycle runs
+    /// inline on the caller's thread.
+    fn run_sync(
+        &self,
+        jobs: &[JobSpec],
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<SimulationReport, SimulationError> {
+        let mut state = SimState::new(&self.config, jobs)?;
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+
+        while let Some(QueuedEvent { time, event, .. }) = state.queue.pop() {
+            state.last_time = time;
+            match event {
+                Event::Arrival(i) => state.handle_arrival(i, time),
+                Event::Round => {
+                    if !state.pending.is_empty() {
+                        let (pending_jobs, views) = state.snapshot();
+                        let batch = pending_jobs.len();
+                        let seq_base = state.queue.reserve(batch as u64 + 1);
+                        let ctx = SchedulingContext {
+                            now: Seconds::new(time),
+                            pending: &pending_jobs,
+                            regions: &views,
+                            delay_tolerance: state.tolerance,
+                            transfer: &self.config.transfer,
+                        };
+                        let (decision, elapsed, solver) = timed_schedule(scheduler, &ctx);
+                        state.overhead.push(OverheadSample {
+                            sim_time: Seconds::new(time),
+                            wall_clock: Seconds::new(elapsed),
+                            // The inline solve blocks the event loop for its
+                            // full duration.
+                            commit_wait: Seconds::new(elapsed),
+                            batch_size: batch,
+                            solver,
+                        });
+                        state.commit_round(&decision, batch, seq_base, time, &self.config)?;
+                    } else if state.completed < jobs.len() {
+                        state.queue.push(time + state.interval, Event::Round)?;
+                    }
+                }
+                Event::Ready(i) => state.handle_ready(i, time)?,
+                Event::Complete(i) => {
+                    let record = state.handle_complete(i, time)?;
+                    outcomes.push(self.record_outcome(
+                        &jobs[record.job],
+                        &record.runtime,
+                        state.tolerance,
+                    )?);
+                }
+            }
+            if state.should_stop() {
+                // Drain any remaining Round events implicitly by stopping.
+                break;
+            }
+        }
+
+        let (makespan, mean_utilization) = state.finalize();
+        let summary = CampaignSummary::from_outcomes(&outcomes, &state.overhead, mean_utilization);
+        Ok(SimulationReport {
+            scheduler_name: scheduler.name().to_string(),
+            outcomes,
+            overhead: state.overhead,
+            summary,
+            makespan: Seconds::new(makespan),
+        })
+    }
+
+    /// Footprint accounting for one completed job: estimate the execution
+    /// and transfer footprints under the conditions at the job's start time
+    /// and derive the service-time verdicts. Pure with respect to engine
+    /// state, which is what lets the pipelined driver run it on accounting
+    /// shards.
+    pub(crate) fn record_outcome(
+        &self,
+        job: &JobSpec,
+        runtime: &JobRuntime,
+        tolerance: f64,
+    ) -> Result<JobOutcome, SimulationError> {
+        let region = runtime
+            .assigned_region
+            .ok_or_else(|| SimulationError::UnassignedJob {
+                job: job.id,
+                event: format!("outcome of job {}", job.id.0),
+            })?;
+        let start = Seconds::new(runtime.start_time);
+        let conditions = self.provider.conditions(region, start);
+        let usage = JobResourceUsage::new(job.actual_energy, job.actual_execution_time);
+        let footprint = self.estimator.estimate(usage, conditions);
+        let transfer_footprint = if region == job.home_region {
+            Default::default()
+        } else {
+            let energy =
+                self.config
+                    .transfer
+                    .transfer_energy(job.home_region, region, job.package_bytes);
+            // The transfer consumes energy along the path; attribute it to the
+            // destination region's conditions and exclude embodied terms.
+            self.estimator
+                .estimate_operational(JobResourceUsage::new(energy, Seconds::zero()), conditions)
+        };
+        let service_time = runtime.completion_time - job.submit_time.value();
+        let allowed = (1.0 + tolerance) * job.actual_execution_time.value();
+        Ok(JobOutcome {
+            job: job.id,
+            home_region: job.home_region,
+            executed_region: region,
+            submit_time: job.submit_time,
+            start_time: start,
+            completion_time: Seconds::new(runtime.completion_time),
+            execution_time: job.actual_execution_time,
+            footprint,
+            transfer_footprint,
+            transfer_time: Seconds::new(runtime.transfer_time),
+            violated_tolerance: service_time > allowed + 1e-6,
+        })
+    }
+}

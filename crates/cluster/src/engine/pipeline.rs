@@ -1,0 +1,347 @@
+//! The pipelined engine driver: event loop, solver stage, and accounting
+//! shards connected by bounded channels.
+//!
+//! # Stage layout
+//!
+//! ```text
+//!  event stage (caller thread)          solver stage (1 thread)
+//!  ┌──────────────────────────┐  snapshots   ┌─────────────────────────┐
+//!  │ pop events, keep region/ │ ───────────► │ owns the scheduler,     │
+//!  │ job state, ingest        │  bounded(1)  │ solves one slot at a    │
+//!  │ arrivals ahead of the    │ ◄─────────── │ time, returns decision  │
+//!  │ commit barrier, commit   │  decisions   │ + per-round solver work │
+//!  │ decisions in slot order  │              └─────────────────────────┘
+//!  └───────────┬──────────────┘
+//!              │ completion records (bounded, sharded by completion index)
+//!              ▼
+//!  accounting shards (`workers − 1` threads): pure footprint accounting
+//!  per completed job, merged back in completion order at the end.
+//! ```
+//!
+//! # Commit protocol and determinism
+//!
+//! The solver stage receives round snapshots over a bounded channel and its
+//! decisions are committed strictly in slot order — the event stage tags
+//! every request with a slot counter and refuses an out-of-order response
+//! ([`SimulationError::PipelineCommitOrder`]). While slot `t`'s solve is in
+//! flight, the event stage keeps ingesting *arrival* events ahead of the
+//! commit barrier (the next round's position in the event order): arrivals
+//! only append to the pending pool, which the slot-`t` decision cannot touch
+//! (commits match assignments against the snapshot prefix only), so the
+//! overlap commutes with the commit. Every other event type waits for the
+//! commit, because decision effects (`Ready` events, possibly at the very
+//! same timestamp for home-region placements) may interleave anywhere after
+//! the round.
+//!
+//! Two mechanisms make the replay byte-identical to the synchronous engine:
+//!
+//! 1. **Reserved sequence blocks** — the round reserves its decision
+//!    events' queue keys at snapshot time
+//!    ([`EventQueue::reserve`](super::queue::EventQueue::reserve)), so the
+//!    late commit stamps exactly the keys an inline commit would have.
+//! 2. **Completion-indexed accounting** — footprint accounting is pure, so
+//!    shards may compute outcomes in any order; results are merged back by
+//!    completion index, reproducing the synchronous engine's outcome order
+//!    (and, on failure, the first error in completion order).
+//!
+//! The byte-identity guarantee is property-tested in
+//! `tests/pipeline_equivalence.rs` against adversarial traces (exact
+//! timestamp ties, duplicate-free id shuffles, capacity starvation) and
+//! asserted again at campaign level in the workspace integration tests.
+
+use super::queue::{Event, QueuedEvent};
+use super::{CompletionRecord, SimState, SimulationReport, Simulator};
+use crate::error::SimulationError;
+use crate::metrics::{CampaignSummary, JobOutcome, OverheadSample, PipelineStats};
+use crate::scheduler::{
+    PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,
+};
+use crate::state::RegionView;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::time::Instant;
+use waterwise_sustain::Seconds;
+use waterwise_telemetry::ConditionsProvider;
+use waterwise_traces::JobSpec;
+
+/// In-flight solve bound. One slot is the deepest the pipeline can run
+/// without speculating on uncommitted decisions (slot `t+1`'s snapshot
+/// depends on slot `t`'s commit), so a deeper queue could never fill.
+const SOLVE_QUEUE_DEPTH: usize = 1;
+
+/// Completion records buffered per accounting shard before the event stage
+/// backpressures. Large enough that a burst of completions inside one
+/// scheduling window never blocks the event loop in practice.
+const ACCOUNTING_QUEUE_DEPTH: usize = 1024;
+
+/// A round snapshot shipped to the solver stage.
+struct SolveRequest {
+    slot: usize,
+    now: f64,
+    pending: Vec<PendingJob>,
+    views: Vec<RegionView>,
+}
+
+/// The solver stage's answer for one slot.
+struct SolveResponse {
+    slot: usize,
+    decision: SchedulingDecision,
+    wall: f64,
+    solver: Option<SolverActivity>,
+    batch: usize,
+}
+
+/// Run one campaign on the pipelined engine. `workers` counts auxiliary
+/// threads: one solver stage plus `workers − 1` accounting shards (the
+/// caller guarantees `workers ≥ 1`; zero workers normalize to the
+/// synchronous engine before dispatch).
+pub(crate) fn run_pipelined<P: ConditionsProvider>(
+    sim: &Simulator<P>,
+    jobs: &[JobSpec],
+    scheduler: &mut dyn Scheduler,
+    workers: usize,
+) -> Result<SimulationReport, SimulationError> {
+    let workers = workers.max(1);
+    let shards = workers - 1;
+    let scheduler_name = scheduler.name().to_string();
+    let mut state = SimState::new(sim.config(), jobs)?;
+    let mut stats = PipelineStats {
+        workers,
+        accounting_shards: shards,
+        ..PipelineStats::default()
+    };
+
+    let outcomes: Vec<JobOutcome> = std::thread::scope(|scope| {
+        let (req_tx, req_rx) = std::sync::mpsc::sync_channel::<SolveRequest>(SOLVE_QUEUE_DEPTH);
+        let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel::<SolveResponse>(SOLVE_QUEUE_DEPTH);
+        let delay_tolerance = state.tolerance;
+        let transfer = &sim.config().transfer;
+        scope.spawn(move || solver_stage(req_rx, resp_tx, delay_tolerance, transfer, scheduler));
+
+        let mut shard_txs: Vec<SyncSender<CompletionRecord>> = Vec::with_capacity(shards);
+        let mut shard_handles = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) =
+                std::sync::mpsc::sync_channel::<CompletionRecord>(ACCOUNTING_QUEUE_DEPTH);
+            shard_handles
+                .push(scope.spawn(move || accounting_stage(rx, sim, jobs, delay_tolerance)));
+            shard_txs.push(tx);
+        }
+
+        let mut inline_outcomes: Vec<JobOutcome> =
+            Vec::with_capacity(if shards == 0 { jobs.len() } else { 0 });
+        let loop_result = event_loop(
+            sim,
+            jobs,
+            &mut state,
+            &mut stats,
+            &mut inline_outcomes,
+            &req_tx,
+            &resp_rx,
+            &shard_txs,
+        );
+        // Hang up the stages so every thread drains and exits; the scope
+        // would otherwise deadlock joining a stage still blocked on recv.
+        drop(req_tx);
+        drop(shard_txs);
+        loop_result?;
+
+        if shards == 0 {
+            return Ok(inline_outcomes);
+        }
+        // Deterministic merge: place every shard's outcomes back at their
+        // completion index, then surface the first error (if any) in
+        // completion order — exactly the error a synchronous replay would
+        // have hit first.
+        let mut merged: Vec<Option<Result<JobOutcome, SimulationError>>> =
+            (0..state.completions).map(|_| None).collect();
+        for handle in shard_handles {
+            for (index, result) in handle.join().expect("accounting shard panicked") {
+                merged[index] = Some(result);
+            }
+        }
+        merged
+            .into_iter()
+            .map(|slot| slot.expect("every completion index is accounted"))
+            .collect()
+    })?;
+
+    let (makespan, mean_utilization) = state.finalize();
+    let summary = CampaignSummary::from_outcomes(&outcomes, &state.overhead, mean_utilization)
+        .with_pipeline(stats);
+    Ok(SimulationReport {
+        scheduler_name,
+        outcomes,
+        overhead: state.overhead,
+        summary,
+        makespan: Seconds::new(makespan),
+    })
+}
+
+/// The event stage: identical state transitions to the synchronous driver,
+/// with solves shipped to the solver stage (arrivals ahead of the commit
+/// barrier ingested while waiting) and accounting shipped to the shards.
+#[allow(clippy::too_many_arguments)]
+fn event_loop<P: ConditionsProvider>(
+    sim: &Simulator<P>,
+    jobs: &[JobSpec],
+    state: &mut SimState<'_>,
+    stats: &mut PipelineStats,
+    inline_outcomes: &mut Vec<JobOutcome>,
+    requests: &SyncSender<SolveRequest>,
+    responses: &Receiver<SolveResponse>,
+    shard_txs: &[SyncSender<CompletionRecord>],
+) -> Result<(), SimulationError> {
+    let mut slot = 0usize;
+    while let Some(QueuedEvent { time, event, .. }) = state.queue.pop() {
+        state.last_time = time;
+        match event {
+            Event::Arrival(i) => state.handle_arrival(i, time),
+            Event::Round => {
+                if !state.pending.is_empty() {
+                    let (pending_jobs, views) = state.snapshot();
+                    let batch = pending_jobs.len();
+                    let seq_base = state.queue.reserve(batch as u64 + 1);
+                    // The commit barrier: the key the next round will carry.
+                    // Events strictly ahead of it in `(time, seq)` order
+                    // belong to this scheduling window.
+                    let barrier = (time + state.interval, seq_base + batch as u64);
+                    requests
+                        .send(SolveRequest {
+                            slot,
+                            now: time,
+                            pending: pending_jobs,
+                            views,
+                        })
+                        .map_err(|_| SimulationError::SolverStageDisconnected { slot })?;
+                    stats.solve_requests += 1;
+                    // Overlap: ingest arrivals ahead of the barrier while
+                    // the solver stage works on this slot. Arrivals only
+                    // append to the pending pool, which this slot's commit
+                    // cannot touch; every other event type must wait for
+                    // the decision's `Ready` events to take their reserved
+                    // places in the event order.
+                    while let Some(top) = state.queue.peek() {
+                        if !matches!(top.event, Event::Arrival(_)) || (top.time, top.seq) >= barrier
+                        {
+                            break;
+                        }
+                        let arrival = state.queue.pop().expect("peeked event exists");
+                        state.last_time = arrival.time;
+                        if let Event::Arrival(i) = arrival.event {
+                            state.handle_arrival(i, arrival.time);
+                            stats.overlapped_arrivals += 1;
+                        }
+                    }
+                    // Block for the slot's decision and commit it. Strict
+                    // slot ordering is the commit protocol's invariant.
+                    let wait_started = Instant::now();
+                    let resp = responses
+                        .recv()
+                        .map_err(|_| SimulationError::SolverStageDisconnected { slot })?;
+                    let commit_wait = wait_started.elapsed().as_secs_f64();
+                    if resp.slot != slot {
+                        return Err(SimulationError::PipelineCommitOrder {
+                            expected: slot,
+                            got: resp.slot,
+                        });
+                    }
+                    stats.commit_wait = Seconds::new(stats.commit_wait.value() + commit_wait);
+                    stats.solver_busy = Seconds::new(stats.solver_busy.value() + resp.wall);
+                    state.overhead.push(OverheadSample {
+                        sim_time: Seconds::new(time),
+                        wall_clock: Seconds::new(resp.wall),
+                        commit_wait: Seconds::new(commit_wait),
+                        batch_size: resp.batch,
+                        solver: resp.solver,
+                    });
+                    state.commit_round(&resp.decision, batch, seq_base, time, sim.config())?;
+                    slot += 1;
+                } else if state.completed < jobs.len() {
+                    state.queue.push(time + state.interval, Event::Round)?;
+                }
+            }
+            Event::Ready(i) => state.handle_ready(i, time)?,
+            Event::Complete(i) => {
+                let record = state.handle_complete(i, time)?;
+                if shard_txs.is_empty() {
+                    inline_outcomes.push(sim.record_outcome(
+                        &jobs[record.job],
+                        &record.runtime,
+                        state.tolerance,
+                    )?);
+                } else {
+                    stats.accounted_jobs += 1;
+                    send_record(&shard_txs[record.index % shard_txs.len()], record)?;
+                }
+            }
+        }
+        if state.should_stop() {
+            // Drain any remaining Round events implicitly by stopping.
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Ship a completion record to its accounting shard, reporting a dead shard
+/// as a typed error instead of panicking the event stage. Blocks when the
+/// shard's queue is full (backpressure on the event loop).
+fn send_record(
+    tx: &SyncSender<CompletionRecord>,
+    record: CompletionRecord,
+) -> Result<(), SimulationError> {
+    let index = record.index;
+    tx.send(record)
+        .map_err(|_| SimulationError::AccountingStageDisconnected { index })
+}
+
+/// The solver stage: owns the scheduler for the campaign's lifetime,
+/// solving one snapshot at a time in slot order. Exits when the event stage
+/// hangs up either side of the channel pair.
+fn solver_stage(
+    requests: Receiver<SolveRequest>,
+    responses: SyncSender<SolveResponse>,
+    delay_tolerance: f64,
+    transfer: &crate::network::TransferModel,
+    scheduler: &mut dyn Scheduler,
+) {
+    while let Ok(request) = requests.recv() {
+        let ctx = SchedulingContext {
+            now: Seconds::new(request.now),
+            pending: &request.pending,
+            regions: &request.views,
+            delay_tolerance,
+            transfer,
+        };
+        let (decision, wall, solver) = super::timed_schedule(scheduler, &ctx);
+        let response = SolveResponse {
+            slot: request.slot,
+            decision,
+            wall,
+            solver,
+            batch: request.pending.len(),
+        };
+        if responses.send(response).is_err() {
+            break; // Event stage hung up (error path); exit cleanly.
+        }
+    }
+}
+
+/// An accounting shard: pure footprint accounting per completion record,
+/// tagged with the completion index for the deterministic merge.
+fn accounting_stage<P: ConditionsProvider>(
+    records: Receiver<CompletionRecord>,
+    sim: &Simulator<P>,
+    jobs: &[JobSpec],
+    tolerance: f64,
+) -> Vec<(usize, Result<JobOutcome, SimulationError>)> {
+    records
+        .iter()
+        .map(|record| {
+            (
+                record.index,
+                sim.record_outcome(&jobs[record.job], &record.runtime, tolerance),
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,498 @@
+//! Engine unit tests: the synchronous reference behavior, the pipelined
+//! mode's byte-identity to it, and both modes' error paths.
+
+use super::*;
+use crate::scheduler::Assignment;
+use waterwise_telemetry::SyntheticTelemetry;
+use waterwise_traces::{TraceConfig, TraceGenerator};
+
+/// A trivial scheduler that always sends every pending job to its home
+/// region immediately (the paper's Baseline).
+struct HomeScheduler;
+impl Scheduler for HomeScheduler {
+    fn name(&self) -> &str {
+        "home"
+    }
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+        SchedulingDecision {
+            assignments: ctx
+                .pending
+                .iter()
+                .map(|p| Assignment {
+                    job: p.spec.id,
+                    region: p.spec.home_region,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A scheduler that sends everything to one region, to exercise queueing.
+struct PinScheduler(Region);
+impl Scheduler for PinScheduler {
+    fn name(&self) -> &str {
+        "pin"
+    }
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+        SchedulingDecision {
+            assignments: ctx
+                .pending
+                .iter()
+                .map(|p| Assignment {
+                    job: p.spec.id,
+                    region: self.0,
+                })
+                .collect(),
+        }
+    }
+}
+
+fn small_trace(seed: u64) -> Vec<JobSpec> {
+    TraceGenerator::new(TraceConfig::borg(0.05, seed)).generate()
+}
+
+fn hand_built_job(submit_time: f64, execution_time: f64) -> JobSpec {
+    use waterwise_sustain::KilowattHours;
+    use waterwise_traces::Benchmark;
+    JobSpec {
+        id: JobId(0),
+        benchmark: Benchmark::Dedup,
+        submit_time: Seconds::new(submit_time),
+        home_region: Region::Oregon,
+        actual_execution_time: Seconds::new(execution_time),
+        actual_energy: KilowattHours::new(0.01),
+        estimated_execution_time: Seconds::new(execution_time),
+        estimated_energy: KilowattHours::new(0.01),
+        package_bytes: 1,
+    }
+}
+
+fn simulator(servers: usize, tolerance: f64) -> Simulator<SyntheticTelemetry> {
+    Simulator::new(
+        SimulationConfig::paper_default(servers, tolerance),
+        SyntheticTelemetry::with_seed(1),
+    )
+    .unwrap()
+}
+
+fn pipelined_simulator(
+    servers: usize,
+    tolerance: f64,
+    workers: usize,
+) -> Simulator<SyntheticTelemetry> {
+    Simulator::new(
+        SimulationConfig::paper_default(servers, tolerance)
+            .with_engine_mode(EngineMode::Pipelined { workers }),
+        SyntheticTelemetry::with_seed(1),
+    )
+    .unwrap()
+}
+
+#[test]
+fn every_job_completes_exactly_once() {
+    let jobs = small_trace(3);
+    let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
+    assert_eq!(report.summary.total_jobs, jobs.len());
+    assert_eq!(report.outcomes.len(), jobs.len());
+    let mut ids: Vec<u64> = report.outcomes.iter().map(|o| o.job.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), jobs.len());
+}
+
+#[test]
+fn home_scheduler_never_migrates_and_never_violates_generously() {
+    let jobs = small_trace(5);
+    let report = simulator(200, 1.0).run(&jobs, &mut HomeScheduler).unwrap();
+    assert_eq!(report.summary.migration_fraction, 0.0);
+    // With ample capacity and no migration, the only delay is the
+    // scheduling-round granularity, so violations should be rare.
+    assert!(report.summary.violation_fraction < 0.2);
+    assert!(report.summary.mean_service_stretch >= 1.0);
+}
+
+#[test]
+fn service_time_is_at_least_execution_time() {
+    let jobs = small_trace(7);
+    let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
+    for o in &report.outcomes {
+        assert!(o.service_time().value() >= o.execution_time.value() - 1e-6);
+        assert!(o.completion_time.value() > o.start_time.value());
+        assert!(o.start_time.value() >= o.submit_time.value());
+    }
+}
+
+#[test]
+fn footprints_are_positive() {
+    let jobs = small_trace(9);
+    let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
+    assert!(report.summary.total_carbon.value() > 0.0);
+    assert!(report.summary.total_water.value() > 0.0);
+    for o in &report.outcomes {
+        assert!(o.footprint.total_carbon().value() > 0.0);
+        assert!(o.footprint.total_water().value() > 0.0);
+    }
+}
+
+#[test]
+fn pinning_to_a_tiny_region_queues_jobs_and_stretches_service_time() {
+    let jobs = small_trace(11);
+    // Only 2 servers per region: pinning everything to Zurich must queue.
+    let report = simulator(2, 0.25)
+        .run(&jobs, &mut PinScheduler(Region::Zurich))
+        .unwrap();
+    assert!(report.summary.migration_fraction > 0.5);
+    assert!(report.summary.mean_service_stretch > 1.0);
+    assert_eq!(
+        report.summary.jobs_per_region[Region::Zurich.index()],
+        jobs.len()
+    );
+    // Capacity is never exceeded: utilization cannot exceed 1.
+    assert!(report.summary.mean_utilization <= 1.0 + 1e-9);
+}
+
+#[test]
+fn migrated_jobs_carry_transfer_overhead() {
+    let jobs = small_trace(13);
+    let report = simulator(20, 0.5)
+        .run(&jobs, &mut PinScheduler(Region::Mumbai))
+        .unwrap();
+    let migrated: Vec<_> = report.outcomes.iter().filter(|o| o.migrated()).collect();
+    assert!(!migrated.is_empty());
+    for o in migrated {
+        assert!(o.transfer_time.value() > 0.0);
+        assert!(o.transfer_footprint.total_carbon().value() > 0.0);
+        // Transfer overhead must be small relative to execution (Table 3).
+        assert!(
+            o.transfer_footprint.total_carbon().value() < 0.1 * o.footprint.total_carbon().value()
+        );
+    }
+}
+
+#[test]
+fn overhead_samples_are_recorded() {
+    let jobs = small_trace(15);
+    let report = simulator(50, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
+    assert!(!report.overhead.is_empty());
+    assert!(report.summary.mean_decision_time.value() >= 0.0);
+    assert!(report.summary.decision_overhead_fraction < 0.01);
+    // The synchronous engine blocks for the full solve: the stall equals
+    // the decision wall clock on every sample.
+    for sample in &report.overhead {
+        assert_eq!(sample.commit_wait, sample.wall_clock);
+    }
+    assert!(report.summary.pipeline.is_none());
+}
+
+#[test]
+fn empty_trace_is_handled() {
+    let report = simulator(10, 0.5).run(&[], &mut HomeScheduler).unwrap();
+    assert_eq!(report.summary.total_jobs, 0);
+    assert_eq!(report.outcomes.len(), 0);
+}
+
+#[test]
+fn nan_submit_time_is_rejected_at_insertion() {
+    let jobs = vec![hand_built_job(f64::NAN, 100.0)];
+    let err = simulator(10, 0.5)
+        .run(&jobs, &mut HomeScheduler)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SimulationError::NonFiniteEventTime { time, ref event }
+            if time.is_nan() && event.contains("arrival")
+    ));
+}
+
+#[test]
+fn non_finite_execution_time_is_rejected_at_insertion() {
+    for bad in [f64::NAN, f64::INFINITY] {
+        let jobs = vec![hand_built_job(0.0, bad)];
+        let err = simulator(10, 0.5)
+            .run(&jobs, &mut HomeScheduler)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimulationError::NonFiniteEventTime { ref event, .. }
+                    if event.contains("completion")
+            ),
+            "execution time {bad} should be rejected, got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicate_job_ids_fail_the_campaign_with_a_typed_error() {
+    // Two jobs sharing an id would leave one twin unschedulable forever
+    // (assignments are keyed by id); the engine must reject the trace
+    // instead of spinning or panicking.
+    let mut a = hand_built_job(0.0, 50.0);
+    let mut b = hand_built_job(10.0, 60.0);
+    a.id = JobId(7);
+    b.id = JobId(7);
+    let err = simulator(10, 0.5)
+        .run(&[a, b], &mut HomeScheduler)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SimulationError::DuplicateJobId { id: JobId(7) }
+    ));
+}
+
+#[test]
+fn invalid_config_surfaces_as_typed_error() {
+    let err = Simulator::new(
+        SimulationConfig::paper_default(0, 0.5),
+        SyntheticTelemetry::with_seed(1),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SimulationError::Config(crate::error::ConfigError::EmptyRegion { .. })
+    ));
+}
+
+#[test]
+fn deferring_scheduler_eventually_everything_still_completes() {
+    /// Defers everything for the first few rounds, then behaves like home.
+    struct LazyScheduler {
+        rounds: u32,
+    }
+    impl Scheduler for LazyScheduler {
+        fn name(&self) -> &str {
+            "lazy"
+        }
+        fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+            self.rounds += 1;
+            if self.rounds <= 3 {
+                SchedulingDecision::defer_all()
+            } else {
+                SchedulingDecision {
+                    assignments: ctx
+                        .pending
+                        .iter()
+                        .map(|p| Assignment {
+                            job: p.spec.id,
+                            region: p.spec.home_region,
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+    let jobs = small_trace(17);
+    let report = simulator(50, 0.5)
+        .run(&jobs, &mut LazyScheduler { rounds: 0 })
+        .unwrap();
+    assert_eq!(report.summary.total_jobs, jobs.len());
+    // Deferral shows up as extra waiting time.
+    assert!(report.summary.mean_service_stretch >= 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined mode
+// ---------------------------------------------------------------------------
+
+/// Compare two reports for logical identity: schedules, outcomes, and
+/// everything deterministic about the overhead samples (wall-clock timings
+/// and pipeline occupancy are measurements and may differ).
+#[track_caller]
+fn assert_reports_identical(sync: &SimulationReport, pipelined: &SimulationReport) {
+    assert_eq!(sync.outcomes, pipelined.outcomes);
+    assert_eq!(sync.makespan, pipelined.makespan);
+    assert_eq!(
+        format!("{:?}", sync.summary.without_wall_clock()),
+        format!("{:?}", pipelined.summary.without_wall_clock()),
+    );
+    assert_eq!(sync.overhead.len(), pipelined.overhead.len());
+    for (a, b) in sync.overhead.iter().zip(&pipelined.overhead) {
+        assert_eq!(a.sim_time, b.sim_time);
+        assert_eq!(a.batch_size, b.batch_size);
+        assert_eq!(a.solver, b.solver);
+    }
+}
+
+#[test]
+fn pipelined_engine_matches_sync_byte_for_byte() {
+    for seed in [3, 11, 19] {
+        let jobs = small_trace(seed);
+        let sync = simulator(20, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
+        for workers in [1, 2, 4] {
+            let pipelined = pipelined_simulator(20, 0.5, workers)
+                .run(&jobs, &mut HomeScheduler)
+                .unwrap();
+            assert_reports_identical(&sync, &pipelined);
+            let stats = pipelined.summary.pipeline.expect("pipelined stats");
+            assert_eq!(stats.workers, workers);
+            assert_eq!(stats.accounting_shards, workers - 1);
+            assert_eq!(stats.solve_requests, pipelined.overhead.len());
+            if workers > 1 {
+                assert_eq!(stats.accounted_jobs, jobs.len());
+            } else {
+                assert_eq!(stats.accounted_jobs, 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn pipelined_engine_matches_sync_under_queueing_pressure() {
+    // A starved region forces long queues, deferrals, and dense event
+    // windows — the hardest case for the commit protocol.
+    let jobs = small_trace(23);
+    let sync = simulator(2, 0.25)
+        .run(&jobs, &mut PinScheduler(Region::Zurich))
+        .unwrap();
+    let pipelined = pipelined_simulator(2, 0.25, 3)
+        .run(&jobs, &mut PinScheduler(Region::Zurich))
+        .unwrap();
+    assert_reports_identical(&sync, &pipelined);
+}
+
+#[test]
+fn pipelined_engine_overlaps_arrivals_with_solves() {
+    let jobs = small_trace(29);
+    let report = pipelined_simulator(50, 0.5, 2)
+        .run(&jobs, &mut HomeScheduler)
+        .unwrap();
+    let stats = report.summary.pipeline.unwrap();
+    // The Borg-like trace delivers several arrivals per scheduling window;
+    // the event stage must ingest the arrival *prefix* of each window (it
+    // stops at the first Ready/Complete event, whose ordering against the
+    // decision's effects matters) instead of stalling behind the solve.
+    assert!(
+        stats.overlapped_arrivals > jobs.len() / 20,
+        "only {} of {} arrivals overlapped a solve",
+        stats.overlapped_arrivals,
+        jobs.len()
+    );
+    // Occupancy counters are deterministic: a re-run ingests the same set.
+    let again = pipelined_simulator(50, 0.5, 2)
+        .run(&jobs, &mut HomeScheduler)
+        .unwrap();
+    assert_eq!(
+        again.summary.pipeline.unwrap().overlapped_arrivals,
+        stats.overlapped_arrivals
+    );
+}
+
+#[test]
+fn zero_worker_pipeline_clamps_to_sync() {
+    // Regression guard in the spirit of the `with_horizon(Some(0))` clamp:
+    // a zero-worker pipeline has no solver stage to run on and must degrade
+    // to the synchronous engine instead of deadlocking.
+    let jobs = small_trace(31);
+    let report = pipelined_simulator(30, 0.5, 0)
+        .run(&jobs, &mut HomeScheduler)
+        .unwrap();
+    let sync = simulator(30, 0.5).run(&jobs, &mut HomeScheduler).unwrap();
+    assert_reports_identical(&sync, &report);
+    // Proof it actually ran the synchronous driver: no pipeline stats, and
+    // every stall equals its decision time.
+    assert!(report.summary.pipeline.is_none());
+    for sample in &report.overhead {
+        assert_eq!(sample.commit_wait, sample.wall_clock);
+    }
+}
+
+#[test]
+fn pipelined_duplicate_job_ids_fail_with_the_same_typed_error() {
+    let mut a = hand_built_job(0.0, 50.0);
+    let mut b = hand_built_job(10.0, 60.0);
+    a.id = JobId(7);
+    b.id = JobId(7);
+    let err = pipelined_simulator(10, 0.5, 2)
+        .run(&[a, b], &mut HomeScheduler)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SimulationError::DuplicateJobId { id: JobId(7) }
+    ));
+}
+
+#[test]
+fn pipelined_non_finite_times_fail_with_the_same_typed_error() {
+    let err = pipelined_simulator(10, 0.5, 2)
+        .run(&[hand_built_job(f64::NAN, 100.0)], &mut HomeScheduler)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SimulationError::NonFiniteEventTime { time, .. } if time.is_nan()
+    ));
+    let err = pipelined_simulator(10, 0.5, 2)
+        .run(&[hand_built_job(0.0, f64::INFINITY)], &mut HomeScheduler)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        SimulationError::NonFiniteEventTime { ref event, .. } if event.contains("completion")
+    ));
+}
+
+#[test]
+fn pipelined_empty_trace_is_handled() {
+    let report = pipelined_simulator(10, 0.5, 3)
+        .run(&[], &mut HomeScheduler)
+        .unwrap();
+    assert_eq!(report.summary.total_jobs, 0);
+    assert_eq!(report.summary.pipeline.unwrap().solve_requests, 0);
+}
+
+#[test]
+fn a_decision_can_never_reach_jobs_that_arrived_after_its_snapshot() {
+    /// An adversarial scheduler that knows every job id in the trace and
+    /// claims all of them every round — including ids the engine has not
+    /// offered it yet. Both engine modes must ignore the premature
+    /// assignments identically (the pipelined event stage has *already*
+    /// ingested some of those arrivals when the decision commits, which is
+    /// exactly the hole the snapshot-prefix matching closes).
+    struct OmniscientScheduler {
+        all_ids: Vec<JobId>,
+    }
+    impl Scheduler for OmniscientScheduler {
+        fn name(&self) -> &str {
+            "omniscient"
+        }
+        fn schedule(&mut self, _ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+            SchedulingDecision {
+                assignments: self
+                    .all_ids
+                    .iter()
+                    .map(|&job| Assignment {
+                        job,
+                        region: Region::Zurich,
+                    })
+                    .collect(),
+            }
+        }
+    }
+    let jobs = small_trace(37);
+    let all_ids: Vec<JobId> = jobs.iter().map(|j| j.id).collect();
+    let sync = simulator(30, 0.5)
+        .run(
+            &jobs,
+            &mut OmniscientScheduler {
+                all_ids: all_ids.clone(),
+            },
+        )
+        .unwrap();
+    let pipelined = pipelined_simulator(30, 0.5, 2)
+        .run(&jobs, &mut OmniscientScheduler { all_ids })
+        .unwrap();
+    assert_reports_identical(&sync, &pipelined);
+    assert_eq!(sync.summary.total_jobs, jobs.len());
+}
+
+#[test]
+fn pipelined_commit_wait_never_exceeds_reported_stall_totals() {
+    let jobs = small_trace(41);
+    let report = pipelined_simulator(40, 0.5, 2)
+        .run(&jobs, &mut HomeScheduler)
+        .unwrap();
+    let stats = report.summary.pipeline.unwrap();
+    let summed: f64 = report.overhead.iter().map(|s| s.commit_wait.value()).sum();
+    assert!((stats.commit_wait.value() - summed).abs() < 1e-9);
+    let busy: f64 = report.overhead.iter().map(|s| s.wall_clock.value()).sum();
+    assert!((stats.solver_busy.value() - busy).abs() < 1e-9);
+    assert!(stats.stall_fraction() >= 0.0 && stats.stall_fraction() <= 1.0);
+}

@@ -91,6 +91,34 @@ pub enum SimulationError {
         /// The id that appears more than once.
         id: JobId,
     },
+    /// The pipelined engine's solver stage hung up before delivering a
+    /// slot's decision. This only happens when the stage died abnormally
+    /// (e.g. the scheduler panicked mid-solve); the error fails the one
+    /// affected campaign, and the panic — if any — still propagates when
+    /// the engine joins the stage, exactly as it would have from an inline
+    /// synchronous solve.
+    SolverStageDisconnected {
+        /// The scheduling slot whose decision never arrived.
+        slot: usize,
+    },
+    /// A pipelined-engine accounting shard hung up before accepting a
+    /// completion record. Like [`SimulationError::SolverStageDisconnected`],
+    /// this only happens when the shard died abnormally; the error fails the
+    /// one affected campaign.
+    AccountingStageDisconnected {
+        /// Completion index of the record that could not be shipped.
+        index: usize,
+    },
+    /// The pipelined engine received a decision out of slot order. The
+    /// commit protocol applies decisions strictly in slot order, so this is
+    /// an engine-invariant violation; reporting it as an error fails the one
+    /// affected campaign instead of silently committing a stale decision.
+    PipelineCommitOrder {
+        /// The slot whose decision the event stage was waiting for.
+        expected: usize,
+        /// The slot the solver stage actually delivered.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -106,6 +134,24 @@ impl fmt::Display for SimulationError {
             SimulationError::DuplicateJobId { id } => {
                 write!(f, "trace contains duplicate id {id}")
             }
+            SimulationError::SolverStageDisconnected { slot } => {
+                write!(
+                    f,
+                    "pipelined solver stage hung up before delivering slot {slot}"
+                )
+            }
+            SimulationError::AccountingStageDisconnected { index } => {
+                write!(
+                    f,
+                    "pipelined accounting shard hung up before accepting completion {index}"
+                )
+            }
+            SimulationError::PipelineCommitOrder { expected, got } => {
+                write!(
+                    f,
+                    "pipeline commit protocol violated: expected slot {expected}, got {got}"
+                )
+            }
         }
     }
 }
@@ -116,7 +162,10 @@ impl std::error::Error for SimulationError {
             SimulationError::Config(e) => Some(e),
             SimulationError::NonFiniteEventTime { .. }
             | SimulationError::UnassignedJob { .. }
-            | SimulationError::DuplicateJobId { .. } => None,
+            | SimulationError::DuplicateJobId { .. }
+            | SimulationError::SolverStageDisconnected { .. }
+            | SimulationError::AccountingStageDisconnected { .. }
+            | SimulationError::PipelineCommitOrder { .. } => None,
         }
     }
 }
@@ -177,5 +226,20 @@ mod tests {
         let duplicate = SimulationError::DuplicateJobId { id: JobId(4) };
         assert!(duplicate.to_string().contains("job-4"));
         assert!(duplicate.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn pipeline_errors_name_the_slots() {
+        use std::error::Error;
+        let gone = SimulationError::SolverStageDisconnected { slot: 12 };
+        assert!(gone.to_string().contains("slot 12"));
+        assert!(gone.source().is_none());
+        let order = SimulationError::PipelineCommitOrder {
+            expected: 3,
+            got: 5,
+        };
+        assert!(order.to_string().contains("slot 3"));
+        assert!(order.to_string().contains('5'));
+        assert!(order.source().is_none());
     }
 }

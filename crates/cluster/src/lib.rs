@@ -32,10 +32,10 @@ pub mod network;
 pub mod scheduler;
 pub mod state;
 
-pub use config::SimulationConfig;
+pub use config::{EngineMode, SimulationConfig};
 pub use engine::{SimulationReport, Simulator};
 pub use error::{ConfigError, SimulationError};
-pub use metrics::{saving_percent, CampaignSummary, JobOutcome, OverheadSample};
+pub use metrics::{saving_percent, CampaignSummary, JobOutcome, OverheadSample, PipelineStats};
 pub use network::TransferModel;
 pub use scheduler::{
     Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,

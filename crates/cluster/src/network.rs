@@ -13,6 +13,17 @@ use waterwise_sustain::{KilowattHours, Seconds};
 use waterwise_telemetry::Region;
 
 /// Transfer model between the five regions.
+///
+/// ```
+/// use waterwise_cluster::TransferModel;
+/// use waterwise_telemetry::Region;
+///
+/// let model = TransferModel::paper_default();
+/// // Same-region "transfers" are free; real hops pay setup + latency +
+/// // bandwidth.
+/// assert_eq!(model.transfer_time(Region::Oregon, Region::Oregon, 1 << 30).value(), 0.0);
+/// assert!(model.transfer_time(Region::Oregon, Region::Mumbai, 1 << 30).value() > 1.0);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransferModel {
     /// One-way network latency between region pairs (seconds), symmetric.

@@ -92,6 +92,18 @@ impl SchedulingDecision {
     }
 
     /// Build a decision from `(job, region)` pairs.
+    ///
+    /// ```
+    /// use waterwise_cluster::SchedulingDecision;
+    /// use waterwise_telemetry::Region;
+    /// use waterwise_traces::JobId;
+    ///
+    /// let decision = SchedulingDecision::from_pairs([
+    ///     (JobId(1), Region::Zurich),
+    ///     (JobId(2), Region::Oregon),
+    /// ]);
+    /// assert_eq!(decision.assignments.len(), 2);
+    /// ```
     pub fn from_pairs(pairs: impl IntoIterator<Item = (JobId, Region)>) -> Self {
         Self {
             assignments: pairs
@@ -198,6 +210,29 @@ impl SolverActivity {
 }
 
 /// A placement policy. Called once per scheduling round.
+///
+/// `Send` is required so the pipelined engine can run the scheduler on its
+/// dedicated solver-stage thread; the engine presents the identical
+/// sequence of contexts in either mode, so stateful schedulers behave the
+/// same everywhere.
+///
+/// ```
+/// use waterwise_cluster::{Scheduler, SchedulingContext, SchedulingDecision};
+///
+/// /// Sends every pending job to its home region.
+/// struct HomeScheduler;
+///
+/// impl Scheduler for HomeScheduler {
+///     fn name(&self) -> &str {
+///         "home"
+///     }
+///     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+///         SchedulingDecision::from_pairs(
+///             ctx.pending.iter().map(|p| (p.spec.id, p.spec.home_region)),
+///         )
+///     }
+/// }
+/// ```
 pub trait Scheduler: Send {
     /// Short name used in logs, tables, and experiment output.
     fn name(&self) -> &str;

@@ -1,0 +1,167 @@
+//! Property tests for the pipelined engine's determinism contract:
+//! **pipelined replays are byte-identical to synchronous replays**, for any
+//! trace, scheduler behavior, capacity pressure, and worker count.
+//!
+//! The generated traces are deliberately adversarial for the commit
+//! protocol: submit and execution times are drawn from a coarse grid so
+//! that arrivals collide exactly with scheduling rounds, decision `Ready`
+//! events, and completions — the timestamp ties where the reserved
+//! sequence-block protocol is the only thing keeping event order identical
+//! across modes.
+
+use proptest::prelude::*;
+use waterwise_cluster::{
+    EngineMode, Scheduler, SchedulingContext, SchedulingDecision, SimulationConfig,
+    SimulationReport, Simulator,
+};
+use waterwise_sustain::{KilowattHours, Seconds};
+use waterwise_telemetry::{Region, SyntheticTelemetry, ALL_REGIONS};
+use waterwise_traces::{Benchmark, JobId, JobSpec};
+
+fn job(id: u64, submit: f64, exec: f64, home: Region, bytes: u64) -> JobSpec {
+    JobSpec {
+        id: JobId(id),
+        benchmark: Benchmark::Dedup,
+        submit_time: Seconds::new(submit),
+        home_region: home,
+        actual_execution_time: Seconds::new(exec),
+        actual_energy: KilowattHours::new(0.01),
+        estimated_execution_time: Seconds::new(exec),
+        estimated_energy: KilowattHours::new(0.01),
+        package_bytes: bytes,
+    }
+}
+
+/// A deterministic scheduler family covering home placement, pinning,
+/// rotation, partial assignment, and periodic deferral. Stateful behaviors
+/// are fine: both engine modes present the scheduler with the identical
+/// sequence of contexts, so its internal state evolves identically.
+struct VariedScheduler {
+    variant: usize,
+    round: usize,
+}
+
+impl Scheduler for VariedScheduler {
+    fn name(&self) -> &str {
+        "varied"
+    }
+    fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+        self.round += 1;
+        match self.variant {
+            // Home placement for everything.
+            0 => SchedulingDecision::from_pairs(
+                ctx.pending.iter().map(|p| (p.spec.id, p.spec.home_region)),
+            ),
+            // Pin everything to one region (queueing pressure).
+            1 => SchedulingDecision::from_pairs(
+                ctx.pending.iter().map(|p| (p.spec.id, Region::Zurich)),
+            ),
+            // Rotate regions by round and job id.
+            2 => SchedulingDecision::from_pairs(ctx.pending.iter().map(|p| {
+                let region = ALL_REGIONS[(p.spec.id.0 as usize + self.round) % ALL_REGIONS.len()];
+                (p.spec.id, region)
+            })),
+            // Assign only every other pending job; defer the rest.
+            3 => SchedulingDecision::from_pairs(
+                ctx.pending
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == 0)
+                    .map(|(_, p)| (p.spec.id, p.spec.home_region)),
+            ),
+            // Defer everything every third round, else go home.
+            _ => {
+                if self.round.is_multiple_of(3) {
+                    SchedulingDecision::defer_all()
+                } else {
+                    SchedulingDecision::from_pairs(
+                        ctx.pending.iter().map(|p| (p.spec.id, p.spec.home_region)),
+                    )
+                }
+            }
+        }
+    }
+}
+
+fn run(
+    jobs: &[JobSpec],
+    servers: usize,
+    engine: EngineMode,
+    variant: usize,
+) -> Result<SimulationReport, waterwise_cluster::SimulationError> {
+    let config = SimulationConfig::paper_default(servers, 0.5).with_engine_mode(engine);
+    let simulator = Simulator::new(config, SyntheticTelemetry::with_seed(7)).unwrap();
+    simulator.run(jobs, &mut VariedScheduler { variant, round: 0 })
+}
+
+fn assert_identical(sync: &SimulationReport, pipelined: &SimulationReport) {
+    assert_eq!(sync.outcomes, pipelined.outcomes, "outcomes diverged");
+    assert_eq!(sync.makespan, pipelined.makespan, "makespan diverged");
+    assert_eq!(
+        format!("{:?}", sync.summary.without_wall_clock()),
+        format!("{:?}", pipelined.summary.without_wall_clock()),
+        "summaries diverged"
+    );
+    assert_eq!(sync.overhead.len(), pipelined.overhead.len());
+    for (a, b) in sync.overhead.iter().zip(&pipelined.overhead) {
+        assert_eq!(a.sim_time, b.sim_time, "round cadence diverged");
+        assert_eq!(a.batch_size, b.batch_size, "round batches diverged");
+        assert_eq!(a.solver, b.solver, "per-round solver work diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pipelined == sync on tie-heavy traces across scheduler behaviors,
+    /// worker counts, and capacity pressure.
+    #[test]
+    fn pipelined_replay_is_byte_identical_to_sync(
+        raw in prop::collection::vec((0u64..30, 1u64..20, 0usize..5, 1u64..200_000_000), 1..40),
+        servers in 1usize..6,
+        variant in 0usize..5,
+        workers in 1usize..5,
+    ) {
+        // Coarse grids: submit times on multiples of 30 s (the scheduling
+        // round is 60 s, so half land exactly on round boundaries),
+        // execution times on multiples of 45 s (completions collide with
+        // both grids).
+        let jobs: Vec<JobSpec> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, e, r, bytes))| {
+                job(i as u64, s as f64 * 30.0, e as f64 * 45.0, ALL_REGIONS[r], bytes)
+            })
+            .collect();
+        let sync = run(&jobs, servers, EngineMode::Sync, variant).unwrap();
+        let pipelined = run(
+            &jobs,
+            servers,
+            EngineMode::Pipelined { workers },
+            variant,
+        )
+        .unwrap();
+        assert_identical(&sync, &pipelined);
+        prop_assert_eq!(sync.summary.total_jobs, jobs.len());
+    }
+
+    /// The zero-worker clamp holds for arbitrary traces: `Pipelined { 0 }`
+    /// is exactly `Sync`, down to the absence of pipeline stats.
+    #[test]
+    fn zero_worker_pipeline_is_exactly_sync(
+        raw in prop::collection::vec((0u64..20, 1u64..10, 0usize..5, 1u64..1_000_000), 1..15),
+        variant in 0usize..5,
+    ) {
+        let jobs: Vec<JobSpec> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, e, r, bytes))| {
+                job(i as u64, s as f64 * 60.0, e as f64 * 90.0, ALL_REGIONS[r], bytes)
+            })
+            .collect();
+        let sync = run(&jobs, 3, EngineMode::Sync, variant).unwrap();
+        let clamped = run(&jobs, 3, EngineMode::Pipelined { workers: 0 }, variant).unwrap();
+        assert_identical(&sync, &clamped);
+        prop_assert!(clamped.summary.pipeline.is_none());
+    }
+}

@@ -42,4 +42,7 @@ pub use sched::{
     BaselineScheduler, EcovisorScheduler, GreedyObjective, GreedyOptScheduler, LeastLoadScheduler,
     RoundRobinScheduler, WaterWiseConfig, WaterWiseScheduler,
 };
+// Engine-mode types, re-exported so campaign drivers can pick the pipelined
+// engine without depending on `waterwise-cluster` directly.
+pub use waterwise_cluster::{EngineMode, PipelineStats};
 pub use waterwise_milp::{CacheStats, SolutionCache, SolutionCacheHandle};

@@ -13,6 +13,14 @@ use waterwise_sustain::{FootprintEstimator, JobResourceUsage, Seconds};
 use waterwise_telemetry::{ConditionsProvider, Region};
 
 /// The configurable objective weights of Eq. 7 / Eq. 8.
+///
+/// ```
+/// use waterwise_core::ObjectiveWeights;
+///
+/// let weights = ObjectiveWeights::paper_default().with_carbon_weight(0.8);
+/// assert_eq!(weights.lambda_co2, 0.8);
+/// assert!((weights.lambda_h2o - 0.2).abs() < 1e-12); // always 1 − λ_CO2
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ObjectiveWeights {
     /// Weight on the (normalized) carbon footprint, `λ_CO2`.

@@ -31,6 +31,19 @@ use waterwise_telemetry::{ConditionsProvider, Region};
 use waterwise_traces::JobId;
 
 /// Configuration of the WaterWise decision controller.
+///
+/// ```
+/// use waterwise_core::WaterWiseConfig;
+///
+/// let config = WaterWiseConfig::default()
+///     .with_carbon_weight(0.7) // λ_H2O becomes 0.3
+///     .with_horizon(Some(25)) // cap each MILP at the 25 most urgent jobs
+///     .with_warm_start(true);
+/// assert_eq!(config.weights.lambda_co2, 0.7);
+/// assert_eq!(config.horizon, Some(25));
+/// // A zero-job window would stall pending jobs forever; it clamps to 1.
+/// assert_eq!(WaterWiseConfig::default().with_horizon(Some(0)).horizon, Some(1));
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct WaterWiseConfig {
     /// Objective weights (`λ_CO2`, `λ_H2O`, `λ_ref`).
@@ -116,6 +129,18 @@ pub struct SolveStats {
 }
 
 /// The WaterWise scheduler.
+///
+/// ```
+/// use std::sync::Arc;
+/// use waterwise_core::WaterWiseScheduler;
+/// use waterwise_telemetry::SyntheticTelemetry;
+///
+/// let scheduler = WaterWiseScheduler::with_defaults(Arc::new(
+///     SyntheticTelemetry::with_seed(42),
+/// ));
+/// assert_eq!(scheduler.stats().rounds, 0);
+/// assert!(scheduler.config().warm_start);
+/// ```
 pub struct WaterWiseScheduler {
     provider: Arc<dyn ConditionsProvider>,
     estimator: FootprintEstimator,

@@ -74,9 +74,9 @@ impl PartialOrd for Node {
 }
 
 /// Solve a MILP by branch & bound. The model's objective direction is handled
-/// by [`Model::solve_lp_relaxation`]; internally everything is a minimization
-/// of the *relaxation objective in the original direction sign*, so we work
-/// with "smaller is better" on an internal key.
+/// by the LP-relaxation solver on [`Model`]; internally everything is a
+/// minimization of the *relaxation objective in the original direction
+/// sign*, so we work with "smaller is better" on an internal key.
 pub fn solve(
     model: &Model,
     simplex_config: &SimplexConfig,

@@ -332,6 +332,30 @@ struct CacheEntry {
 /// only warm-start the solver, which is hint-invariant for solves that run
 /// to optimality (see [`crate::Model::solve_warm`]). Only the amount of
 /// solver work — and therefore the statistics — depends on the cache.
+///
+/// ```
+/// use waterwise_milp::{
+///     BranchBoundConfig, Model, Sense, SimplexConfig, SolutionCache, SolverWorkspace, VarKind,
+/// };
+///
+/// let mut model = Model::new("cache-example");
+/// let x = model.add_var("x", VarKind::Binary, 0.0, 1.0);
+/// model.add_constraint("cap", x * 1.0, Sense::LessEqual, 1.0);
+/// model.maximize(x * 3.0);
+///
+/// let cache = SolutionCache::shared();
+/// let mut workspace = SolverWorkspace::new();
+/// workspace.attach_cache(cache.clone());
+/// let simplex = SimplexConfig::default();
+/// let bb = BranchBoundConfig::default();
+///
+/// // First solve misses and publishes; re-solving the bit-identical model
+/// // replays the stored optimum without any simplex work.
+/// model.solve_warm(&simplex, &bb, None, &mut workspace).unwrap();
+/// let replayed = model.solve_warm(&simplex, &bb, None, &mut workspace).unwrap();
+/// assert_eq!(replayed.simplex_iterations, 0);
+/// assert_eq!(cache.stats().exact_hits, 1);
+/// ```
 #[derive(Debug)]
 pub struct SolutionCache {
     shards: Vec<RwLock<HashMap<u64, Vec<CacheEntry>>>>,

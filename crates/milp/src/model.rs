@@ -316,6 +316,34 @@ impl Model {
     /// structural match only contributes its values as the warm-start hint
     /// — never trusted as optimal. Solutions solved to optimality are
     /// published back into the cache.
+    ///
+    /// ```
+    /// use waterwise_milp::{
+    ///     BranchBoundConfig, Model, Sense, SimplexConfig, SolverWorkspace, VarKind,
+    /// };
+    ///
+    /// // minimize 2x + y  s.t.  x + y = 1, binary x, y — the shape of one
+    /// // WaterWise assignment row (equality constraints are where phase-1
+    /// // skipping pays).
+    /// let mut model = Model::new("warm-example");
+    /// let x = model.add_var("x", VarKind::Binary, 0.0, 1.0);
+    /// let y = model.add_var("y", VarKind::Binary, 0.0, 1.0);
+    /// model.add_constraint("assign", x + y, Sense::Equal, 1.0);
+    /// model.minimize(x * 2.0 + y * 1.0);
+    ///
+    /// let mut workspace = SolverWorkspace::new();
+    /// let simplex = SimplexConfig::default();
+    /// let bb = BranchBoundConfig::default();
+    /// // First solve is cold; the second reuses the first solution as a
+    /// // warm-start hint (same optimum, less work).
+    /// let cold = model.solve_warm(&simplex, &bb, None, &mut workspace).unwrap();
+    /// let warm = model
+    ///     .solve_warm(&simplex, &bb, Some(&cold.values), &mut workspace)
+    ///     .unwrap();
+    /// assert_eq!(cold.objective, warm.objective);
+    /// assert_eq!(workspace.stats().cold_solves, 1);
+    /// assert_eq!(workspace.stats().warm_solves, 1);
+    /// ```
     pub fn solve_warm(
         &self,
         simplex_config: &SimplexConfig,

@@ -75,6 +75,14 @@ impl WarmStats {
 /// Create one per scheduler (or per thread) and pass it to
 /// [`crate::Model::solve_warm`]; the workspace is deliberately not `Sync` —
 /// concurrent campaigns each carry their own.
+///
+/// ```
+/// use waterwise_milp::SolverWorkspace;
+///
+/// let workspace = SolverWorkspace::new();
+/// assert_eq!(workspace.stats().cold_solves, 0);
+/// assert!(workspace.cache().is_none());
+/// ```
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
     /// Pool of tableau rows returned by finished solves.

@@ -82,6 +82,27 @@ impl FootprintBreakdown {
 /// Footprint estimator bound to a data center's parameters (PUE, server
 /// embodied footprints). Evaluating a job in a region is a pure function of
 /// the job's usage and the region's current conditions.
+///
+/// ```
+/// use waterwise_sustain::{
+///     CarbonIntensity, FootprintEstimator, JobResourceUsage, KilowattHours, LitersPerKwh,
+///     RegionConditions, Seconds, WaterScarcityFactor, WaterUsageEffectiveness,
+/// };
+///
+/// let estimator = FootprintEstimator::paper_default();
+/// let usage = JobResourceUsage::new(KilowattHours::new(0.5), Seconds::new(600.0));
+/// let conditions = RegionConditions {
+///     carbon_intensity: CarbonIntensity::new(220.0),
+///     ewif: LitersPerKwh::new(1.8),
+///     wue: WaterUsageEffectiveness::new(0.4),
+///     wsf: WaterScarcityFactor::new(0.6),
+/// };
+/// let footprint = estimator.estimate(usage, conditions);
+/// assert!(footprint.total_carbon().value() > 0.0);
+/// // Embodied terms make the total exceed the operational share alone.
+/// let operational = estimator.estimate_operational(usage, conditions);
+/// assert!(footprint.total_carbon().value() > operational.total_carbon().value());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FootprintEstimator {
     /// The data-center parameters (PUE, server characteristics).

@@ -82,6 +82,22 @@ impl Default for TelemetryConfig {
 }
 
 /// Pre-generated synthetic telemetry for all five regions.
+///
+/// ```
+/// use waterwise_telemetry::{ConditionsProvider, Region, SyntheticTelemetry};
+/// use waterwise_sustain::Seconds;
+///
+/// let telemetry = SyntheticTelemetry::with_seed(42);
+/// let conditions = telemetry.conditions(Region::Oregon, Seconds::from_hours(12.0));
+/// assert!(conditions.carbon_intensity.value() > 0.0);
+/// // Seeded generation is deterministic: the same seed replays the same
+/// // conditions.
+/// let again = SyntheticTelemetry::with_seed(42);
+/// assert_eq!(
+///     conditions,
+///     again.conditions(Region::Oregon, Seconds::from_hours(12.0)),
+/// );
+/// ```
 #[derive(Debug, Clone)]
 pub struct SyntheticTelemetry {
     config: TelemetryConfig,

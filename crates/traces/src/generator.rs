@@ -80,6 +80,17 @@ impl TraceConfig {
 }
 
 /// Generates [`JobSpec`] traces from a [`TraceConfig`].
+///
+/// ```
+/// use waterwise_traces::{TraceConfig, TraceGenerator};
+///
+/// // One hour of Borg-like arrivals; seeded, so the trace is reproducible.
+/// let jobs = TraceGenerator::new(TraceConfig::borg(1.0 / 24.0, 42)).generate();
+/// assert!(!jobs.is_empty());
+/// assert!(jobs.windows(2).all(|w| w[0].submit_time <= w[1].submit_time));
+/// let again = TraceGenerator::new(TraceConfig::borg(1.0 / 24.0, 42)).generate();
+/// assert_eq!(jobs, again);
+/// ```
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     config: TraceConfig,
