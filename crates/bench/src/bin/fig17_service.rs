@@ -1,0 +1,10 @@
+//! Online placement service over TCP on the Fig. 5 workload (Fig. 17 of
+//! this reproduction; not a figure of the paper). Replays the workload as a
+//! live line-delimited-JSON request stream, asserts decision-identity with
+//! an offline replay in every cell, and reports sustained request
+//! throughput plus per-request placement latency percentiles.
+
+fn main() {
+    let scale = waterwise_bench::ExperimentScale::from_env();
+    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig17_service(scale));
+}

@@ -23,6 +23,7 @@ fn main() {
     ex::print_tables(&ex::fig14_warmstart(scale));
     ex::print_tables(&ex::fig15_solcache(scale));
     ex::print_tables(&ex::fig16_pipeline(scale));
+    ex::print_tables(&ex::fig17_service(scale));
     ex::print_tables(&ex::table2_service_time(scale));
     ex::print_tables(&ex::table3_comm_overhead(scale));
     ex::print_tables(&ex::sens_perturbation(scale));

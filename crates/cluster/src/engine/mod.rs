@@ -26,6 +26,8 @@
 //! `tests/pipeline_equivalence.rs`, and by campaign-level integration
 //! tests.
 
+pub mod clock;
+pub mod online;
 pub(crate) mod pipeline;
 pub(crate) mod queue;
 #[cfg(test)]
@@ -92,15 +94,34 @@ pub(crate) struct JobRuntime {
 /// Everything footprint accounting needs about one completed job, copied out
 /// of the engine state so the pipelined driver can compute the
 /// [`JobOutcome`] on an accounting shard while the event loop keeps moving.
-#[derive(Debug, Clone, Copy)]
+///
+/// The record carries the job's full spec (not an index into a shared
+/// slice): the online driver grows the engine's job table while the
+/// campaign runs, so accounting must never hold a reference into it.
+#[derive(Debug, Clone)]
 pub(crate) struct CompletionRecord {
     /// Position of this completion in completion order (the index of the
     /// outcome in [`SimulationReport::outcomes`]).
     pub(crate) index: usize,
-    /// Index of the job in the campaign's trace.
-    pub(crate) job: usize,
+    /// The completed job's trace record.
+    pub(crate) spec: JobSpec,
     /// The job's final runtime bookkeeping.
     pub(crate) runtime: JobRuntime,
+}
+
+/// One placement enacted by [`SimState::commit_round`], reported back to the
+/// driver so the online service can answer the request that produced it.
+/// Offline replays ignore these.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EnactedPlacement {
+    /// Index of the job in the engine's job table.
+    pub(crate) job: usize,
+    /// The region the job was assigned to.
+    pub(crate) region: Region,
+    /// Transfer time charged for shipping the package there (seconds).
+    pub(crate) transfer_time: f64,
+    /// Scheduling rounds the job was deferred before this placement.
+    pub(crate) deferrals: u32,
 }
 
 /// The mode-independent engine core: event queue, region/job bookkeeping,
@@ -111,8 +132,11 @@ pub(crate) struct CompletionRecord {
 /// transition an engine mode may take lives here, and the drivers only
 /// choose *which thread* performs the scheduler solve and the footprint
 /// accounting.
-pub(crate) struct SimState<'a> {
-    pub(crate) jobs: &'a [JobSpec],
+pub(crate) struct SimState {
+    pub(crate) jobs: Vec<JobSpec>,
+    /// Every job id admitted so far; rejects duplicates both in offline
+    /// traces (up front) and in online injections (per request).
+    seen_ids: HashSet<JobId>,
     participating: Vec<Region>,
     regions: Vec<RegionRuntime>,
     region_slot: HashMap<Region, usize>,
@@ -131,23 +155,43 @@ pub(crate) struct SimState<'a> {
     first_time: f64,
 }
 
-impl<'a> SimState<'a> {
+impl SimState {
     /// Validate the trace, enqueue every arrival plus the first scheduling
     /// round, and build the initial region state.
     pub(crate) fn new(
         config: &SimulationConfig,
-        jobs: &'a [JobSpec],
+        jobs: Vec<JobSpec>,
     ) -> Result<Self, SimulationError> {
         // Assignments are keyed by job id; a duplicate would leave one twin
         // pending forever (the round loop would never drain), so reject the
         // malformed trace up front with a typed error.
         let mut seen_ids: HashSet<JobId> = HashSet::with_capacity(jobs.len());
-        for job in jobs {
+        for job in &jobs {
             if !seen_ids.insert(job.id) {
                 return Err(SimulationError::DuplicateJobId { id: job.id });
             }
         }
 
+        let mut state = Self::empty(config);
+        state.seen_ids = seen_ids;
+        state.runtimes = vec![JobRuntime::default(); jobs.len()];
+        for (i, job) in jobs.iter().enumerate() {
+            state
+                .queue
+                .push(job.submit_time.value(), Event::Arrival(i))?;
+        }
+        let first_time = jobs.first().map(|j| j.submit_time.value()).unwrap_or(0.0);
+        state.queue.push(first_time, Event::Round)?;
+        state.jobs = jobs;
+        state.last_time = first_time;
+        state.first_time = first_time;
+        Ok(state)
+    }
+
+    /// An engine state with no jobs and no queued events — the starting
+    /// point of the online driver, which injects arrivals while the
+    /// campaign runs ([`SimState::push_job`]) instead of preloading a trace.
+    pub(crate) fn empty(config: &SimulationConfig) -> Self {
         let participating = config.region_list();
         let regions: Vec<RegionRuntime> = config
             .regions
@@ -159,30 +203,52 @@ impl<'a> SimState<'a> {
             .enumerate()
             .map(|(i, r)| (r.region, i))
             .collect();
-
-        let mut queue = EventQueue::default();
-        for (i, job) in jobs.iter().enumerate() {
-            queue.push(job.submit_time.value(), Event::Arrival(i))?;
-        }
-        let first_time = jobs.first().map(|j| j.submit_time.value()).unwrap_or(0.0);
-        queue.push(first_time, Event::Round)?;
-
-        Ok(Self {
-            jobs,
+        Self {
+            jobs: Vec::new(),
+            seen_ids: HashSet::new(),
             participating,
             regions,
             region_slot,
-            queue,
+            queue: EventQueue::default(),
             interval: config.scheduling_interval.value(),
             tolerance: config.delay_tolerance,
-            runtimes: vec![JobRuntime::default(); jobs.len()],
+            runtimes: Vec::new(),
             pending: Vec::new(),
             overhead: Vec::new(),
             completed: 0,
             completions: 0,
-            last_time: first_time,
-            first_time,
-        })
+            last_time: 0.0,
+            first_time: 0.0,
+        }
+    }
+
+    /// Admit a dynamically injected job: validate its id, grow the runtime
+    /// table, and enqueue its arrival with the caller-chosen sequence
+    /// number (the online driver stamps arrivals from a dedicated low
+    /// sequence band so they order ahead of round/decision events on exact
+    /// timestamp ties, exactly as a preloaded trace would). The first
+    /// admitted job also bootstraps the periodic round chain at its own
+    /// submit time, mirroring [`SimState::new`].
+    pub(crate) fn push_job(
+        &mut self,
+        spec: JobSpec,
+        arrival_seq: u64,
+    ) -> Result<usize, SimulationError> {
+        if !self.seen_ids.insert(spec.id) {
+            return Err(SimulationError::DuplicateJobId { id: spec.id });
+        }
+        let index = self.jobs.len();
+        let time = spec.submit_time.value();
+        self.queue
+            .push_with_seq(time, arrival_seq, Event::Arrival(index))?;
+        if index == 0 {
+            self.queue.push(time, Event::Round)?;
+            self.first_time = time;
+            self.last_time = time;
+        }
+        self.runtimes.push(JobRuntime::default());
+        self.jobs.push(spec);
+        Ok(index)
     }
 
     /// A job arrived at its home region's decision controller.
@@ -218,6 +284,9 @@ impl<'a> SimState<'a> {
     /// without perturbing event order. Assignments are matched against the
     /// snapshot prefix of the pending pool only: a decision can never reach
     /// jobs that arrived after its snapshot, in either engine mode.
+    /// Returns the placements actually enacted (in decision order), so the
+    /// online driver can notify the requests they answer; offline replays
+    /// discard the list.
     pub(crate) fn commit_round(
         &mut self,
         decision: &SchedulingDecision,
@@ -225,16 +294,17 @@ impl<'a> SimState<'a> {
         seq_base: u64,
         now: f64,
         config: &SimulationConfig,
-    ) -> Result<(), SimulationError> {
-        let by_id: HashMap<JobId, usize> = self
+    ) -> Result<Vec<EnactedPlacement>, SimulationError> {
+        let by_id: HashMap<JobId, (usize, u32)> = self
             .pending
             .iter()
             .take(snapshot_len)
-            .map(|&(i, _, _)| (self.jobs[i].id, i))
+            .map(|&(i, _, deferrals)| (self.jobs[i].id, (i, deferrals)))
             .collect();
+        let mut enacted: Vec<EnactedPlacement> = Vec::new();
         let mut assigned: Vec<usize> = Vec::new();
         for a in &decision.assignments {
-            let Some(&i) = by_id.get(&a.job) else {
+            let Some(&(i, deferrals)) = by_id.get(&a.job) else {
                 continue; // Unknown or already-scheduled job id: ignore.
             };
             if !self.participating.contains(&a.region) || self.runtimes[i].assigned_region.is_some()
@@ -259,6 +329,12 @@ impl<'a> SimState<'a> {
                 Event::Ready(i),
             )?;
             assigned.push(i);
+            enacted.push(EnactedPlacement {
+                job: i,
+                region: a.region,
+                transfer_time,
+                deferrals,
+            });
         }
         // Drop the assigned jobs from the pool; jobs that were *offered*
         // this round (the snapshot prefix) and stayed count one more
@@ -282,7 +358,7 @@ impl<'a> SimState<'a> {
                 Event::Round,
             )?;
         }
-        Ok(())
+        Ok(enacted)
     }
 
     /// A job's package transfer completed: start it or queue it in its
@@ -336,7 +412,7 @@ impl<'a> SimState<'a> {
         self.completed += 1;
         let record = CompletionRecord {
             index: self.completions,
-            job: i,
+            spec: self.jobs[i].clone(),
             runtime: self.runtimes[i],
         };
         self.completions += 1;
@@ -455,6 +531,96 @@ impl<P: ConditionsProvider> Simulator<P> {
         }
     }
 
+    /// Run a campaign against a *live* arrival source instead of a
+    /// preloaded trace: jobs received over `arrivals` are injected into the
+    /// running event loop, and every enacted placement is reported over
+    /// `placements` as it commits. See [`online`] for the pacing rules
+    /// ([`clock::ClockMode`]), the determinism guarantee (the recorded
+    /// trace replays offline to the byte-identical schedule), and a usage
+    /// example.
+    ///
+    /// Dispatches on the configured [`EngineMode`] exactly like
+    /// [`Simulator::run`]: under `Sync` the scheduler solves inline on the
+    /// event loop, under `Pipelined` it runs on the dedicated solver stage
+    /// and arrivals — queued *and* newly injected — are ingested while a
+    /// solve is in flight. The online pipeline always runs exactly one
+    /// auxiliary thread (the solver stage) with footprint accounting
+    /// inline, whatever worker count the mode names — so
+    /// [`crate::PipelineStats`] reports `workers: 1, accounting_shards: 0`
+    /// for any online `Pipelined { workers: n ≥ 1 }` run. Schedules are
+    /// unaffected (accounting placement never changes outcomes), and the
+    /// scrubbed-summary identity with offline replays holds regardless
+    /// because [`CampaignSummary::without_wall_clock`] drops the pipeline
+    /// stats.
+    ///
+    /// ```
+    /// use waterwise_cluster::{
+    ///     ClockMode, Scheduler, SchedulingContext, SchedulingDecision, SimulationConfig,
+    ///     Simulator,
+    /// };
+    /// use waterwise_sustain::{KilowattHours, Seconds};
+    /// use waterwise_telemetry::{Region, SyntheticTelemetry};
+    /// use waterwise_traces::{Benchmark, JobId, JobSpec};
+    ///
+    /// struct Home;
+    /// impl Scheduler for Home {
+    ///     fn name(&self) -> &str {
+    ///         "home"
+    ///     }
+    ///     fn schedule(&mut self, ctx: &SchedulingContext<'_>) -> SchedulingDecision {
+    ///         SchedulingDecision::from_pairs(
+    ///             ctx.pending.iter().map(|p| (p.spec.id, p.spec.home_region)),
+    ///         )
+    ///     }
+    /// }
+    ///
+    /// let simulator = Simulator::new(
+    ///     SimulationConfig::paper_default(40, 0.5),
+    ///     SyntheticTelemetry::with_seed(1),
+    /// )
+    /// .unwrap();
+    /// let (jobs_tx, jobs_rx) = std::sync::mpsc::sync_channel(8);
+    /// let (notice_tx, notice_rx) = std::sync::mpsc::sync_channel(8);
+    /// jobs_tx
+    ///     .send(JobSpec {
+    ///         id: JobId(1),
+    ///         benchmark: Benchmark::Dedup,
+    ///         submit_time: Seconds::new(5.0),
+    ///         home_region: Region::Oregon,
+    ///         actual_execution_time: Seconds::new(120.0),
+    ///         actual_energy: KilowattHours::new(0.01),
+    ///         estimated_execution_time: Seconds::new(120.0),
+    ///         estimated_energy: KilowattHours::new(0.01),
+    ///         package_bytes: 1,
+    ///     })
+    ///     .unwrap();
+    /// drop(jobs_tx); // closing the source lets the run drain and return
+    ///
+    /// let online = simulator
+    ///     .run_online(&mut Home, jobs_rx, notice_tx, ClockMode::Discrete)
+    ///     .unwrap();
+    /// let notice = notice_rx.recv().unwrap();
+    /// assert_eq!(notice.region, Region::Oregon);
+    /// assert_eq!(online.report.outcomes.len(), 1);
+    /// // The recorded trace replays offline to the identical schedule.
+    /// let replay = simulator.run(&online.trace, &mut Home).unwrap();
+    /// assert_eq!(replay.outcomes, online.report.outcomes);
+    /// ```
+    pub fn run_online(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        arrivals: std::sync::mpsc::Receiver<JobSpec>,
+        placements: std::sync::mpsc::SyncSender<online::PlacementNotice>,
+        clock: clock::ClockMode,
+    ) -> Result<online::OnlineReport, SimulationError> {
+        online::run_online(self, scheduler, arrivals, placements, clock)
+    }
+
+    /// The conditions provider the engine accounts footprints with.
+    pub fn provider(&self) -> &P {
+        &self.provider
+    }
+
     /// The synchronous driver: every stage of the slot lifecycle runs
     /// inline on the caller's thread.
     fn run_sync(
@@ -462,7 +628,7 @@ impl<P: ConditionsProvider> Simulator<P> {
         jobs: &[JobSpec],
         scheduler: &mut dyn Scheduler,
     ) -> Result<SimulationReport, SimulationError> {
-        let mut state = SimState::new(&self.config, jobs)?;
+        let mut state = SimState::new(&self.config, jobs.to_vec())?;
         let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
 
         while let Some(QueuedEvent { time, event, .. }) = state.queue.pop() {
@@ -500,7 +666,7 @@ impl<P: ConditionsProvider> Simulator<P> {
                 Event::Complete(i) => {
                     let record = state.handle_complete(i, time)?;
                     outcomes.push(self.record_outcome(
-                        &jobs[record.job],
+                        &record.spec,
                         &record.runtime,
                         state.tolerance,
                     )?);

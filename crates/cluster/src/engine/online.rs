@@ -1,0 +1,521 @@
+//! The online engine driver: live arrival injection into a running
+//! campaign.
+//!
+//! Offline replays preload the whole trace into the event queue before the
+//! first event dispatches. The online driver instead starts from an empty
+//! job table and *injects* jobs while the campaign runs: an
+//! `mpsc::Receiver<JobSpec>` is the arrival source, every enacted placement
+//! is reported over a bounded [`PlacementNotice`] channel as it commits,
+//! and the run ends when the source closes and every admitted job has
+//! completed. `waterwise-service` builds the request/response front-ends
+//! (in-process channels, a line-delimited-JSON TCP listener) on top of this
+//! driver; see `docs/ONLINE_SERVICE.md` for the operator-facing view.
+//!
+//! # The identity discipline
+//!
+//! The driver's contract is that going online changes *when* work is
+//! revealed to the engine, never *what* the engine computes: replaying an
+//! online run's recorded trace ([`OnlineReport::trace`]) through
+//! [`Simulator::run`] produces the byte-identical schedule. Three
+//! mechanisms enforce it:
+//!
+//! 1. **Split sequence bands.** In an offline replay every arrival enters
+//!    the queue before the first round, so on exact timestamp ties arrivals
+//!    always order ahead of round/decision events. The online driver cannot
+//!    rely on push order — arrivals are pushed throughout the run — so it
+//!    stamps them from a dedicated low sequence band (`0, 1, 2, …` in
+//!    receipt order) and floors the regular band at `ONLINE_ROUND_SEQ_BASE`
+//!    (2^48). Relative order within each band matches the offline replay,
+//!    and the low band wins every cross-band tie, exactly as offline.
+//! 2. **The watermark rule.** A queued event dispatches only when no
+//!    earlier (or equally-timed) arrival can still be injected:
+//!    [`ClockMode::Discrete`] requires a strictly later injection (or the
+//!    closed source) as proof, [`ClockMode::RealTime`] uses the scaled wall
+//!    clock, whose monotonicity bounds every future stamp from below.
+//! 3. **Monotone stamps.** An injected job's submit time is never allowed
+//!    at or before an already-dispatched round/ready/complete event
+//!    (`RealTime` nudges the stamp up; `Discrete` rejects the request with
+//!    [`SimulationError::OutOfOrderArrival`]), so the replayed arrival
+//!    cannot land ahead of effects the online run has already committed.
+//!
+//! The guarantee is property-tested in `waterwise-service`
+//! (`tests/online_equivalence.rs`) across Sync and Pipelined engine modes
+//! and asserted again inside the `fig17_service` benchmark over the TCP
+//! path.
+
+use super::clock::{ClockMode, SimClock};
+use super::pipeline::{solver_stage, SolveRequest, SolveResponse};
+use super::queue::{Event, QueuedEvent};
+use super::{timed_schedule, SimState, SimulationReport, Simulator};
+use crate::config::EngineMode;
+use crate::error::SimulationError;
+use crate::metrics::{CampaignSummary, JobOutcome, OverheadSample, PipelineStats};
+use crate::scheduler::{Scheduler, SchedulingContext, SolverActivity};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::time::{Duration, Instant};
+use waterwise_sustain::Seconds;
+use waterwise_telemetry::{ConditionsProvider, Region};
+use waterwise_traces::{JobId, JobSpec};
+
+/// Floor of the sequence band used for round/decision/completion events in
+/// an online run. Arrivals are stamped from the low band (`0, 1, 2, …` in
+/// receipt order), so they win every exact-timestamp tie against the high
+/// band — the ordering an offline replay produces by pushing all arrivals
+/// first. 2^48 events is far beyond any campaign; the bands cannot collide.
+pub(crate) const ONLINE_ROUND_SEQ_BASE: u64 = 1 << 48;
+
+/// How long the staged (pipelined) online driver waits on the solver-stage
+/// response channel between ingestion sweeps while a solve is in flight.
+const SOLVE_POLL_INTERVAL: Duration = Duration::from_micros(500);
+
+/// One enacted placement, reported to the online caller as it commits.
+///
+/// This is the engine-level answer to a placement request; the service
+/// layer enriches it with projected footprints and deadline feasibility
+/// before answering the client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementNotice {
+    /// The placed job.
+    pub job: JobId,
+    /// The region that will execute it.
+    pub region: Region,
+    /// Index of the scheduling round that placed it (0-based).
+    pub slot: usize,
+    /// Simulated time of the placing round.
+    pub decided_at: Seconds,
+    /// The submit time the job was stamped with at ingestion (equals the
+    /// request's own submit time under [`ClockMode::Discrete`]).
+    pub submitted_at: Seconds,
+    /// Package transfer time charged for the placement.
+    pub transfer_time: Seconds,
+    /// Earliest possible execution start: `decided_at + transfer_time`
+    /// (actual start may be later if the region's servers are busy).
+    pub projected_start: Seconds,
+    /// Scheduling rounds the job was deferred before this placement.
+    pub deferrals: u32,
+    /// Solver work the placing round performed, if the scheduler runs an
+    /// optimization solver (the per-round delta, not a cumulative total).
+    pub solver: Option<SolverActivity>,
+}
+
+/// The result of one online campaign.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// The full simulation report, identical in structure to an offline
+    /// run's.
+    pub report: SimulationReport,
+    /// Every admitted job in receipt order, with the submit times they
+    /// were stamped with — replaying this trace through
+    /// [`Simulator::run`] reproduces [`OnlineReport::report`]'s schedule
+    /// byte-identically.
+    pub trace: Vec<JobSpec>,
+}
+
+/// Where a round's solve executes, mirroring [`EngineMode`] for the online
+/// loop: inline on the event loop (`Sync`) or on the dedicated solver-stage
+/// thread (`Pipelined`).
+enum SolveBackend<'s> {
+    Inline(&'s mut dyn Scheduler),
+    Staged {
+        requests: SyncSender<SolveRequest>,
+        responses: Receiver<SolveResponse>,
+    },
+}
+
+/// Run one online campaign. See [`Simulator::run_online`] for the public
+/// contract and [`self`] (module docs) for the identity discipline.
+pub(crate) fn run_online<P: ConditionsProvider>(
+    sim: &Simulator<P>,
+    scheduler: &mut dyn Scheduler,
+    arrivals: Receiver<JobSpec>,
+    placements: SyncSender<PlacementNotice>,
+    clock: ClockMode,
+) -> Result<OnlineReport, SimulationError> {
+    let scheduler_name = scheduler.name().to_string();
+    let mut driver = OnlineDriver::new(sim, arrivals, placements, clock.normalized());
+    match sim.config().engine.normalized() {
+        EngineMode::Sync => driver.run(SolveBackend::Inline(scheduler), scheduler_name),
+        EngineMode::Pipelined { .. } => std::thread::scope(|scope| {
+            let (req_tx, req_rx) = std::sync::mpsc::sync_channel::<SolveRequest>(1);
+            let (resp_tx, resp_rx) = std::sync::mpsc::sync_channel::<SolveResponse>(1);
+            let delay_tolerance = sim.config().delay_tolerance;
+            let transfer = &sim.config().transfer;
+            scope
+                .spawn(move || solver_stage(req_rx, resp_tx, delay_tolerance, transfer, scheduler));
+            driver.stats = Some(PipelineStats {
+                workers: 1,
+                accounting_shards: 0,
+                ..PipelineStats::default()
+            });
+            // `req_tx` moves into the backend and drops when `run` returns
+            // (on success or error), hanging up the solver stage so the
+            // scope can join it.
+            driver.run(
+                SolveBackend::Staged {
+                    requests: req_tx,
+                    responses: resp_rx,
+                },
+                scheduler_name,
+            )
+        }),
+    }
+}
+
+struct OnlineDriver<'a, P> {
+    sim: &'a Simulator<P>,
+    state: SimState,
+    arrivals: Receiver<JobSpec>,
+    placements: SyncSender<PlacementNotice>,
+    /// `None` for [`ClockMode::Discrete`], a started clock for `RealTime`.
+    clock: Option<SimClock>,
+    /// Whether the arrival source can still produce requests.
+    open: bool,
+    /// Next low-band sequence number (receipt order of arrivals).
+    arrival_seq: u64,
+    /// Largest submit time stamped so far — the `Discrete` watermark.
+    last_stamp: f64,
+    /// Largest dispatched non-arrival event time: new stamps must exceed it
+    /// or the replay could order the arrival ahead of committed effects.
+    committed_time: f64,
+    outcomes: Vec<JobOutcome>,
+    /// Pipeline counters, `Some` iff the solve backend is staged.
+    stats: Option<PipelineStats>,
+    slot: usize,
+}
+
+impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
+    fn new(
+        sim: &'a Simulator<P>,
+        arrivals: Receiver<JobSpec>,
+        placements: SyncSender<PlacementNotice>,
+        clock: ClockMode,
+    ) -> Self {
+        let mut state = SimState::empty(sim.config());
+        // Floor the regular sequence band; arrivals use the low band.
+        state.queue.reserve(ONLINE_ROUND_SEQ_BASE);
+        let clock = match clock {
+            ClockMode::Discrete => None,
+            ClockMode::RealTime { scale } => Some(SimClock::start(scale)),
+        };
+        Self {
+            sim,
+            state,
+            arrivals,
+            placements,
+            clock,
+            open: true,
+            arrival_seq: 0,
+            last_stamp: f64::NEG_INFINITY,
+            committed_time: f64::NEG_INFINITY,
+            outcomes: Vec::new(),
+            stats: None,
+            slot: 0,
+        }
+    }
+
+    /// The smallest submit time a new injection may be stamped with:
+    /// strictly after every dispatched non-arrival event (its effects are
+    /// committed) and no earlier than the previous stamp (receipt order
+    /// must equal replay order).
+    fn stamp_floor(&self) -> f64 {
+        let above_committed = if self.committed_time == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            self.committed_time.next_up()
+        };
+        self.last_stamp.max(above_committed)
+    }
+
+    /// Admit one injected job: stamp (or validate) its submit time and
+    /// enqueue its arrival from the low sequence band.
+    fn ingest(&mut self, mut spec: JobSpec) -> Result<(), SimulationError> {
+        let floor = self.stamp_floor();
+        let stamp = match &self.clock {
+            None => {
+                let time = spec.submit_time.value();
+                if time < floor {
+                    return Err(SimulationError::OutOfOrderArrival {
+                        job: spec.id,
+                        time,
+                        watermark: floor,
+                    });
+                }
+                time
+            }
+            Some(clock) => {
+                let stamp = clock.now().max(floor).max(0.0);
+                spec.submit_time = Seconds::new(stamp);
+                stamp
+            }
+        };
+        self.state.push_job(spec, self.arrival_seq)?;
+        self.arrival_seq += 1;
+        self.last_stamp = stamp;
+        Ok(())
+    }
+
+    /// Ingest every request currently sitting in the channel without
+    /// blocking. Notices the source closing.
+    fn drain_injections(&mut self) -> Result<(), SimulationError> {
+        while self.open {
+            match self.arrivals.try_recv() {
+                Ok(spec) => self.ingest(spec)?,
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => self.open = false,
+            }
+        }
+        Ok(())
+    }
+
+    /// Block until the source produces a request (ingested) or closes.
+    fn await_source(&mut self) -> Result<(), SimulationError> {
+        match self.arrivals.recv() {
+            Ok(spec) => self.ingest(spec),
+            Err(_) => {
+                self.open = false;
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether an event at `time` is safe to dispatch: no earlier (or
+    /// equally-timed) arrival can still be injected.
+    fn dispatchable(&self, time: f64) -> bool {
+        if !self.open {
+            return true;
+        }
+        match &self.clock {
+            // An injection at exactly `last_stamp` is still admissible, so
+            // the proof must be strict.
+            None => time < self.last_stamp,
+            Some(clock) => time <= clock.now(),
+        }
+    }
+
+    /// Whether every admitted job has been fully processed (the offline
+    /// engine's stop condition). While the source is open this means
+    /// "idle", not "done".
+    fn drained(&self) -> bool {
+        self.state.completed == self.state.jobs.len()
+            && self.state.pending.is_empty()
+            && self.state.queue.only_rounds_left()
+    }
+
+    fn run(
+        mut self,
+        mut backend: SolveBackend<'_>,
+        scheduler_name: String,
+    ) -> Result<OnlineReport, SimulationError> {
+        loop {
+            self.drain_injections()?;
+            if self.drained() {
+                // Idle: nothing the engine may legally dispatch. Offline
+                // replays stop exactly here (trailing rounds are never
+                // popped), so to keep makespans identical the online
+                // driver must not dispatch them either — it waits for the
+                // source instead, and stops when it closes.
+                if !self.open {
+                    break;
+                }
+                self.await_source()?;
+                continue;
+            }
+            let Some(&QueuedEvent { time, .. }) = self.state.queue.peek() else {
+                // Pending work with an empty queue cannot happen (the round
+                // chain re-arms while jobs are incomplete); treat it like
+                // drained for robustness.
+                if !self.open {
+                    break;
+                }
+                self.await_source()?;
+                continue;
+            };
+            if !self.dispatchable(time) {
+                match &self.clock {
+                    None => self.await_source()?,
+                    Some(clock) => {
+                        let wait = clock.wall_until(time);
+                        match self.arrivals.recv_timeout(wait) {
+                            Ok(spec) => self.ingest(spec)?,
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => self.open = false,
+                        }
+                    }
+                }
+                continue;
+            }
+            let QueuedEvent { time, event, .. } =
+                self.state.queue.pop().expect("peeked event exists");
+            self.state.last_time = time;
+            match event {
+                Event::Arrival(i) => self.state.handle_arrival(i, time),
+                Event::Round => {
+                    self.committed_time = self.committed_time.max(time);
+                    if !self.state.pending.is_empty() {
+                        self.solve_and_commit(time, &mut backend)?;
+                    } else if self.state.completed < self.state.jobs.len() {
+                        // Same re-arm condition as the offline drivers; an
+                        // idle round can only be dispatched while admitted
+                        // jobs are incomplete (a fully-drained engine
+                        // parks in the idle branch of `run` instead), so
+                        // the recorded trace re-arms identically offline.
+                        self.state
+                            .queue
+                            .push(time + self.state.interval, Event::Round)?;
+                    }
+                }
+                Event::Ready(i) => {
+                    self.committed_time = self.committed_time.max(time);
+                    self.state.handle_ready(i, time)?;
+                }
+                Event::Complete(i) => {
+                    self.committed_time = self.committed_time.max(time);
+                    let record = self.state.handle_complete(i, time)?;
+                    self.outcomes.push(self.sim.record_outcome(
+                        &record.spec,
+                        &record.runtime,
+                        self.state.tolerance,
+                    )?);
+                }
+            }
+            if !self.open && self.state.should_stop() {
+                break;
+            }
+        }
+
+        let (makespan, mean_utilization) = self.state.finalize();
+        let mut summary =
+            CampaignSummary::from_outcomes(&self.outcomes, &self.state.overhead, mean_utilization);
+        if let Some(stats) = self.stats {
+            summary = summary.with_pipeline(stats);
+        }
+        Ok(OnlineReport {
+            report: SimulationReport {
+                scheduler_name,
+                outcomes: self.outcomes,
+                overhead: self.state.overhead,
+                summary,
+                makespan: Seconds::new(makespan),
+            },
+            trace: self.state.jobs,
+        })
+    }
+
+    /// Solve one round (inline or on the solver stage) and commit its
+    /// decision, reporting every enacted placement.
+    fn solve_and_commit(
+        &mut self,
+        now: f64,
+        backend: &mut SolveBackend<'_>,
+    ) -> Result<(), SimulationError> {
+        let (pending_jobs, views) = self.state.snapshot();
+        let batch = pending_jobs.len();
+        let seq_base = self.state.queue.reserve(batch as u64 + 1);
+        let (decision, wall, commit_wait, solver) = match backend {
+            SolveBackend::Inline(scheduler) => {
+                let ctx = SchedulingContext {
+                    now: Seconds::new(now),
+                    pending: &pending_jobs,
+                    regions: &views,
+                    delay_tolerance: self.state.tolerance,
+                    transfer: &self.sim.config().transfer,
+                };
+                let (decision, elapsed, solver) = timed_schedule(&mut **scheduler, &ctx);
+                (decision, elapsed, elapsed, solver)
+            }
+            SolveBackend::Staged {
+                requests,
+                responses,
+            } => {
+                let slot = self.slot;
+                requests
+                    .send(SolveRequest {
+                        slot,
+                        now,
+                        pending: pending_jobs,
+                        views,
+                    })
+                    .map_err(|_| SimulationError::SolverStageDisconnected { slot })?;
+                if let Some(stats) = &mut self.stats {
+                    stats.solve_requests += 1;
+                }
+                // The commit barrier: the key the next round will carry.
+                let barrier = (now + self.state.interval, seq_base + batch as u64);
+                let wait_started = Instant::now();
+                let resp = loop {
+                    // Overlap: while the solver stage works on this slot,
+                    // keep ingesting — live injections and queued arrivals
+                    // ahead of the barrier (they only append to the
+                    // pending pool, which this slot's commit cannot
+                    // touch). The watermark rule still gates every pop.
+                    self.drain_injections()?;
+                    while let Some(top) = self.state.queue.peek() {
+                        if !matches!(top.event, Event::Arrival(_))
+                            || (top.time, top.seq) >= barrier
+                            || !self.dispatchable(top.time)
+                        {
+                            break;
+                        }
+                        let arrival = self.state.queue.pop().expect("peeked event exists");
+                        self.state.last_time = arrival.time;
+                        if let Event::Arrival(i) = arrival.event {
+                            self.state.handle_arrival(i, arrival.time);
+                            if let Some(stats) = &mut self.stats {
+                                stats.overlapped_arrivals += 1;
+                            }
+                        }
+                    }
+                    match responses.recv_timeout(SOLVE_POLL_INTERVAL) {
+                        Ok(resp) => break resp,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(SimulationError::SolverStageDisconnected { slot });
+                        }
+                    }
+                };
+                let commit_wait = wait_started.elapsed().as_secs_f64();
+                if resp.slot != slot {
+                    return Err(SimulationError::PipelineCommitOrder {
+                        expected: slot,
+                        got: resp.slot,
+                    });
+                }
+                if let Some(stats) = &mut self.stats {
+                    stats.commit_wait = Seconds::new(stats.commit_wait.value() + commit_wait);
+                    stats.solver_busy = Seconds::new(stats.solver_busy.value() + resp.wall);
+                }
+                (resp.decision, resp.wall, commit_wait, resp.solver)
+            }
+        };
+        self.state.overhead.push(OverheadSample {
+            sim_time: Seconds::new(now),
+            wall_clock: Seconds::new(wall),
+            commit_wait: Seconds::new(commit_wait),
+            batch_size: batch,
+            solver,
+        });
+        let enacted =
+            self.state
+                .commit_round(&decision, batch, seq_base, now, self.sim.config())?;
+        let slot = self.slot;
+        self.slot += 1;
+        for placement in enacted {
+            let spec = &self.state.jobs[placement.job];
+            let notice = PlacementNotice {
+                job: spec.id,
+                region: placement.region,
+                slot,
+                decided_at: Seconds::new(now),
+                submitted_at: spec.submit_time,
+                transfer_time: Seconds::new(placement.transfer_time),
+                projected_start: Seconds::new(now + placement.transfer_time),
+                deferrals: placement.deferrals,
+                solver,
+            };
+            self.placements
+                .send(notice)
+                .map_err(|_| SimulationError::PlacementSinkDisconnected { job: spec.id })?;
+        }
+        Ok(())
+    }
+}

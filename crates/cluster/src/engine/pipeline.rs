@@ -73,21 +73,22 @@ const SOLVE_QUEUE_DEPTH: usize = 1;
 /// scheduling window never blocks the event loop in practice.
 const ACCOUNTING_QUEUE_DEPTH: usize = 1024;
 
-/// A round snapshot shipped to the solver stage.
-struct SolveRequest {
-    slot: usize,
-    now: f64,
-    pending: Vec<PendingJob>,
-    views: Vec<RegionView>,
+/// A round snapshot shipped to the solver stage. Shared with the online
+/// driver, which runs the same solver stage against live arrivals.
+pub(super) struct SolveRequest {
+    pub(super) slot: usize,
+    pub(super) now: f64,
+    pub(super) pending: Vec<PendingJob>,
+    pub(super) views: Vec<RegionView>,
 }
 
 /// The solver stage's answer for one slot.
-struct SolveResponse {
-    slot: usize,
-    decision: SchedulingDecision,
-    wall: f64,
-    solver: Option<SolverActivity>,
-    batch: usize,
+pub(super) struct SolveResponse {
+    pub(super) slot: usize,
+    pub(super) decision: SchedulingDecision,
+    pub(super) wall: f64,
+    pub(super) solver: Option<SolverActivity>,
+    pub(super) batch: usize,
 }
 
 /// Run one campaign on the pipelined engine. `workers` counts auxiliary
@@ -103,7 +104,7 @@ pub(crate) fn run_pipelined<P: ConditionsProvider>(
     let workers = workers.max(1);
     let shards = workers - 1;
     let scheduler_name = scheduler.name().to_string();
-    let mut state = SimState::new(sim.config(), jobs)?;
+    let mut state = SimState::new(sim.config(), jobs.to_vec())?;
     let mut stats = PipelineStats {
         workers,
         accounting_shards: shards,
@@ -122,8 +123,7 @@ pub(crate) fn run_pipelined<P: ConditionsProvider>(
         for _ in 0..shards {
             let (tx, rx) =
                 std::sync::mpsc::sync_channel::<CompletionRecord>(ACCOUNTING_QUEUE_DEPTH);
-            shard_handles
-                .push(scope.spawn(move || accounting_stage(rx, sim, jobs, delay_tolerance)));
+            shard_handles.push(scope.spawn(move || accounting_stage(rx, sim, delay_tolerance)));
             shard_txs.push(tx);
         }
 
@@ -184,7 +184,7 @@ pub(crate) fn run_pipelined<P: ConditionsProvider>(
 fn event_loop<P: ConditionsProvider>(
     sim: &Simulator<P>,
     jobs: &[JobSpec],
-    state: &mut SimState<'_>,
+    state: &mut SimState,
     stats: &mut PipelineStats,
     inline_outcomes: &mut Vec<JobOutcome>,
     requests: &SyncSender<SolveRequest>,
@@ -265,7 +265,7 @@ fn event_loop<P: ConditionsProvider>(
                 let record = state.handle_complete(i, time)?;
                 if shard_txs.is_empty() {
                     inline_outcomes.push(sim.record_outcome(
-                        &jobs[record.job],
+                        &record.spec,
                         &record.runtime,
                         state.tolerance,
                     )?);
@@ -297,8 +297,8 @@ fn send_record(
 
 /// The solver stage: owns the scheduler for the campaign's lifetime,
 /// solving one snapshot at a time in slot order. Exits when the event stage
-/// hangs up either side of the channel pair.
-fn solver_stage(
+/// hangs up either side of the channel pair. Shared with the online driver.
+pub(super) fn solver_stage(
     requests: Receiver<SolveRequest>,
     responses: SyncSender<SolveResponse>,
     delay_tolerance: f64,
@@ -332,7 +332,6 @@ fn solver_stage(
 fn accounting_stage<P: ConditionsProvider>(
     records: Receiver<CompletionRecord>,
     sim: &Simulator<P>,
-    jobs: &[JobSpec],
     tolerance: f64,
 ) -> Vec<(usize, Result<JobOutcome, SimulationError>)> {
     records
@@ -340,7 +339,7 @@ fn accounting_stage<P: ConditionsProvider>(
         .map(|record| {
             (
                 record.index,
-                sim.record_outcome(&jobs[record.job], &record.runtime, tolerance),
+                sim.record_outcome(&record.spec, &record.runtime, tolerance),
             )
         })
         .collect()

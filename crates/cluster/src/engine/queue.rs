@@ -83,6 +83,11 @@ impl PartialOrd for QueuedEvent {
 pub(crate) struct EventQueue {
     heap: BinaryHeap<QueuedEvent>,
     seq: u64,
+    /// Queued events that are *not* periodic rounds, maintained at
+    /// push/pop so the engine's stop condition
+    /// ([`EventQueue::only_rounds_left`]) is O(1) instead of a heap scan —
+    /// the online driver evaluates it once per loop iteration.
+    non_round_events: usize,
 }
 
 impl EventQueue {
@@ -119,13 +124,22 @@ impl EventQueue {
                 event: event.describe(),
             });
         }
+        if !matches!(event, Event::Round) {
+            self.non_round_events += 1;
+        }
         self.heap.push(QueuedEvent { time, seq, event });
         Ok(())
     }
 
     /// Remove and return the earliest event.
     pub(crate) fn pop(&mut self) -> Option<QueuedEvent> {
-        self.heap.pop()
+        let popped = self.heap.pop();
+        if let Some(event) = &popped {
+            if !matches!(event.event, Event::Round) {
+                self.non_round_events -= 1;
+            }
+        }
+        popped
     }
 
     /// The earliest queued event, without removing it.
@@ -133,9 +147,11 @@ impl EventQueue {
         self.heap.peek()
     }
 
-    /// Whether only periodic `Round` events remain queued.
+    /// Whether only periodic `Round` events remain queued. O(1): evaluated
+    /// after every event in both the offline and online drivers' stop
+    /// conditions.
     pub(crate) fn only_rounds_left(&self) -> bool {
-        self.heap.iter().all(|e| matches!(e.event, Event::Round))
+        self.non_round_events == 0
     }
 }
 
@@ -189,5 +205,14 @@ mod tests {
         assert!(q.only_rounds_left());
         q.push(2.0, Event::Complete(3)).unwrap();
         assert!(!q.only_rounds_left());
+        // The counter tracks pops too: draining the completion (after the
+        // earlier round) restores the rounds-only state.
+        assert!(matches!(q.pop().unwrap().event, Event::Round));
+        assert!(!q.only_rounds_left());
+        assert!(matches!(q.pop().unwrap().event, Event::Complete(3)));
+        assert!(q.only_rounds_left());
+        // Rejected (non-finite) pushes must not leak into the counter.
+        assert!(q.push(f64::NAN, Event::Arrival(1)).is_err());
+        assert!(q.only_rounds_left());
     }
 }

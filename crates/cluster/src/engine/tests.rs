@@ -496,3 +496,181 @@ fn pipelined_commit_wait_never_exceeds_reported_stall_totals() {
     assert!((stats.solver_busy.value() - busy).abs() < 1e-9);
     assert!(stats.stall_fraction() >= 0.0 && stats.stall_fraction() <= 1.0);
 }
+
+// ---------------------------------------------------------------------------
+// Online driver: live injection must be decision-identical to offline replay.
+
+mod online_driver {
+    use super::*;
+    use crate::engine::clock::ClockMode;
+    use crate::engine::online::OnlineReport;
+    use crate::engine::online::PlacementNotice;
+
+    /// Feed `jobs` through the online driver in submission order (the whole
+    /// stream is buffered up front, which a bounded channel permits because
+    /// the driver drains while running) and collect the report plus every
+    /// placement notice.
+    fn run_online_with(
+        sim: &Simulator<SyntheticTelemetry>,
+        scheduler: &mut dyn Scheduler,
+        jobs: &[JobSpec],
+        clock: ClockMode,
+    ) -> (OnlineReport, Vec<PlacementNotice>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(jobs.len().max(1));
+        let (notice_tx, notice_rx) = std::sync::mpsc::sync_channel(jobs.len() + 4);
+        for job in jobs {
+            tx.send(job.clone()).unwrap();
+        }
+        drop(tx);
+        let report = sim.run_online(scheduler, rx, notice_tx, clock).unwrap();
+        let notices: Vec<_> = notice_rx.iter().collect();
+        (report, notices)
+    }
+
+    #[test]
+    fn discrete_online_run_matches_offline_replay_sync_engine() {
+        let jobs = small_trace(11);
+        let sim = simulator(50, 0.5);
+        let offline = sim.run(&jobs, &mut HomeScheduler).unwrap();
+        let (online, notices) =
+            run_online_with(&sim, &mut HomeScheduler, &jobs, ClockMode::Discrete);
+        assert_eq!(online.trace, jobs, "discrete stamps must keep the trace");
+        assert_eq!(online.report.outcomes, offline.outcomes);
+        assert_eq!(online.report.makespan, offline.makespan);
+        assert_eq!(
+            online.report.summary.without_wall_clock(),
+            offline.summary.without_wall_clock()
+        );
+        // Every job is placed exactly once and notified with its region.
+        assert_eq!(notices.len(), jobs.len());
+        let mut ids: Vec<u64> = notices.iter().map(|n| n.job.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), jobs.len());
+        for notice in &notices {
+            assert_eq!(
+                notice.projected_start.value(),
+                notice.decided_at.value() + notice.transfer_time.value()
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_online_run_matches_offline_replay_pipelined_engine() {
+        let jobs = small_trace(13);
+        let sync_sim = simulator(40, 0.5);
+        let offline = sync_sim.run(&jobs, &mut HomeScheduler).unwrap();
+        for workers in [1, 3] {
+            let sim = pipelined_simulator(40, 0.5, workers);
+            let (online, notices) =
+                run_online_with(&sim, &mut HomeScheduler, &jobs, ClockMode::Discrete);
+            assert_eq!(online.report.outcomes, offline.outcomes);
+            assert_eq!(online.report.makespan, offline.makespan);
+            // The scrub drops pipeline stats, so scrubbed summaries match
+            // the sync offline replay even for staged online runs.
+            assert_eq!(
+                online.report.summary.without_wall_clock(),
+                offline.summary.without_wall_clock()
+            );
+            assert_eq!(notices.len(), jobs.len());
+            let stats = online
+                .report
+                .summary
+                .pipeline
+                .expect("staged online run reports pipeline stats");
+            assert!(stats.solve_requests > 0);
+            // The online pipeline is always one solver stage + inline
+            // accounting, whatever worker count the mode named.
+            assert_eq!(stats.workers, 1);
+            assert_eq!(stats.accounting_shards, 0);
+        }
+    }
+
+    #[test]
+    fn real_time_online_recorded_trace_replays_byte_identically() {
+        let jobs = small_trace(17);
+        let sim = simulator(50, 0.5);
+        // A huge scale compresses the whole campaign into microseconds of
+        // wall time; the stamps land wherever the wall clock put them.
+        let (online, notices) = run_online_with(
+            &sim,
+            &mut HomeScheduler,
+            &jobs,
+            ClockMode::RealTime { scale: 5e7 },
+        );
+        assert_eq!(online.trace.len(), jobs.len());
+        // Stamps are monotone non-decreasing in receipt order.
+        for pair in online.trace.windows(2) {
+            assert!(pair[0].submit_time.value() <= pair[1].submit_time.value());
+        }
+        let replay = sim.run(&online.trace, &mut HomeScheduler).unwrap();
+        assert_eq!(online.report.outcomes, replay.outcomes);
+        assert_eq!(online.report.makespan, replay.makespan);
+        assert_eq!(notices.len(), jobs.len());
+    }
+
+    #[test]
+    fn discrete_rejects_out_of_order_and_duplicate_injections() {
+        let sim = simulator(10, 0.5);
+        let (tx, rx) = std::sync::mpsc::sync_channel(4);
+        let (notice_tx, _notice_rx) = std::sync::mpsc::sync_channel(4);
+        let mut early = hand_built_job(100.0, 60.0);
+        early.id = JobId(1);
+        let mut late = hand_built_job(50.0, 60.0);
+        late.id = JobId(2);
+        tx.send(early).unwrap();
+        tx.send(late).unwrap();
+        drop(tx);
+        let err = sim
+            .run_online(&mut HomeScheduler, rx, notice_tx, ClockMode::Discrete)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimulationError::OutOfOrderArrival { job: JobId(2), .. }
+        ));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel(4);
+        let (notice_tx, _notice_rx) = std::sync::mpsc::sync_channel(4);
+        tx.send(hand_built_job(10.0, 60.0)).unwrap();
+        tx.send(hand_built_job(20.0, 60.0)).unwrap(); // same JobId(0)
+        drop(tx);
+        let err = sim
+            .run_online(&mut HomeScheduler, rx, notice_tx, ClockMode::Discrete)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimulationError::DuplicateJobId { id: JobId(0) }
+        ));
+    }
+
+    #[test]
+    fn dropped_notice_receiver_is_a_typed_error() {
+        let sim = simulator(10, 0.5);
+        let (tx, rx) = std::sync::mpsc::sync_channel(4);
+        let (notice_tx, notice_rx) = std::sync::mpsc::sync_channel(4);
+        drop(notice_rx);
+        tx.send(hand_built_job(10.0, 60.0)).unwrap();
+        drop(tx);
+        let err = sim
+            .run_online(&mut HomeScheduler, rx, notice_tx, ClockMode::Discrete)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimulationError::PlacementSinkDisconnected { job: JobId(0) }
+        ));
+    }
+
+    #[test]
+    fn empty_online_run_produces_an_empty_report() {
+        let sim = simulator(10, 0.5);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<JobSpec>(1);
+        let (notice_tx, _notice_rx) = std::sync::mpsc::sync_channel(1);
+        drop(tx);
+        let online = sim
+            .run_online(&mut HomeScheduler, rx, notice_tx, ClockMode::Discrete)
+            .unwrap();
+        assert!(online.report.outcomes.is_empty());
+        assert!(online.trace.is_empty());
+        assert_eq!(online.report.makespan.value(), 0.0);
+    }
+}

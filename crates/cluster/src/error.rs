@@ -119,6 +119,31 @@ pub enum SimulationError {
         /// The slot the solver stage actually delivered.
         got: usize,
     },
+    /// An online injection under [`crate::ClockMode::Discrete`] carried a
+    /// submit time at or before state the engine has already committed
+    /// (an earlier stamp, or a dispatched round/ready/complete event at or
+    /// after it). Admitting it would make the recorded trace unreplayable —
+    /// the offline replay would order the arrival ahead of effects the
+    /// online run produced without it — so the run is rejected instead.
+    /// `RealTime` runs never produce this error (stamps are taken from the
+    /// monotone clock).
+    OutOfOrderArrival {
+        /// The rejected job.
+        job: JobId,
+        /// The submit time the injection carried.
+        time: f64,
+        /// The smallest admissible submit time at the point of injection.
+        watermark: f64,
+    },
+    /// The online caller dropped the placement-notice receiver while the
+    /// campaign was still placing jobs. Placements are the service's
+    /// responses; silently discarding them would strand the requests they
+    /// answer, so the run fails with the job whose notice could not be
+    /// delivered.
+    PlacementSinkDisconnected {
+        /// The placed job whose notice had no receiver.
+        job: JobId,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -152,6 +177,23 @@ impl fmt::Display for SimulationError {
                     "pipeline commit protocol violated: expected slot {expected}, got {got}"
                 )
             }
+            SimulationError::OutOfOrderArrival {
+                job,
+                time,
+                watermark,
+            } => {
+                write!(
+                    f,
+                    "out-of-order online arrival: {job} submitted at {time} s, \
+                     but the discrete watermark already passed {watermark} s"
+                )
+            }
+            SimulationError::PlacementSinkDisconnected { job } => {
+                write!(
+                    f,
+                    "placement sink hung up before accepting the notice for {job}"
+                )
+            }
         }
     }
 }
@@ -165,7 +207,9 @@ impl std::error::Error for SimulationError {
             | SimulationError::DuplicateJobId { .. }
             | SimulationError::SolverStageDisconnected { .. }
             | SimulationError::AccountingStageDisconnected { .. }
-            | SimulationError::PipelineCommitOrder { .. } => None,
+            | SimulationError::PipelineCommitOrder { .. }
+            | SimulationError::OutOfOrderArrival { .. }
+            | SimulationError::PlacementSinkDisconnected { .. } => None,
         }
     }
 }

@@ -33,6 +33,8 @@ pub mod scheduler;
 pub mod state;
 
 pub use config::{EngineMode, SimulationConfig};
+pub use engine::clock::ClockMode;
+pub use engine::online::{OnlineReport, PlacementNotice};
 pub use engine::{SimulationReport, Simulator};
 pub use error::{ConfigError, SimulationError};
 pub use metrics::{saving_percent, CampaignSummary, JobOutcome, OverheadSample, PipelineStats};

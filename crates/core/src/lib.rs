@@ -33,7 +33,8 @@ pub mod sched;
 
 pub use error::WaterWiseError;
 pub use experiment::{
-    Campaign, CampaignConfig, CampaignOutcome, Parallelism, SchedulerKind, SolutionCacheMode,
+    build_scheduler, Campaign, CampaignConfig, CampaignOutcome, Parallelism, SchedulerKind,
+    SolutionCacheMode,
 };
 // Solution-cache handle types, re-exported so campaign drivers can build a
 // shared cache without depending on `waterwise-milp` directly.

@@ -1,0 +1,100 @@
+//! `placement_server` — stand-alone TCP placement service.
+//!
+//! Serves the line-delimited-JSON placement protocol (one client session at
+//! a time; each session is one campaign). All knobs come from the
+//! environment; see `docs/ONLINE_SERVICE.md` for the operator's guide.
+//!
+//! | Variable | Default | Meaning |
+//! |---|---|---|
+//! | `WATERWISE_ADDR` | `127.0.0.1:7878` | Listen address (`:0` for ephemeral). |
+//! | `WATERWISE_CLOCK` | `real-time:60` | `discrete` or `real-time:<scale>`. |
+//! | `WATERWISE_WORKERS` | `2` | `0` = synchronous engine, else pipelined workers. |
+//! | `WATERWISE_SERVERS` | `280` | Servers per region. |
+//! | `WATERWISE_TOLERANCE` | `0.5` | Delay tolerance (fraction of execution time). |
+//! | `WATERWISE_SEED` | `42` | Telemetry seed. |
+//! | `WATERWISE_SESSIONS` | unbounded | Serve this many sessions, then exit. |
+
+use waterwise_cluster::{ClockMode, EngineMode, SimulationConfig};
+use waterwise_core::{build_scheduler, SchedulerKind, WaterWiseConfig};
+use waterwise_service::{PlacementService, ServiceConfig, TcpPlacementServer};
+use waterwise_sustain::FootprintEstimator;
+use waterwise_telemetry::TelemetryConfig;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn clock_from_env() -> ClockMode {
+    let raw = std::env::var("WATERWISE_CLOCK").unwrap_or_else(|_| "real-time:60".to_string());
+    if raw == "discrete" {
+        ClockMode::Discrete
+    } else {
+        let scale = raw
+            .strip_prefix("real-time:")
+            .or_else(|| raw.strip_prefix("realtime:"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(60.0);
+        ClockMode::RealTime { scale }
+    }
+}
+
+fn main() {
+    let addr = std::env::var("WATERWISE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let workers: usize = env_or("WATERWISE_WORKERS", 2);
+    let engine = if workers == 0 {
+        EngineMode::Sync
+    } else {
+        EngineMode::Pipelined { workers }
+    };
+    let clock = clock_from_env();
+    let seed: u64 = env_or("WATERWISE_SEED", 42);
+    let simulation = SimulationConfig::paper_default(
+        env_or("WATERWISE_SERVERS", 280),
+        env_or("WATERWISE_TOLERANCE", 0.5),
+    )
+    .with_engine_mode(engine);
+    let telemetry = TelemetryConfig {
+        seed,
+        ..TelemetryConfig::default()
+    };
+    let sessions: usize = env_or("WATERWISE_SESSIONS", usize::MAX);
+
+    let service =
+        PlacementService::new(ServiceConfig::new(simulation, telemetry).with_clock(clock))
+            .expect("valid service configuration");
+    let server = TcpPlacementServer::bind(&addr).expect("bind listen address");
+    eprintln!(
+        "placement_server listening on {} (clock {}, engine {}, seed {seed})",
+        server.local_addr().expect("bound address"),
+        clock.label(),
+        engine.label(),
+    );
+
+    for session in 0..sessions {
+        // One fresh WaterWise scheduler per session: sessions are
+        // independent campaigns.
+        let mut scheduler = build_scheduler(
+            SchedulerKind::WaterWise,
+            service.telemetry(),
+            FootprintEstimator::new(service.config().simulation.datacenter),
+            &WaterWiseConfig::default(),
+            None,
+        );
+        match server.serve_connection(&service, scheduler.as_mut()) {
+            Ok(report) => eprintln!(
+                "session {session}: accepted {}, rejected {}, served {}, \
+                 makespan {:.0} s, total {:.1} gCO2 / {:.1} L",
+                report.accepted,
+                report.rejected,
+                report.served,
+                report.report.makespan.value(),
+                report.report.summary.total_carbon.value(),
+                report.report.summary.total_water.value(),
+            ),
+            Err(error) => eprintln!("session {session} failed: {error}"),
+        }
+    }
+}

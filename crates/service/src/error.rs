@@ -1,0 +1,133 @@
+//! Typed errors of the online placement service.
+
+use std::fmt;
+use waterwise_cluster::{ConfigError, SimulationError};
+use waterwise_traces::JobId;
+
+/// Everything that can go wrong while serving placement requests.
+///
+/// The service distinguishes *per-request* failures (a malformed line, a
+/// duplicate id), which are reported back to the client and do not stop the
+/// service, from *run-level* failures (the engine rejecting the stream, a
+/// dead response sink, transport I/O), which terminate
+/// [`crate::PlacementService::serve`] with one of these variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The simulation configuration backing the service is invalid.
+    Config(ConfigError),
+    /// The engine failed while replaying the live stream (duplicate ids
+    /// that slipped past validation, out-of-order discrete arrivals, a dead
+    /// pipeline stage, …).
+    Simulation(SimulationError),
+    /// A transport-level I/O failure (TCP accept/read/write). The inner
+    /// string is the I/O error's message (`std::io::Error` is not `Clone`,
+    /// so the service stores its rendering).
+    Io(String),
+    /// A request line could not be parsed into a [`crate::PlacementRequest`].
+    /// The TCP front-end reports this back to the client on the connection
+    /// and keeps serving; it only becomes a run-level error for sources
+    /// that cannot continue past garbage.
+    MalformedRequest {
+        /// 1-based line number on the connection (0 for non-line sources).
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A request reused the id of an earlier request in the same session.
+    /// The request is dropped (and reported back to the client where the
+    /// transport allows) before it can poison the engine.
+    DuplicateRequest {
+        /// The reused id.
+        id: JobId,
+    },
+    /// The caller dropped the response receiver while placements were still
+    /// being made; the service shuts down instead of silently discarding
+    /// answers.
+    ResponseSinkClosed,
+    /// The service already stopped accepting requests (the engine ended or
+    /// failed), so a [`crate::RequestSender::submit`] had no receiver.
+    ServiceStopped,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Config(e) => write!(f, "invalid service config: {e}"),
+            ServiceError::Simulation(e) => write!(f, "engine failure: {e}"),
+            ServiceError::Io(message) => write!(f, "transport i/o failure: {message}"),
+            ServiceError::MalformedRequest { line, message } => {
+                write!(f, "malformed request on line {line}: {message}")
+            }
+            ServiceError::DuplicateRequest { id } => {
+                write!(f, "duplicate request id {id} in this session")
+            }
+            ServiceError::ResponseSinkClosed => {
+                write!(f, "response sink hung up while placements were pending")
+            }
+            ServiceError::ServiceStopped => {
+                write!(f, "the placement service is no longer accepting requests")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Config(e) => Some(e),
+            ServiceError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServiceError {
+    fn from(e: ConfigError) -> Self {
+        ServiceError::Config(e)
+    }
+}
+
+impl From<SimulationError> for ServiceError {
+    fn from(e: SimulationError) -> Self {
+        ServiceError::Simulation(e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(ServiceError::DuplicateRequest { id: JobId(9) }
+            .to_string()
+            .contains("job-9"));
+        assert!(ServiceError::MalformedRequest {
+            line: 3,
+            message: "missing id".into(),
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(ServiceError::ResponseSinkClosed
+            .to_string()
+            .contains("sink"));
+        let io: ServiceError = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "gone").into();
+        assert!(io.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn sources_are_preserved_for_wrapped_errors() {
+        use std::error::Error;
+        let e = ServiceError::from(ConfigError::NoRegions);
+        assert!(e.source().is_some());
+        let e = ServiceError::from(SimulationError::DuplicateJobId { id: JobId(1) });
+        assert!(e.source().is_some());
+        assert!(ServiceError::ServiceStopped.source().is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! # waterwise-service
+//!
+//! The online placement front-end of the WaterWise reproduction: live
+//! request ingestion into the (optionally pipelined) simulation engine.
+//!
+//! The batch crates replay a whole trace and report a campaign summary;
+//! this crate turns the same engine into a *servable system*. Clients
+//! submit placement requests over a [`RequestSource`] — an in-process
+//! bounded channel ([`channel_source`]) or a line-delimited-JSON TCP
+//! connection ([`TcpPlacementServer`]) — and receive a
+//! [`PlacementResponse`] per job as the scheduler commits it: the chosen
+//! region, the scheduling slot, the projected carbon/water footprint of
+//! the decision, and whether the placement still meets its delay-tolerance
+//! deadline.
+//!
+//! Every queue in the path is bounded, so backpressure is end-to-end: a
+//! slow scheduler fills the ingestion channel, which blocks the request
+//! source, which (on TCP) stops reading the socket.
+//!
+//! ## Determinism
+//!
+//! The service preserves the workspace's byte-identity discipline: an
+//! online session records its admitted jobs as a trace
+//! ([`ServiceReport::trace`]), and replaying that trace offline through
+//! [`waterwise_cluster::Simulator::run`] reproduces the exact same
+//! schedule — under either engine mode and either
+//! [`waterwise_cluster::ClockMode`]. The property test
+//! `tests/online_equivalence.rs` enforces this, and the `fig17_service`
+//! benchmark re-asserts it over the TCP path. See `docs/ONLINE_SERVICE.md`
+//! for the operator-facing picture (wire format, clock modes, shutdown).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod request;
+pub mod service;
+pub mod source;
+pub mod tcp;
+pub mod wire;
+
+pub use error::ServiceError;
+pub use request::{PlacementRequest, PlacementResponse};
+pub use service::{PlacementService, ServiceConfig, ServiceReport};
+pub use source::{channel_source, ChannelSource, RequestSender, RequestSource};
+pub use tcp::TcpPlacementServer;

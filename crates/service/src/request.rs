@@ -1,0 +1,93 @@
+//! The request/response pair of the placement service.
+
+use waterwise_cluster::SolverActivity;
+use waterwise_sustain::{DecisionProjection, Seconds};
+use waterwise_telemetry::Region;
+use waterwise_traces::{JobId, JobSpec};
+
+/// One job placement request.
+///
+/// A request is a [`JobSpec`] wrapped for the service: the client describes
+/// the job (benchmark, home region, resource estimates) and the service
+/// decides where it runs. Under [`waterwise_cluster::ClockMode::Discrete`]
+/// the spec's `submit_time` is authoritative and must be non-decreasing
+/// across the session; under `RealTime` the service re-stamps it from the
+/// scaled wall clock at ingestion.
+///
+/// ```
+/// use waterwise_service::PlacementRequest;
+/// use waterwise_sustain::{KilowattHours, Seconds};
+/// use waterwise_telemetry::Region;
+/// use waterwise_traces::{Benchmark, JobId, JobSpec};
+///
+/// let request = PlacementRequest::new(JobSpec {
+///     id: JobId(1),
+///     benchmark: Benchmark::Canneal,
+///     submit_time: Seconds::new(12.5),
+///     home_region: Region::Oregon,
+///     actual_execution_time: Seconds::new(600.0),
+///     actual_energy: KilowattHours::new(0.05),
+///     estimated_execution_time: Seconds::new(660.0),
+///     estimated_energy: KilowattHours::new(0.055),
+///     package_bytes: 1024,
+/// });
+/// assert_eq!(request.spec.id, JobId(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementRequest {
+    /// The requested job. The scheduler only ever sees the *estimated*
+    /// execution time and energy; the simulation charges the actuals.
+    pub spec: JobSpec,
+}
+
+impl PlacementRequest {
+    /// Wrap a job spec as a placement request.
+    pub fn new(spec: JobSpec) -> Self {
+        Self { spec }
+    }
+}
+
+/// The service's answer to one [`PlacementRequest`], produced when the
+/// scheduler commits the job's placement.
+///
+/// Everything except `region`/`slot` is a *projection* evaluated at
+/// decision time from the scheduler-visible estimates and the ground-truth
+/// conditions at the projected start: the actual footprint and completion
+/// are only known after the job runs (they land in the campaign's
+/// [`waterwise_cluster::JobOutcome`]s). `projected_start` assumes a free
+/// server after the package transfer; queueing in the target region can
+/// push the real start later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementResponse {
+    /// The placed job.
+    pub job: JobId,
+    /// The region that will execute it.
+    pub region: Region,
+    /// Index of the scheduling round that placed it (0-based).
+    pub slot: usize,
+    /// Simulated time of the placing round.
+    pub decided_at: Seconds,
+    /// The submit time the job was stamped with at ingestion.
+    pub submitted_at: Seconds,
+    /// Scheduling rounds the job was deferred before placement (slack
+    /// management at work: 0 means it was placed in its first round).
+    pub deferrals: u32,
+    /// Earliest execution start: decision time plus package transfer.
+    pub projected_start: Seconds,
+    /// `projected_start` plus the *estimated* execution time.
+    pub projected_completion: Seconds,
+    /// Latest completion satisfying the configured delay tolerance,
+    /// evaluated on the estimated execution time.
+    pub deadline: Seconds,
+    /// Whether `projected_completion` meets `deadline` (with a small
+    /// epsilon). `false` flags placements that already overshoot their
+    /// slack at decision time.
+    pub deadline_feasible: bool,
+    /// Projected carbon/water footprint of the decision (execution +
+    /// transfer) under the conditions at the projected start.
+    pub projection: DecisionProjection,
+    /// Solver work the placing round performed, when the scheduler runs an
+    /// optimization solver (per-round delta — the scheduler-snapshot
+    /// enrichment of the response).
+    pub solver: Option<SolverActivity>,
+}

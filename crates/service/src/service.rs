@@ -1,0 +1,351 @@
+//! The placement service: glue between a [`RequestSource`] and the online
+//! engine driver.
+
+use crate::error::ServiceError;
+use crate::request::PlacementResponse;
+use crate::source::RequestSource;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Mutex};
+use waterwise_cluster::{
+    ClockMode, PlacementNotice, Scheduler, SimulationConfig, SimulationReport, Simulator,
+};
+use waterwise_sustain::{FootprintEstimator, JobResourceUsage, KilowattHours, Seconds};
+use waterwise_telemetry::{ConditionsProvider, SyntheticTelemetry, TelemetryConfig};
+use waterwise_traces::{JobId, JobSpec};
+
+/// Configuration of one placement service instance.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The simulated cluster the service places jobs onto (regions, server
+    /// counts, scheduling interval, delay tolerance, engine mode).
+    pub simulation: SimulationConfig,
+    /// The seeded telemetry both the scheduler and the footprint
+    /// projections read.
+    pub telemetry: TelemetryConfig,
+    /// The time authority: [`ClockMode::Discrete`] for deterministic
+    /// replay, [`ClockMode::RealTime`] for live pacing.
+    pub clock: ClockMode,
+    /// Bounded depth of the ingestion channel into the engine. A full
+    /// channel blocks the ingestion thread, which backpressures the
+    /// request source.
+    pub ingest_queue: usize,
+    /// Bounded depth of the engine→response enrichment channel. A full
+    /// channel blocks the engine's commit step, which backpressures the
+    /// whole pipeline.
+    pub notice_queue: usize,
+}
+
+impl ServiceConfig {
+    /// A service over the given cluster with the default knobs: discrete
+    /// clock, 256-deep bounded queues.
+    pub fn new(simulation: SimulationConfig, telemetry: TelemetryConfig) -> Self {
+        Self {
+            simulation,
+            telemetry,
+            clock: ClockMode::Discrete,
+            ingest_queue: 256,
+            notice_queue: 256,
+        }
+    }
+
+    /// A small demo cluster (five regions, 40 servers each) for examples,
+    /// doctests, and smoke tests.
+    pub fn small_demo(seed: u64) -> Self {
+        Self::new(
+            SimulationConfig::paper_default(40, 0.5),
+            TelemetryConfig {
+                seed,
+                ..TelemetryConfig::default()
+            },
+        )
+    }
+
+    /// Override the clock mode.
+    pub fn with_clock(mut self, clock: ClockMode) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Override the engine execution mode (synchronous or pipelined).
+    pub fn with_engine_mode(mut self, engine: waterwise_cluster::EngineMode) -> Self {
+        self.simulation.engine = engine;
+        self
+    }
+}
+
+/// What a completed serving session reports.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The campaign-level simulation report, identical in structure to an
+    /// offline run's.
+    pub report: SimulationReport,
+    /// Every admitted job in receipt order with its stamped submit time —
+    /// replaying this trace offline through [`Simulator::run`] reproduces
+    /// `report`'s schedule byte-identically.
+    pub trace: Vec<JobSpec>,
+    /// Requests admitted into the engine.
+    pub accepted: usize,
+    /// Requests rejected before the engine (duplicate ids).
+    pub rejected: usize,
+    /// Placement responses delivered.
+    pub served: usize,
+}
+
+/// An online placement front-end over the WaterWise simulation engine.
+///
+/// One service instance owns the simulated cluster and its telemetry; each
+/// [`PlacementService::serve`] call runs one serving *session*: requests
+/// are pulled from a [`RequestSource`], injected into the engine as
+/// arrivals, and answered with enriched [`PlacementResponse`]s (region,
+/// slot, projected carbon/water footprint, deadline feasibility) as the
+/// scheduler commits placements. The session ends when the source ends and
+/// every admitted job has completed.
+///
+/// ```
+/// use waterwise_service::{channel_source, PlacementRequest, PlacementService, ServiceConfig};
+/// use waterwise_sustain::{KilowattHours, Seconds};
+/// use waterwise_telemetry::Region;
+/// use waterwise_traces::{Benchmark, JobId, JobSpec};
+/// use waterwise_core::{build_scheduler, SchedulerKind, WaterWiseConfig};
+/// use waterwise_sustain::FootprintEstimator;
+///
+/// let service = PlacementService::new(ServiceConfig::small_demo(42)).unwrap();
+/// let mut scheduler = build_scheduler(
+///     SchedulerKind::WaterWise,
+///     service.telemetry(),
+///     FootprintEstimator::new(service.config().simulation.datacenter),
+///     &WaterWiseConfig::default(),
+///     None,
+/// );
+///
+/// let (sender, source) = channel_source(8);
+/// for id in 0..3 {
+///     sender.submit(PlacementRequest::new(JobSpec {
+///         id: JobId(id),
+///         benchmark: Benchmark::Blackscholes,
+///         submit_time: Seconds::new(10.0 * id as f64),
+///         home_region: Region::Milan,
+///         actual_execution_time: Seconds::new(300.0),
+///         actual_energy: KilowattHours::new(0.02),
+///         estimated_execution_time: Seconds::new(300.0),
+///         estimated_energy: KilowattHours::new(0.02),
+///         package_bytes: 1 << 20,
+///     })).unwrap();
+/// }
+/// drop(sender); // end of stream: the session drains and returns
+///
+/// let (report, responses) = service.serve_collect(source, scheduler.as_mut()).unwrap();
+/// assert_eq!(report.accepted, 3);
+/// assert_eq!(responses.len(), 3);
+/// assert!(responses.iter().all(|r| r.projection.total_carbon().value() > 0.0));
+/// ```
+pub struct PlacementService {
+    config: ServiceConfig,
+    telemetry: Arc<SyntheticTelemetry>,
+    simulator: Simulator<Arc<SyntheticTelemetry>>,
+}
+
+impl PlacementService {
+    /// Build a service: validates the cluster configuration and generates
+    /// the seeded telemetry.
+    pub fn new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        let telemetry = SyntheticTelemetry::generate(config.telemetry).shared();
+        let simulator = Simulator::new(config.simulation.clone(), telemetry.clone())?;
+        Ok(Self {
+            config,
+            telemetry,
+            simulator,
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The ground-truth telemetry provider (shareable; hand clones to the
+    /// schedulers you build for [`PlacementService::serve`]).
+    pub fn telemetry(&self) -> Arc<SyntheticTelemetry> {
+        self.telemetry.clone()
+    }
+
+    /// The footprint estimator responses are projected with.
+    pub fn estimator(&self) -> &FootprintEstimator {
+        self.simulator.estimator()
+    }
+
+    /// Run one serving session: pull requests from `source` until it ends,
+    /// place them with `scheduler`, and deliver every placement over
+    /// `responses` as it commits. Blocks until the session drains (every
+    /// admitted job completed); returns the campaign report plus the
+    /// recorded trace.
+    ///
+    /// Duplicate-id requests are rejected before the engine (counted in
+    /// [`ServiceReport::rejected`] and reported through
+    /// [`RequestSource::reject`]); a closed `responses` receiver, a source
+    /// error, or an engine failure terminates the session with a typed
+    /// [`ServiceError`].
+    pub fn serve<S: RequestSource>(
+        &self,
+        source: S,
+        scheduler: &mut dyn Scheduler,
+        responses: SyncSender<PlacementResponse>,
+    ) -> Result<ServiceReport, ServiceError> {
+        let (job_tx, job_rx) = std::sync::mpsc::sync_channel::<JobSpec>(self.config.ingest_queue);
+        let (notice_tx, notice_rx) =
+            std::sync::mpsc::sync_channel::<PlacementNotice>(self.config.notice_queue);
+        // Request specs by id, parked between ingestion and enrichment (the
+        // notice identifies the job; the response needs its estimates).
+        let in_flight: Mutex<HashMap<JobId, JobSpec>> = Mutex::new(HashMap::new());
+
+        let interrupter = source.interrupter();
+        std::thread::scope(|scope| {
+            let ingestion = scope.spawn({
+                let in_flight = &in_flight;
+                let mut source = source;
+                move || -> Result<(usize, usize), ServiceError> {
+                    let mut seen: HashSet<JobId> = HashSet::new();
+                    let (mut accepted, mut rejected) = (0usize, 0usize);
+                    while let Some(request) = source.next()? {
+                        let id = request.spec.id;
+                        if !seen.insert(id) {
+                            rejected += 1;
+                            source.reject(&request, &ServiceError::DuplicateRequest { id });
+                            continue;
+                        }
+                        in_flight
+                            .lock()
+                            .expect("in-flight map lock")
+                            .insert(id, request.spec.clone());
+                        if job_tx.send(request.spec).is_err() {
+                            // The engine stopped (its error surfaces from
+                            // run_online); stop pulling requests.
+                            break;
+                        }
+                        accepted += 1;
+                    }
+                    Ok((accepted, rejected))
+                }
+            });
+
+            let enrichment = scope.spawn({
+                let in_flight = &in_flight;
+                let responses = &responses;
+                move || -> Result<usize, ServiceError> {
+                    let mut served = 0usize;
+                    for notice in notice_rx.iter() {
+                        let spec = in_flight
+                            .lock()
+                            .expect("in-flight map lock")
+                            .remove(&notice.job);
+                        // Every notice stems from an ingested request, so
+                        // the spec is always present; tolerate its absence
+                        // rather than poisoning the session.
+                        let Some(spec) = spec else { continue };
+                        let response = self.enrich(notice, &spec);
+                        responses
+                            .send(response)
+                            .map_err(|_| ServiceError::ResponseSinkClosed)?;
+                        served += 1;
+                    }
+                    Ok(served)
+                }
+            });
+
+            // The engine runs on the calling thread. `notice_tx` moves into
+            // it and drops on return, which ends the enrichment thread;
+            // `job_tx` lives on the ingestion thread, whose sends fail once
+            // the engine returns.
+            let engine_result =
+                self.simulator
+                    .run_online(scheduler, job_rx, notice_tx, self.config.clock);
+            if engine_result.is_err() {
+                // A failed engine can no longer consume requests; unblock a
+                // source still waiting for its next one so the session can
+                // report the failure instead of hanging.
+                if let Some(interrupt) = &interrupter {
+                    interrupt();
+                }
+            }
+            let ingestion_result = ingestion.join().expect("ingestion thread panicked");
+            let enrichment_result = enrichment.join().expect("enrichment thread panicked");
+
+            // Error priority: the source's own failure, then a closed
+            // response sink (the root cause behind the engine's
+            // PlacementSinkDisconnected), then the engine.
+            let (accepted, rejected) = ingestion_result?;
+            let served = enrichment_result?;
+            let online = engine_result?;
+            Ok(ServiceReport {
+                report: online.report,
+                trace: online.trace,
+                accepted,
+                rejected,
+                served,
+            })
+        })
+    }
+
+    /// [`PlacementService::serve`] with responses collected into a vector —
+    /// the convenient shape for tests, benchmarks, and offline-identity
+    /// checks. The internal response channel still applies bounded
+    /// backpressure; the collector thread just drains it continuously.
+    pub fn serve_collect<S: RequestSource>(
+        &self,
+        source: S,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<(ServiceReport, Vec<PlacementResponse>), ServiceError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.config.notice_queue.max(64));
+        std::thread::scope(|scope| {
+            let collector = scope.spawn(move || rx.iter().collect::<Vec<_>>());
+            let report = self.serve(source, scheduler, tx);
+            let responses = collector.join().expect("collector thread panicked");
+            Ok((report?, responses))
+        })
+    }
+
+    /// Turn an engine placement notice into a client-facing response:
+    /// project the decision's carbon/water footprint under the conditions
+    /// at the projected start and evaluate deadline feasibility — all on
+    /// the scheduler-visible *estimates*, mirroring the information the
+    /// placement was made with.
+    fn enrich(&self, notice: PlacementNotice, spec: &JobSpec) -> PlacementResponse {
+        let conditions = self
+            .telemetry
+            .conditions(notice.region, notice.projected_start);
+        let transfer_energy = if notice.region == spec.home_region {
+            KilowattHours::zero()
+        } else {
+            self.config.simulation.transfer.transfer_energy(
+                spec.home_region,
+                notice.region,
+                spec.package_bytes,
+            )
+        };
+        let usage = JobResourceUsage::new(spec.estimated_energy, spec.estimated_execution_time);
+        let projection =
+            self.simulator
+                .estimator()
+                .project_decision(usage, transfer_energy, conditions);
+        let projected_completion =
+            notice.projected_start.value() + spec.estimated_execution_time.value();
+        let deadline = notice.submitted_at.value()
+            + (1.0 + self.config.simulation.delay_tolerance)
+                * spec.estimated_execution_time.value();
+        PlacementResponse {
+            job: notice.job,
+            region: notice.region,
+            slot: notice.slot,
+            decided_at: notice.decided_at,
+            submitted_at: notice.submitted_at,
+            deferrals: notice.deferrals,
+            projected_start: notice.projected_start,
+            projected_completion: Seconds::new(projected_completion),
+            deadline: Seconds::new(deadline),
+            deadline_feasible: projected_completion <= deadline + 1e-6,
+            projection,
+            solver: notice.solver,
+        }
+    }
+}

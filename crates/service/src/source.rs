@@ -1,0 +1,211 @@
+//! Request sources: where placement requests come from.
+
+use crate::error::ServiceError;
+use crate::request::PlacementRequest;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A stream of placement requests feeding a
+/// [`crate::PlacementService::serve`] session.
+///
+/// The service pulls requests one at a time on a dedicated ingestion
+/// thread; returning `Ok(None)` ends the stream (the session then drains:
+/// every admitted job is placed and completed before
+/// [`crate::PlacementService::serve`] returns). A returned error terminates
+/// the whole session — sources that can skip bad input (like the TCP
+/// front-end, which answers malformed lines in-band) should do so instead
+/// of erroring.
+///
+/// ```
+/// use waterwise_service::{PlacementRequest, RequestSource, ServiceError};
+///
+/// /// A source that replays a fixed batch of requests, then ends.
+/// struct Replay(Vec<PlacementRequest>);
+///
+/// impl RequestSource for Replay {
+///     fn next(&mut self) -> Result<Option<PlacementRequest>, ServiceError> {
+///         Ok(if self.0.is_empty() { None } else { Some(self.0.remove(0)) })
+///     }
+/// }
+///
+/// let mut source = Replay(Vec::new());
+/// assert!(matches!(source.next(), Ok(None)));
+/// ```
+pub trait RequestSource: Send {
+    /// Pull the next request, blocking until one is available, the stream
+    /// ends (`Ok(None)`), or the source fails.
+    fn next(&mut self) -> Result<Option<PlacementRequest>, ServiceError>;
+
+    /// The service rejected `request` before it reached the engine (for
+    /// example a duplicate id). Sources with a back-channel — the TCP
+    /// front-end writes an error line — can report it to the client; the
+    /// default does nothing.
+    fn reject(&mut self, request: &PlacementRequest, error: &ServiceError) {
+        let _ = (request, error);
+    }
+
+    /// A handle the service can invoke from another thread to unblock a
+    /// pending [`RequestSource::next`] when the session must terminate
+    /// early (an engine failure mid-stream). After the interrupter fires,
+    /// `next` should return `Ok(None)` promptly. Sources without one
+    /// (`None`, the default) simply keep the failed session alive until
+    /// their stream ends on its own.
+    fn interrupter(&self) -> Option<Box<dyn Fn() + Send>> {
+        None
+    }
+}
+
+/// Create a bounded in-process request channel: the [`RequestSender`] half
+/// goes to request producers (clone it freely), the [`ChannelSource`] half
+/// goes to [`crate::PlacementService::serve`]. When the channel holds
+/// `capacity` unconsumed requests, [`RequestSender::submit`] blocks — the
+/// service's ingestion backpressure, end to end: a slow engine slows the
+/// ingestion thread, which fills this channel, which blocks producers.
+///
+/// ```
+/// use waterwise_service::{channel_source, PlacementRequest, RequestSource};
+/// use waterwise_sustain::{KilowattHours, Seconds};
+/// use waterwise_telemetry::Region;
+/// use waterwise_traces::{Benchmark, JobId, JobSpec};
+///
+/// let (sender, mut source) = channel_source(8);
+/// sender.submit(PlacementRequest::new(JobSpec {
+///     id: JobId(1),
+///     benchmark: Benchmark::Dedup,
+///     submit_time: Seconds::new(0.0),
+///     home_region: Region::Milan,
+///     actual_execution_time: Seconds::new(60.0),
+///     actual_energy: KilowattHours::new(0.01),
+///     estimated_execution_time: Seconds::new(60.0),
+///     estimated_energy: KilowattHours::new(0.01),
+///     package_bytes: 64,
+/// })).unwrap();
+/// drop(sender); // closing every sender ends the stream
+/// assert!(source.next().unwrap().is_some());
+/// assert!(source.next().unwrap().is_none());
+/// ```
+pub fn channel_source(capacity: usize) -> (RequestSender, ChannelSource) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+    (
+        RequestSender { tx },
+        ChannelSource {
+            rx,
+            aborted: Arc::new(AtomicBool::new(false)),
+        },
+    )
+}
+
+/// The producer half of [`channel_source`]. Cloneable; the stream ends when
+/// every clone is dropped.
+#[derive(Debug, Clone)]
+pub struct RequestSender {
+    tx: SyncSender<PlacementRequest>,
+}
+
+impl RequestSender {
+    /// Submit a request, blocking while the channel is full (ingestion
+    /// backpressure). Fails with [`ServiceError::ServiceStopped`] once the
+    /// serving session has ended.
+    pub fn submit(&self, request: PlacementRequest) -> Result<(), ServiceError> {
+        self.tx
+            .send(request)
+            .map_err(|_| ServiceError::ServiceStopped)
+    }
+
+    /// Submit without blocking; returns the request back if the channel is
+    /// full so the caller can apply its own load-shedding policy.
+    pub fn try_submit(
+        &self,
+        request: PlacementRequest,
+    ) -> Result<(), Result<PlacementRequest, ServiceError>> {
+        match self.tx.try_send(request) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(request)) => Err(Ok(request)),
+            Err(TrySendError::Disconnected(_)) => Err(Err(ServiceError::ServiceStopped)),
+        }
+    }
+}
+
+/// The consuming half of [`channel_source`]: an in-process
+/// [`RequestSource`].
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: Receiver<PlacementRequest>,
+    aborted: Arc<AtomicBool>,
+}
+
+impl RequestSource for ChannelSource {
+    fn next(&mut self) -> Result<Option<PlacementRequest>, ServiceError> {
+        // Poll instead of a bare blocking recv so the interrupter can end
+        // the stream even while producers keep their senders alive.
+        loop {
+            if self.aborted.load(Ordering::Relaxed) {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(Duration::from_millis(25)) {
+                Ok(request) => return Ok(Some(request)),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Ok(None),
+            }
+        }
+    }
+
+    fn interrupter(&self) -> Option<Box<dyn Fn() + Send>> {
+        let aborted = self.aborted.clone();
+        Some(Box::new(move || aborted.store(true, Ordering::Relaxed)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwise_sustain::{KilowattHours, Seconds};
+    use waterwise_telemetry::Region;
+    use waterwise_traces::{Benchmark, JobId, JobSpec};
+
+    fn request(id: u64) -> PlacementRequest {
+        PlacementRequest::new(JobSpec {
+            id: JobId(id),
+            benchmark: Benchmark::Dedup,
+            submit_time: Seconds::new(0.0),
+            home_region: Region::Oregon,
+            actual_execution_time: Seconds::new(60.0),
+            actual_energy: KilowattHours::new(0.01),
+            estimated_execution_time: Seconds::new(60.0),
+            estimated_energy: KilowattHours::new(0.01),
+            package_bytes: 1,
+        })
+    }
+
+    #[test]
+    fn channel_source_delivers_in_order_and_ends_on_close() {
+        let (sender, mut source) = channel_source(4);
+        sender.submit(request(1)).unwrap();
+        sender.submit(request(2)).unwrap();
+        drop(sender);
+        assert_eq!(source.next().unwrap().unwrap().spec.id, JobId(1));
+        assert_eq!(source.next().unwrap().unwrap().spec.id, JobId(2));
+        assert!(source.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_full_and_detects_shutdown() {
+        let (sender, source) = channel_source(1);
+        assert!(sender.try_submit(request(1)).is_ok());
+        match sender.try_submit(request(2)) {
+            Err(Ok(returned)) => assert_eq!(returned.spec.id, JobId(2)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        drop(source);
+        assert!(matches!(
+            sender.submit(request(3)),
+            Err(ServiceError::ServiceStopped)
+        ));
+        assert!(matches!(
+            sender.try_submit(request(4)),
+            Err(Err(ServiceError::ServiceStopped))
+        ));
+    }
+}

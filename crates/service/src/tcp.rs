@@ -1,0 +1,179 @@
+//! The line-delimited-JSON TCP front-end, built on `std::net` only.
+//!
+//! One connection is one serving session: the client writes one request
+//! per line ([`crate::wire::parse_request`]), the server writes one
+//! response per line as placements commit (`{"type":"placement",...}`),
+//! plus in-band `{"type":"error",...}` lines for requests that never reach
+//! the engine (malformed lines, duplicate ids — the session keeps going).
+//! The client ends the session by half-closing its write side (or closing
+//! the connection); the server then drains every admitted job, flushes the
+//! remaining responses, and closes. See `docs/ONLINE_SERVICE.md` for the
+//! full protocol, a worked example, and the shutdown semantics.
+
+use crate::error::ServiceError;
+use crate::request::PlacementRequest;
+use crate::service::{PlacementService, ServiceReport};
+use crate::source::RequestSource;
+use crate::wire;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use waterwise_cluster::Scheduler;
+
+/// A TCP listener serving the placement wire protocol.
+///
+/// Bind to port 0 for an ephemeral port (the pattern used by the CI smoke
+/// test and the `fig17_service` benchmark):
+///
+/// ```no_run
+/// use waterwise_core::{build_scheduler, SchedulerKind, WaterWiseConfig};
+/// use waterwise_service::{PlacementService, ServiceConfig, TcpPlacementServer};
+/// use waterwise_sustain::FootprintEstimator;
+///
+/// let service = PlacementService::new(ServiceConfig::small_demo(42)).unwrap();
+/// let server = TcpPlacementServer::bind("127.0.0.1:0").unwrap();
+/// println!("serving on {}", server.local_addr().unwrap());
+/// let mut scheduler = build_scheduler(
+///     SchedulerKind::WaterWise,
+///     service.telemetry(),
+///     FootprintEstimator::new(service.config().simulation.datacenter),
+///     &WaterWiseConfig::default(),
+///     None,
+/// );
+/// // Blocks until a client connects, streams requests, and hangs up.
+/// let report = server.serve_connection(&service, scheduler.as_mut()).unwrap();
+/// println!("placed {} jobs", report.served);
+/// ```
+pub struct TcpPlacementServer {
+    listener: TcpListener,
+}
+
+impl TcpPlacementServer {
+    /// Bind the listener.
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> Result<SocketAddr, ServiceError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accept one client connection and serve it to completion: requests
+    /// are read off the socket, responses and in-band errors are written
+    /// back, and the call returns when the client ends its request stream
+    /// and the session drains. Serve several clients by calling this in a
+    /// loop (sessions are sequential by design — one engine, one
+    /// campaign per session).
+    pub fn serve_connection(
+        &self,
+        service: &PlacementService,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<ServiceReport, ServiceError> {
+        let (stream, _peer) = self.listener.accept()?;
+        let writer = Arc::new(Mutex::new(stream.try_clone()?));
+        let source = TcpSource {
+            reader: BufReader::new(stream.try_clone()?),
+            stream,
+            writer: writer.clone(),
+            line: 0,
+        };
+        let (response_tx, response_rx) =
+            std::sync::mpsc::sync_channel(service.config().notice_queue.max(1));
+        std::thread::scope(|scope| {
+            let response_writer = scope.spawn({
+                let writer = writer.clone();
+                move || -> Result<(), ServiceError> {
+                    for response in response_rx.iter() {
+                        let line = wire::encode_response(&response);
+                        let mut guard = writer.lock().expect("response writer lock");
+                        guard.write_all(line.as_bytes())?;
+                        guard.write_all(b"\n")?;
+                        guard.flush()?;
+                    }
+                    Ok(())
+                }
+            });
+            let report = service.serve(source, scheduler, response_tx);
+            let written = response_writer.join().expect("response writer panicked");
+            let report = report?;
+            // A broken client pipe surfaces as ResponseSinkClosed through
+            // `serve` (the writer drops the receiver); only report a write
+            // failure that `serve` itself did not notice.
+            written?;
+            Ok(report)
+        })
+    }
+}
+
+/// [`RequestSource`] over one accepted TCP connection.
+struct TcpSource {
+    reader: BufReader<TcpStream>,
+    /// The connection itself, kept for the interrupter's shutdown.
+    stream: TcpStream,
+    /// Shared with the response writer: in-band error lines interleave
+    /// with placement lines, each written atomically under the lock.
+    writer: Arc<Mutex<TcpStream>>,
+    line: usize,
+}
+
+impl TcpSource {
+    fn write_error(&self, job: Option<waterwise_traces::JobId>, message: &str) {
+        let line = wire::encode_error(job, message);
+        if let Ok(mut guard) = self.writer.lock() {
+            // A client that hung up cannot receive its error report;
+            // dropping it is fine (the read side notices the hangup).
+            let _ = guard.write_all(line.as_bytes());
+            let _ = guard.write_all(b"\n");
+            let _ = guard.flush();
+        }
+    }
+}
+
+impl RequestSource for TcpSource {
+    fn next(&mut self) -> Result<Option<PlacementRequest>, ServiceError> {
+        loop {
+            let mut line = String::new();
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Ok(None), // EOF: client half-closed.
+                Ok(_) => {}
+                // The interrupter shuts the socket down to unblock this
+                // read; either way the stream is over.
+                Err(_) => return Ok(None),
+            }
+            self.line += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue; // Blank lines are keep-alive no-ops.
+            }
+            match wire::parse_request(trimmed) {
+                Ok(request) => return Ok(Some(request)),
+                Err(message) => {
+                    // Malformed input is a per-request failure: answer it
+                    // in-band and keep the session alive.
+                    let error = ServiceError::MalformedRequest {
+                        line: self.line,
+                        message,
+                    };
+                    self.write_error(None, &error.to_string());
+                }
+            }
+        }
+    }
+
+    fn reject(&mut self, request: &PlacementRequest, error: &ServiceError) {
+        self.write_error(Some(request.spec.id), &error.to_string());
+    }
+
+    fn interrupter(&self) -> Option<Box<dyn Fn() + Send>> {
+        let stream = match self.stream.try_clone() {
+            Ok(stream) => stream,
+            Err(_) => return None,
+        };
+        Some(Box::new(move || {
+            let _ = stream.shutdown(Shutdown::Both);
+        }))
+    }
+}

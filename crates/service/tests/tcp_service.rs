@@ -1,0 +1,111 @@
+//! End-to-end test of the TCP front-end: a client speaks the line-delimited
+//! JSON protocol over a real socket, including malformed lines and
+//! duplicate ids (answered in-band), half-close shutdown, and the
+//! recorded-trace identity with an offline replay.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use waterwise_cluster::{EngineMode, Simulator};
+use waterwise_core::{build_scheduler, SchedulerKind, WaterWiseConfig};
+use waterwise_service::{PlacementService, ServiceConfig, TcpPlacementServer};
+use waterwise_sustain::FootprintEstimator;
+use waterwise_telemetry::SyntheticTelemetry;
+
+fn request_line(id: u64, submit: f64) -> String {
+    format!(
+        "{{\"id\":{id},\"benchmark\":\"blackscholes\",\"home_region\":\"Milan\",\
+         \"submit_time\":{submit},\"execution_time\":300,\"energy\":0.02,\
+         \"package_bytes\":1048576}}"
+    )
+}
+
+#[test]
+fn tcp_session_serves_requests_and_shuts_down_cleanly() {
+    let config =
+        ServiceConfig::small_demo(42).with_engine_mode(EngineMode::Pipelined { workers: 2 });
+    let telemetry_config = config.telemetry;
+    let simulation = config.simulation.clone();
+    let service = PlacementService::new(config).unwrap();
+    let server = TcpPlacementServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let client = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let reader = BufReader::new(stream);
+        for (id, submit) in [(1u64, 0.0), (2, 30.0), (3, 60.0)] {
+            writeln!(writer, "{}", request_line(id, submit)).unwrap();
+        }
+        writeln!(writer, "this is not json").unwrap();
+        writeln!(writer, "{}", request_line(2, 90.0)).unwrap(); // duplicate id
+        writeln!(writer).unwrap(); // blank keep-alive line
+        writeln!(writer, "{}", request_line(4, 120.0)).unwrap();
+        // Half-close: end of the request stream; keep reading responses.
+        writer.flush().unwrap();
+        stream_shutdown_write(&writer);
+        let lines: Vec<String> = reader.lines().map(|l| l.unwrap()).collect();
+        lines
+    });
+
+    let mut scheduler = build_scheduler(
+        SchedulerKind::WaterWise,
+        service.telemetry(),
+        FootprintEstimator::new(service.config().simulation.datacenter),
+        &WaterWiseConfig::default(),
+        None,
+    );
+    let report = server
+        .serve_connection(&service, scheduler.as_mut())
+        .unwrap();
+    let lines = client.join().unwrap();
+
+    assert_eq!(report.accepted, 4, "ids 1–4 admitted");
+    assert_eq!(report.rejected, 1, "the duplicate id rejected");
+    assert_eq!(report.served, 4);
+    assert_eq!(report.report.outcomes.len(), 4);
+
+    let placements: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"placement\""))
+        .collect();
+    let errors: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.contains("\"type\":\"error\""))
+        .collect();
+    assert_eq!(placements.len(), 4, "lines: {lines:?}");
+    assert_eq!(errors.len(), 2, "malformed + duplicate, lines: {lines:?}");
+    assert!(errors.iter().any(|l| l.contains("malformed")));
+    assert!(errors.iter().any(|l| l.contains("duplicate")));
+    for id in [1u64, 2, 3, 4] {
+        assert!(
+            placements
+                .iter()
+                .any(|l| l.contains(&format!("\"job\":{id},"))),
+            "no placement line for job {id}: {placements:?}"
+        );
+    }
+
+    // The recorded trace replays offline to the byte-identical schedule.
+    let offline = Simulator::new(
+        simulation,
+        SyntheticTelemetry::generate(telemetry_config).shared(),
+    )
+    .unwrap()
+    .run(
+        &report.trace,
+        build_scheduler(
+            SchedulerKind::WaterWise,
+            service.telemetry(),
+            FootprintEstimator::new(service.config().simulation.datacenter),
+            &WaterWiseConfig::default(),
+            None,
+        )
+        .as_mut(),
+    )
+    .unwrap();
+    assert_eq!(report.report.outcomes, offline.outcomes);
+}
+
+fn stream_shutdown_write(stream: &TcpStream) {
+    stream.shutdown(Shutdown::Write).unwrap();
+}

@@ -166,6 +166,79 @@ impl FootprintEstimator {
     pub fn water_intensity(&self, conditions: RegionConditions) -> WaterIntensity {
         conditions.water_intensity(self.params.pue)
     }
+
+    /// Project the footprint of one *placement decision* before the job
+    /// runs: the execution footprint of the (estimated) usage under the
+    /// target region's conditions, plus the operational-only footprint of
+    /// shipping `transfer_energy` there — the same split the simulator's
+    /// after-the-fact accounting charges, evaluated on estimates instead of
+    /// actuals. The online placement service attaches this projection to
+    /// every response.
+    ///
+    /// ```
+    /// use waterwise_sustain::{
+    ///     CarbonIntensity, FootprintEstimator, JobResourceUsage, KilowattHours, LitersPerKwh,
+    ///     RegionConditions, Seconds, WaterScarcityFactor, WaterUsageEffectiveness,
+    /// };
+    ///
+    /// let estimator = FootprintEstimator::paper_default();
+    /// let usage = JobResourceUsage::new(KilowattHours::new(0.5), Seconds::new(600.0));
+    /// let conditions = RegionConditions {
+    ///     carbon_intensity: CarbonIntensity::new(220.0),
+    ///     ewif: LitersPerKwh::new(1.8),
+    ///     wue: WaterUsageEffectiveness::new(0.4),
+    ///     wsf: WaterScarcityFactor::new(0.6),
+    /// };
+    /// let projection = estimator.project_decision(usage, KilowattHours::new(0.01), conditions);
+    /// // The migration adds operational footprint on top of the execution.
+    /// assert!(projection.total_carbon() > projection.execution.total_carbon());
+    /// // A home-region decision carries no transfer share at all.
+    /// let home = estimator.project_decision(usage, KilowattHours::zero(), conditions);
+    /// assert_eq!(home.transfer.total_carbon().value(), 0.0);
+    /// ```
+    pub fn project_decision(
+        &self,
+        usage: JobResourceUsage,
+        transfer_energy: KilowattHours,
+        conditions: RegionConditions,
+    ) -> DecisionProjection {
+        let execution = self.estimate(usage, conditions);
+        let transfer = if transfer_energy.value() > 0.0 {
+            self.estimate_operational(
+                JobResourceUsage::new(transfer_energy, Seconds::zero()),
+                conditions,
+            )
+        } else {
+            FootprintBreakdown::default()
+        };
+        DecisionProjection {
+            execution,
+            transfer,
+        }
+    }
+}
+
+/// The projected footprint of one placement decision (execution plus
+/// migration transfer), produced by [`FootprintEstimator::project_decision`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DecisionProjection {
+    /// Projected execution footprint under the target region's conditions.
+    pub execution: FootprintBreakdown,
+    /// Projected transfer footprint (operational only, zero for home-region
+    /// placements), mirroring the simulator's accounting convention.
+    pub transfer: FootprintBreakdown,
+}
+
+impl DecisionProjection {
+    /// Total projected carbon (execution + transfer), in gCO2.
+    pub fn total_carbon(&self) -> Co2Grams {
+        Co2Grams::new(self.execution.total_carbon().value() + self.transfer.total_carbon().value())
+    }
+
+    /// Total projected effective water (execution + transfer), in liters.
+    pub fn total_water(&self) -> Liters {
+        Liters::new(self.execution.total_water().value() + self.transfer.total_water().value())
+    }
 }
 
 #[cfg(test)]

@@ -36,7 +36,9 @@ pub mod water;
 
 pub use carbon::{CarbonFootprint, EmbodiedCarbonModel, OperationalCarbonModel};
 pub use energy::{EnergyMix, EnergySource, EwifDataset, ALL_SOURCES};
-pub use footprint::{FootprintBreakdown, FootprintEstimator, JobResourceUsage, RegionConditions};
+pub use footprint::{
+    DecisionProjection, FootprintBreakdown, FootprintEstimator, JobResourceUsage, RegionConditions,
+};
 pub use intensity::{CarbonIntensity, WaterIntensity};
 pub use params::{DataCenterParams, ServerParams};
 pub use units::{Co2Grams, Hours, KilowattHours, Liters, LitersPerKwh, Seconds, Watts};

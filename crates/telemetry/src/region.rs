@@ -77,6 +77,25 @@ impl Region {
     pub fn profile(self) -> RegionProfile {
         RegionProfile::of(self)
     }
+
+    /// Parse a region from its [`Region::name`] (case-insensitive) or its
+    /// [`Region::aws_region`] identifier — the inverse used by the online
+    /// placement service's wire format.
+    ///
+    /// ```
+    /// use waterwise_telemetry::Region;
+    ///
+    /// assert_eq!(Region::from_name("Zurich"), Some(Region::Zurich));
+    /// assert_eq!(Region::from_name("mumbai"), Some(Region::Mumbai));
+    /// assert_eq!(Region::from_name("us-west-2"), Some(Region::Oregon));
+    /// assert_eq!(Region::from_name("atlantis"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Region> {
+        ALL_REGIONS
+            .iter()
+            .find(|r| r.name().eq_ignore_ascii_case(name) || r.aws_region() == name)
+            .copied()
+    }
 }
 
 impl fmt::Display for Region {

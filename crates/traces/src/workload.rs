@@ -57,6 +57,23 @@ impl Benchmark {
         ALL_BENCHMARKS.iter().position(|&b| b == self).unwrap()
     }
 
+    /// Parse a benchmark from its [`Benchmark::name`] (case-insensitive) —
+    /// the inverse used by the online placement service's wire format.
+    ///
+    /// ```
+    /// use waterwise_traces::Benchmark;
+    ///
+    /// assert_eq!(Benchmark::from_name("canneal"), Some(Benchmark::Canneal));
+    /// assert_eq!(Benchmark::from_name("Data-Caching"), Some(Benchmark::DataCaching));
+    /// assert_eq!(Benchmark::from_name("sorting"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        ALL_BENCHMARKS
+            .iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+            .copied()
+    }
+
     /// Short name as used in Table 1.
     pub fn name(self) -> &'static str {
         match self {

@@ -11,6 +11,8 @@
 //! * [`traces`] — Borg-like and Alibaba-like workload trace generators.
 //! * [`cluster`] — discrete-event geo-distributed data-center simulator.
 //! * [`core`] — the WaterWise scheduler, baselines, and experiment runner.
+//! * [`service`] — online placement front-end: live request ingestion into
+//!   the engine over in-process channels or line-delimited-JSON TCP.
 //!
 //! # Quickstart
 //!
@@ -25,6 +27,7 @@
 pub use waterwise_cluster as cluster;
 pub use waterwise_core as core;
 pub use waterwise_milp as milp;
+pub use waterwise_service as service;
 pub use waterwise_sustain as sustain;
 pub use waterwise_telemetry as telemetry;
 pub use waterwise_traces as traces;
