@@ -1,9 +1,12 @@
 //! Cold vs warm-started rolling-horizon solve comparison (Fig. 14 of this
-//! reproduction; not a figure of the paper). See the crate docs for scaling.
+//! reproduction; not a figure of the paper). Writes `BENCH_fig14.json`.
+//! See the crate docs for scaling.
+
+use waterwise_bench::experiments as ex;
 
 fn main() {
-    let scale = waterwise_bench::ExperimentScale::from_env();
-    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig14_warmstart(
-        scale,
-    ));
+    let scale = ex::ExperimentScale::from_env();
+    let tables = ex::fig14_warmstart(scale);
+    ex::print_tables(&tables);
+    ex::save_json("fig14", &tables);
 }

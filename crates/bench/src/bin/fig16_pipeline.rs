@@ -1,11 +1,14 @@
 //! Pipelined vs synchronous simulation engine on the Fig. 5 workload
 //! (Fig. 16 of this reproduction; not a figure of the paper). Asserts
 //! byte-identical schedules across engine modes and reports wall-clock,
-//! event-path stalls, and arrival overlap. See the crate docs for scaling.
+//! event-path stalls, and arrival overlap. Writes `BENCH_fig16.json`.
+//! See the crate docs for scaling.
+
+use waterwise_bench::experiments as ex;
 
 fn main() {
-    let scale = waterwise_bench::ExperimentScale::from_env();
-    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig16_pipeline(
-        scale,
-    ));
+    let scale = ex::ExperimentScale::from_env();
+    let tables = ex::fig16_pipeline(scale);
+    ex::print_tables(&tables);
+    ex::save_json("fig16", &tables);
 }

@@ -1,0 +1,14 @@
+//! Scheduler hot-path breakdown (Fig. 18 of this reproduction; not a figure
+//! of the paper): per-slot numerics-preparation vs MILP-solve time under
+//! serial and sharded preparation, dual-simplex restarts vs cold node solves
+//! on a branch-heavy battery, and campaign byte-identity under every lever.
+//! Writes `BENCH_fig18.json`. See the crate docs for scaling.
+
+use waterwise_bench::experiments as ex;
+
+fn main() {
+    let scale = ex::ExperimentScale::from_env();
+    let tables = ex::fig18_hotpath(scale);
+    ex::print_tables(&tables);
+    ex::save_json("fig18", &tables);
+}

@@ -1,4 +1,6 @@
-//! Runs every experiment in sequence (the full paper reproduction).
+//! Runs every experiment in sequence (the full paper reproduction) and
+//! writes the machine-readable `BENCH_figNN.json` artifacts for the
+//! experiments that have them (Figs. 14, 16, 18).
 //!
 //! `WATERWISE_DAYS` / `WATERWISE_SEED` rescale the campaigns; see the crate
 //! docs of `waterwise-bench`.
@@ -20,10 +22,17 @@ fn main() {
     ex::print_tables(&ex::fig11_utilization(scale));
     ex::print_tables(&ex::fig12_region_availability(scale));
     ex::print_tables(&ex::fig13_overhead(scale));
-    ex::print_tables(&ex::fig14_warmstart(scale));
+    let fig14 = ex::fig14_warmstart(scale);
+    ex::print_tables(&fig14);
+    ex::save_json("fig14", &fig14);
     ex::print_tables(&ex::fig15_solcache(scale));
-    ex::print_tables(&ex::fig16_pipeline(scale));
+    let fig16 = ex::fig16_pipeline(scale);
+    ex::print_tables(&fig16);
+    ex::save_json("fig16", &fig16);
     ex::print_tables(&ex::fig17_service(scale));
+    let fig18 = ex::fig18_hotpath(scale);
+    ex::print_tables(&fig18);
+    ex::save_json("fig18", &fig18);
     ex::print_tables(&ex::table2_service_time(scale));
     ex::print_tables(&ex::table3_comm_overhead(scale));
     ex::print_tables(&ex::sens_perturbation(scale));

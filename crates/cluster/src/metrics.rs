@@ -429,6 +429,9 @@ mod tests {
                     simplex_pivots: 10,
                     warm_pivots: 10,
                     nodes: 1,
+                    dual_restarts: 1,
+                    basis_reuse_hits: 1,
+                    bound_flips: 2,
                     cache_exact_hits: 1,
                     cache_hint_hits: 1,
                     cache_misses: 0,
@@ -448,6 +451,12 @@ mod tests {
         assert_eq!(s.solver.cache_hint_hits, 1);
         assert_eq!(s.solver.cache_lookups(), 2);
         assert!((s.solver.cache_hit_fraction() - 1.0).abs() < 1e-12);
+        assert_eq!(s.solver.dual_restarts, 1);
+        assert_eq!(s.solver.basis_reuse_hits, 1);
+        assert_eq!(s.solver.bound_flips, 2);
+        // The dual-restart counters are deterministic solver work, so the
+        // wall-clock scrub must keep them intact.
+        assert_eq!(s.without_wall_clock().solver, s.solver);
     }
 
     #[test]

@@ -130,6 +130,17 @@ pub struct SolverActivity {
     pub warm_pivots: usize,
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
+    /// Dual-simplex restarts attempted from a parent node's basis snapshot
+    /// (branch & bound child nodes).
+    pub dual_restarts: usize,
+    /// Dual restarts that reached a definitive verdict without falling back
+    /// to a cold solve; `dual_restarts - basis_reuse_hits` counts the cold
+    /// fallbacks (pivot cap hit or incompatible snapshot).
+    pub basis_reuse_hits: usize,
+    /// Standard-form rows whose right-hand side actually moved across all
+    /// dual restarts — the sparse delta a restart replays instead of a full
+    /// re-solve.
+    pub bound_flips: usize,
     /// Solution-cache lookups whose exact fingerprint matched (the solve was
     /// skipped entirely). Zero for schedulers without a cache.
     pub cache_exact_hits: usize,
@@ -152,6 +163,11 @@ impl SolverActivity {
             simplex_pivots: self.simplex_pivots.saturating_sub(earlier.simplex_pivots),
             warm_pivots: self.warm_pivots.saturating_sub(earlier.warm_pivots),
             nodes: self.nodes.saturating_sub(earlier.nodes),
+            dual_restarts: self.dual_restarts.saturating_sub(earlier.dual_restarts),
+            basis_reuse_hits: self
+                .basis_reuse_hits
+                .saturating_sub(earlier.basis_reuse_hits),
+            bound_flips: self.bound_flips.saturating_sub(earlier.bound_flips),
             cache_exact_hits: self
                 .cache_exact_hits
                 .saturating_sub(earlier.cache_exact_hits),
@@ -168,6 +184,9 @@ impl SolverActivity {
         self.simplex_pivots += other.simplex_pivots;
         self.warm_pivots += other.warm_pivots;
         self.nodes += other.nodes;
+        self.dual_restarts += other.dual_restarts;
+        self.basis_reuse_hits += other.basis_reuse_hits;
+        self.bound_flips += other.bound_flips;
         self.cache_exact_hits += other.cache_exact_hits;
         self.cache_hint_hits += other.cache_hint_hits;
         self.cache_misses += other.cache_misses;
@@ -324,6 +343,7 @@ mod tests {
         let earlier = SolverActivity {
             solves: 5,
             simplex_pivots: 100,
+            dual_restarts: 3,
             ..SolverActivity::default()
         };
         // A replaced workspace (counters reset) must clamp to zero, not
@@ -331,7 +351,18 @@ mod tests {
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.solves, 0);
         assert_eq!(delta.simplex_pivots, 0);
+        assert_eq!(delta.dual_restarts, 0);
         assert_eq!(delta.cache_exact_hits, 2);
+        let mut acc = later;
+        acc.accumulate(&SolverActivity {
+            dual_restarts: 2,
+            basis_reuse_hits: 2,
+            bound_flips: 7,
+            ..SolverActivity::default()
+        });
+        assert_eq!(acc.dual_restarts, 2);
+        assert_eq!(acc.basis_reuse_hits, 2);
+        assert_eq!(acc.bound_flips, 7);
         assert_eq!(later.cache_lookups(), 4);
         assert!((later.cache_hit_fraction() - 0.75).abs() < 1e-12);
         assert_eq!(SolverActivity::default().cache_hit_fraction(), 0.0);

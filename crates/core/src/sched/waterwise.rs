@@ -16,9 +16,11 @@
 //!    constraints** (Eq. 12–13): per-job penalty variables relax the delay
 //!    constraint at a cost `σ` in the objective.
 
-use crate::objective::{candidate_footprints, CandidateFootprint, Normalizer, ObjectiveWeights};
+use crate::experiment::{run_indexed, Parallelism};
+use crate::objective::{candidate_footprints, Normalizer, ObjectiveWeights};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use waterwise_cluster::{
     Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,
 };
@@ -67,6 +69,15 @@ pub struct WaterWiseConfig {
     /// behavior); `Some(h)` additionally caps it at the `h` most urgent
     /// jobs, deferring the rest to later slots.
     pub horizon: Option<usize>,
+    /// Worker-pool sharding of the per-slot numerics preparation (candidate
+    /// footprints, normalizers, and objective coefficients, Eq. 7/8). Each
+    /// job's numerics are a pure function of the job and the slot context,
+    /// so shards merge in job order and the produced schedule is
+    /// byte-identical across settings; only wall-clock
+    /// [`SolveStats::prepare_seconds`] changes. Defaults to
+    /// [`Parallelism::Serial`] so campaigns that already parallelize at the
+    /// campaign level do not nest worker pools.
+    pub parallelism: Parallelism,
 }
 
 impl Default for WaterWiseConfig {
@@ -79,6 +90,7 @@ impl Default for WaterWiseConfig {
             branch_bound: BranchBoundConfig::default(),
             warm_start: true,
             horizon: None,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -105,6 +117,21 @@ impl WaterWiseConfig {
         self.horizon = horizon.map(|h| h.max(1));
         self
     }
+
+    /// Shard the per-slot numerics preparation across a worker pool.
+    ///
+    /// ```
+    /// use waterwise_core::{Parallelism, WaterWiseConfig};
+    ///
+    /// let sharded = WaterWiseConfig::default().with_parallelism(Parallelism::Auto);
+    /// assert_eq!(sharded.parallelism, Parallelism::Auto);
+    /// // Serial is the default: nested pools are opt-in.
+    /// assert_eq!(WaterWiseConfig::default().parallelism, Parallelism::Serial);
+    /// ```
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 }
 
 /// Statistics the controller keeps about its own solves (exposed for the
@@ -126,6 +153,36 @@ pub struct SolveStats {
     /// Solution-cache traffic of this scheduler's workspace (all zero when
     /// no cache is attached).
     pub cache: CacheStats,
+    /// Wall-clock seconds spent preparing per-job numerics (candidate
+    /// footprints, normalizers, objective coefficients) ahead of the solves.
+    /// A timing measurement, not deterministic work: it varies run to run
+    /// and shrinks when [`WaterWiseConfig::parallelism`] shards the
+    /// preparation.
+    pub prepare_seconds: f64,
+    /// Wall-clock seconds spent building and solving the MILPs, including
+    /// the soft-constrained fallback when it engages. Timing, like
+    /// [`SolveStats::prepare_seconds`].
+    pub solve_seconds: f64,
+}
+
+/// Everything the MILP needs to know about one job in one slot: objective
+/// coefficients (Eq. 7/8 plus the history-learner reference term), the
+/// latency/execution ratios of the delay constraint (Eq. 11), and the
+/// remaining delay tolerance after time already spent waiting.
+///
+/// A pure function of `(job, slot context)` — independent across jobs —
+/// which is what makes the preparation shardable across workers with a
+/// deterministic job-ordered merge (see [`WaterWiseConfig::parallelism`]).
+/// Computing it once per slot also means the soft-constraint fallback
+/// reuses the numbers instead of re-deriving them.
+#[derive(Debug, Clone)]
+struct JobNumerics {
+    /// Objective coefficient per region (the cost of `x[m][n] = 1`).
+    coeffs: Vec<f64>,
+    /// `transfer_latency / execution_time` per region (Eq. 11 lhs).
+    latency_ratio: Vec<f64>,
+    /// `TOL% − waited/exec`, clamped at zero (Eq. 11 rhs).
+    remaining_tolerance: f64,
 }
 
 /// The WaterWise scheduler.
@@ -241,21 +298,64 @@ impl WaterWiseScheduler {
         ranked.into_iter().take(limit).map(|(j, _)| j).collect()
     }
 
+    /// Compute [`JobNumerics`] for every selected job, sharded across the
+    /// worker pool named by [`WaterWiseConfig::parallelism`]. Jobs are
+    /// partitioned by index and merged back in job order, so the output —
+    /// and hence the schedule built from it — is byte-identical to the
+    /// serial computation.
+    fn prepare_numerics(
+        &self,
+        jobs: &[&PendingJob],
+        ctx: &SchedulingContext<'_>,
+        regions: &[Region],
+        history: &[(f64, f64)],
+    ) -> Vec<JobNumerics> {
+        let provider = self.provider.as_ref();
+        let estimator = &self.estimator;
+        let weights = &self.config.weights;
+        let workers = self.config.parallelism.worker_count(jobs.len());
+        run_indexed(jobs.len(), workers, |m| {
+            let job = jobs[m];
+            // Candidate footprints and the per-job normalizer (Eq. 7).
+            let candidates = candidate_footprints(job, regions, provider, estimator, ctx.now);
+            let normalizer = Normalizer::from_candidates(&candidates);
+            let exec = job.spec.estimated_execution_time.value().max(1.0);
+            let waited = job.waiting_time(ctx.now).value();
+            let remaining_tolerance = (ctx.delay_tolerance - waited / exec).max(0.0);
+            let mut coeffs = Vec::with_capacity(regions.len());
+            let mut latency_ratio = Vec::with_capacity(regions.len());
+            for (n, region) in regions.iter().enumerate() {
+                let mut coefficient = normalizer.objective_term(&candidates[n], weights);
+                // History-learner reference term (normalized trailing means).
+                let (carbon_ref, water_ref) = history[n];
+                coefficient += weights.lambda_ref
+                    * (weights.lambda_co2 * carbon_ref + weights.lambda_h2o * water_ref);
+                coeffs.push(coefficient);
+                let latency = ctx
+                    .transfer
+                    .transfer_time(job.spec.home_region, *region, job.spec.package_bytes)
+                    .value();
+                latency_ratio.push(latency / exec);
+            }
+            JobNumerics {
+                coeffs,
+                latency_ratio,
+                remaining_tolerance,
+            }
+        })
+    }
+
     /// Build and solve the MILP for the selected jobs. `soften` enables the
     /// penalty relaxation of Eq. 12/13.
-    #[allow(clippy::too_many_arguments)]
     fn solve_assignment(
         &mut self,
         jobs: &[&PendingJob],
         ctx: &SchedulingContext<'_>,
         regions: &[Region],
-        candidates: &[Vec<CandidateFootprint>],
-        normalizers: &[Normalizer],
-        history: &[(f64, f64)],
+        numerics: &[JobNumerics],
         soften: bool,
     ) -> Option<Vec<Assignment>> {
         let n_regions = regions.len();
-        let weights = &self.config.weights;
         let mut model = Model::new(if soften {
             "waterwise-soft"
         } else {
@@ -283,39 +383,12 @@ impl WaterWiseScheduler {
             })
             .collect();
 
-        // Objective coefficients (Eq. 8 / Eq. 12) and delay-constraint data,
-        // computed once and shared between the model and the warm-start hint.
-        let mut coeffs: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
-        let mut latency_ratio: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
-        let mut remaining_tolerance: Vec<f64> = Vec::with_capacity(jobs.len());
-        for (m, job) in jobs.iter().enumerate() {
-            let exec = job.spec.estimated_execution_time.value().max(1.0);
-            let waited = job.waiting_time(ctx.now).value();
-            remaining_tolerance.push((ctx.delay_tolerance - waited / exec).max(0.0));
-            let mut row = Vec::with_capacity(n_regions);
-            let mut lat_row = Vec::with_capacity(n_regions);
-            for (n, region) in regions.iter().enumerate() {
-                let candidate = &candidates[m][n];
-                let mut coefficient = normalizers[m].objective_term(candidate, weights);
-                // History-learner reference term (normalized trailing means).
-                let (carbon_ref, water_ref) = history[n];
-                coefficient += weights.lambda_ref
-                    * (weights.lambda_co2 * carbon_ref + weights.lambda_h2o * water_ref);
-                row.push(coefficient);
-                let latency = ctx
-                    .transfer
-                    .transfer_time(job.spec.home_region, *region, job.spec.package_bytes)
-                    .value();
-                lat_row.push(latency / exec);
-            }
-            coeffs.push(row);
-            latency_ratio.push(lat_row);
-        }
-
+        // Objective (Eq. 8 / Eq. 12) from the precomputed per-job numerics
+        // (shared with the warm-start hint and the soft fallback).
         let mut objective = LinExpr::zero();
         for (m, _) in jobs.iter().enumerate() {
             for n in 0..n_regions {
-                objective.add_term(x[m][n], coeffs[m][n]);
+                objective.add_term(x[m][n], numerics[m].coeffs[n]);
             }
         }
         if soften {
@@ -345,7 +418,7 @@ impl WaterWiseScheduler {
         for (m, job) in jobs.iter().enumerate() {
             let mut expr = LinExpr::zero();
             for n in 0..n_regions {
-                expr.add_term(x[m][n], latency_ratio[m][n]);
+                expr.add_term(x[m][n], numerics[m].latency_ratio[n]);
             }
             if let Some(p) = penalties[m] {
                 expr.add_term(p, -1.0);
@@ -354,22 +427,12 @@ impl WaterWiseScheduler {
                 format!("delay_{}", job.spec.id.0),
                 expr,
                 Sense::LessEqual,
-                remaining_tolerance[m],
+                numerics[m].remaining_tolerance,
             );
         }
 
         let hint = if self.config.warm_start {
-            self.build_hint(
-                jobs,
-                ctx,
-                &model,
-                &x,
-                &penalties,
-                &coeffs,
-                &latency_ratio,
-                &remaining_tolerance,
-                soften,
-            )
+            self.build_hint(jobs, ctx, &model, &x, &penalties, numerics, soften)
         } else {
             None
         };
@@ -425,9 +488,7 @@ impl WaterWiseScheduler {
         model: &Model,
         x: &[Vec<Var>],
         penalties: &[Option<Var>],
-        coeffs: &[Vec<f64>],
-        latency_ratio: &[Vec<f64>],
-        remaining_tolerance: &[f64],
+        numerics: &[JobNumerics],
         soften: bool,
     ) -> Option<Vec<f64>> {
         let n_regions = x.first()?.len();
@@ -435,9 +496,10 @@ impl WaterWiseScheduler {
             ctx.regions.iter().map(|v| v.remaining_capacity()).collect();
         let mut hint = vec![0.0; model.num_vars()];
         for (m, job) in jobs.iter().enumerate() {
+            let numbers = &numerics[m];
             let feasible = |n: usize, capacity_left: &[usize]| {
                 capacity_left[n] > 0
-                    && (soften || latency_ratio[m][n] <= remaining_tolerance[m] + 1e-12)
+                    && (soften || numbers.latency_ratio[n] <= numbers.remaining_tolerance + 1e-12)
             };
             let carried = self
                 .carried
@@ -448,8 +510,8 @@ impl WaterWiseScheduler {
                 (0..n_regions)
                     .filter(|&n| feasible(n, &capacity_left))
                     .min_by(|&a, &b| {
-                        coeffs[m][a]
-                            .partial_cmp(&coeffs[m][b])
+                        numbers.coeffs[a]
+                            .partial_cmp(&numbers.coeffs[b])
                             .unwrap_or(std::cmp::Ordering::Equal)
                             .then(a.cmp(&b))
                     })
@@ -457,7 +519,8 @@ impl WaterWiseScheduler {
             capacity_left[chosen] -= 1;
             hint[x[m][chosen].index()] = 1.0;
             if let Some(p) = penalties[m] {
-                hint[p.index()] = (latency_ratio[m][chosen] - remaining_tolerance[m]).max(0.0);
+                hint[p.index()] =
+                    (numbers.latency_ratio[chosen] - numbers.remaining_tolerance).max(0.0);
             }
         }
         Some(hint)
@@ -524,52 +587,28 @@ impl Scheduler for WaterWiseScheduler {
         let all_jobs: Vec<&PendingJob> = ctx.pending.iter().collect();
         let selected = self.slack_select(&all_jobs, ctx, &regions, window);
 
-        // Candidate footprints and per-job normalizers (Eq. 7).
-        let candidates: Vec<Vec<CandidateFootprint>> = selected
-            .iter()
-            .map(|job| {
-                candidate_footprints(
-                    job,
-                    &regions,
-                    self.provider.as_ref(),
-                    &self.estimator,
-                    ctx.now,
-                )
-            })
-            .collect();
-        let normalizers: Vec<Normalizer> = candidates
-            .iter()
-            .map(|c| Normalizer::from_candidates(c))
-            .collect();
+        // Per-job numerics (candidate footprints, normalizers, objective
+        // coefficients — Eq. 7/8), sharded across the configured worker
+        // pool. The history terms are per-region (a handful of trailing
+        // means) and stay serial.
         let history = self.history_terms(ctx, &regions);
+        let prepare_start = Instant::now();
+        let numerics = self.prepare_numerics(&selected, ctx, &regions, &history);
+        self.stats.prepare_seconds += prepare_start.elapsed().as_secs_f64();
 
         // Hard-constrained solve first; soften on infeasibility
-        // (Algorithm 1, lines 8–11).
-        let hard = self.solve_assignment(
-            &selected,
-            ctx,
-            &regions,
-            &candidates,
-            &normalizers,
-            &history,
-            false,
-        );
+        // (Algorithm 1, lines 8–11). The fallback reuses the numerics.
+        let solve_start = Instant::now();
+        let hard = self.solve_assignment(&selected, ctx, &regions, &numerics, false);
         let assignments = match hard {
             Some(a) => a,
             None => {
                 self.stats.soft_fallbacks += 1;
-                self.solve_assignment(
-                    &selected,
-                    ctx,
-                    &regions,
-                    &candidates,
-                    &normalizers,
-                    &history,
-                    true,
-                )
-                .unwrap_or_default()
+                self.solve_assignment(&selected, ctx, &regions, &numerics, true)
+                    .unwrap_or_default()
             }
         };
+        self.stats.solve_seconds += solve_start.elapsed().as_secs_f64();
         // Prune carried-forward choices for jobs that already left the
         // pending pool. Entries for jobs assigned *this* round survive one
         // more round on purpose: if the engine rejects a placement the job
@@ -590,6 +629,9 @@ impl Scheduler for WaterWiseScheduler {
             simplex_pivots: warm.cold_pivots + warm.warm_pivots,
             warm_pivots: warm.warm_pivots,
             nodes: self.stats.nodes,
+            dual_restarts: warm.dual_restarts,
+            basis_reuse_hits: warm.basis_reuse_hits,
+            bound_flips: warm.bound_flips,
             cache_exact_hits: cache.exact_hits,
             cache_hint_hits: cache.hint_hits,
             cache_misses: cache.misses,
@@ -784,6 +826,71 @@ mod tests {
             warm_stats.warm_pivots,
             cold_stats.cold_pivots
         );
+    }
+
+    #[test]
+    fn sharded_preparation_matches_serial_byte_for_byte() {
+        // The per-job numerics are pure and merged in job order, so every
+        // parallelism setting must reproduce the serial schedule exactly —
+        // across several stateful rounds (carried hints included).
+        let mut fixture = context_fixture(24, 31);
+        for p in &mut fixture.pending {
+            p.received_at = Seconds::from_hours(6.0);
+        }
+        let provider: Arc<dyn ConditionsProvider> = Arc::new(SyntheticTelemetry::with_seed(3));
+        for parallelism in [Parallelism::Auto, Parallelism::Threads(3)] {
+            let mut serial = WaterWiseScheduler::new(
+                provider.clone(),
+                FootprintEstimator::paper_default(),
+                WaterWiseConfig::default(),
+            );
+            let mut sharded = WaterWiseScheduler::new(
+                provider.clone(),
+                FootprintEstimator::paper_default(),
+                WaterWiseConfig::default().with_parallelism(parallelism),
+            );
+            for hour in [6.0, 6.5, 7.5] {
+                let ctx = ctx_from(&fixture, hour, 0.5);
+                let a = serial.schedule(&ctx);
+                let b = sharded.schedule(&ctx);
+                assert_eq!(a, b, "{parallelism:?} diverged from serial at hour {hour}");
+            }
+            // The deterministic solver work must match too; only wall-clock
+            // timing may differ between the runs.
+            assert_eq!(serial.stats().warm, sharded.stats().warm);
+            assert_eq!(serial.stats().nodes, sharded.stats().nodes);
+            assert_eq!(
+                serial.stats().simplex_iterations,
+                sharded.stats().simplex_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn stats_time_the_prepare_and_solve_phases() {
+        let fixture = context_fixture(10, 17);
+        let ctx = ctx_from(&fixture, 6.0, 0.5);
+        let mut sched = scheduler();
+        assert_eq!(sched.stats().prepare_seconds, 0.0);
+        assert_eq!(sched.stats().solve_seconds, 0.0);
+        sched.schedule(&ctx);
+        let stats = sched.stats();
+        assert!(stats.prepare_seconds > 0.0, "prepare phase was never timed");
+        assert!(stats.solve_seconds > 0.0, "solve phase was never timed");
+    }
+
+    #[test]
+    fn solver_activity_mirrors_dual_restart_counters() {
+        let fixture = context_fixture(12, 19);
+        let ctx = ctx_from(&fixture, 6.0, 0.5);
+        let mut sched = scheduler();
+        sched.schedule(&ctx);
+        let activity = sched.solver_activity().unwrap();
+        let warm = sched.stats().warm;
+        assert_eq!(activity.dual_restarts, warm.dual_restarts);
+        assert_eq!(activity.basis_reuse_hits, warm.basis_reuse_hits);
+        assert_eq!(activity.bound_flips, warm.bound_flips);
+        assert!(activity.basis_reuse_hits <= activity.dual_restarts);
     }
 
     #[test]

@@ -8,13 +8,14 @@
 //! enumeration.
 
 use crate::error::MilpError;
-use crate::model::Model;
-use crate::simplex::SimplexConfig;
+use crate::model::{DualLp, Model};
+use crate::simplex::{BasisSnapshot, SimplexConfig};
 use crate::solution::{Solution, SolveStatus};
 use crate::workspace::SolverWorkspace;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 /// Branch & bound configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,6 +28,13 @@ pub struct BranchBoundConfig {
     /// Absolute optimality gap at which a node is pruned against the
     /// incumbent.
     pub absolute_gap: f64,
+    /// Reuse each explored node's final simplex basis to solve its children
+    /// with a dual-simplex restart instead of a cold two-phase solve.
+    /// Branching only tightens variable bounds, which keeps the parent basis
+    /// dual-feasible, so a child typically re-optimizes in a few pivots.
+    /// The result is the same solution either way (see the tied-optima
+    /// caveat on [`solve_warm`]); disable to force cold per-node solves.
+    pub use_dual_restart: bool,
 }
 
 impl Default for BranchBoundConfig {
@@ -35,17 +43,20 @@ impl Default for BranchBoundConfig {
             max_nodes: 10_000,
             integrality_tolerance: 1e-6,
             absolute_gap: 1e-9,
+            use_dual_restart: true,
         }
     }
 }
 
 /// A pending node: bound overrides for integer branching plus the parent LP
-/// bound used for best-first ordering.
+/// bound used for best-first ordering. The parent's final basis rides along
+/// (shared by both children) so the node LP can dual-restart.
 #[derive(Debug, Clone)]
 struct Node {
     bounds: Vec<(f64, f64)>,
     parent_bound: f64,
     depth: usize,
+    snapshot: Option<Rc<BasisSnapshot>>,
 }
 
 impl PartialEq for Node {
@@ -92,6 +103,16 @@ fn hint_within_bounds(hint: &[f64], bounds: &[(f64, f64)], tol: f64) -> bool {
         .all(|(&v, &(lo, hi))| v >= lo - tol && v <= hi + tol)
 }
 
+/// Drop a node's share of the parent basis; the last holder recycles the
+/// tableau rows into the workspace pool.
+fn release_snapshot(snapshot: Option<Rc<BasisSnapshot>>, workspace: Option<&mut SolverWorkspace>) {
+    if let Some(rc) = snapshot {
+        if let (Ok(snapshot), Some(ws)) = (Rc::try_unwrap(rc), workspace) {
+            ws.recycle_snapshot(snapshot);
+        }
+    }
+}
+
 /// Branch & bound with an optional warm start.
 ///
 /// `hint` is a candidate point carried over from a previous, similar solve
@@ -128,6 +149,7 @@ pub fn solve_warm(
         bounds: root_bounds,
         parent_bound: f64::NEG_INFINITY,
         depth: 0,
+        snapshot: None,
     });
 
     let mut incumbent: Option<Solution> = None;
@@ -171,22 +193,50 @@ pub fn solve_warm(
         }
     };
 
-    while let Some(node) = heap.pop() {
+    while let Some(mut node) = heap.pop() {
         if nodes_explored >= config.max_nodes {
             break;
         }
         // Prune against the incumbent using the parent bound.
         if node.parent_bound > prune_threshold(incumbent_key, incumbent_from_hint) {
+            release_snapshot(node.snapshot.take(), workspace.as_deref_mut());
             continue;
         }
         nodes_explored += 1;
-        let node_hint = hint.filter(|h| hint_within_bounds(h, &node.bounds, 1e-9));
-        let relaxation = model.solve_lp_relaxation(
-            simplex_config,
-            Some(&node.bounds),
-            node_hint,
-            workspace.as_deref_mut(),
-        )?;
+        // Dual-first: restart from the parent's final basis when one rode
+        // along. A typed fallback (pivot cap, incompatible bound shape)
+        // drops to the cold path below; its wasted pivots are visible via
+        // `dual_restarts - basis_reuse_hits`, not in the pivot totals.
+        let mut dual_result: Option<(Solution, Option<BasisSnapshot>)> = None;
+        if config.use_dual_restart {
+            if let Some(snapshot) = node.snapshot.as_deref() {
+                match model.solve_lp_relaxation_dual(
+                    simplex_config,
+                    Some(&node.bounds),
+                    snapshot,
+                    workspace.as_deref_mut(),
+                )? {
+                    DualLp::Finished(solution, captured) => {
+                        dual_result = Some((solution, captured));
+                    }
+                    DualLp::Fallback => {}
+                }
+            }
+        }
+        release_snapshot(node.snapshot.take(), workspace.as_deref_mut());
+        let (relaxation, captured) = match dual_result {
+            Some(pair) => pair,
+            None => {
+                let node_hint = hint.filter(|h| hint_within_bounds(h, &node.bounds, 1e-9));
+                model.solve_lp_relaxation_captured(
+                    simplex_config,
+                    Some(&node.bounds),
+                    node_hint,
+                    workspace.as_deref_mut(),
+                    config.use_dual_restart,
+                )?
+            }
+        };
         total_iterations += relaxation.simplex_iterations;
         match relaxation.status {
             SolveStatus::Infeasible => continue,
@@ -205,7 +255,11 @@ pub fn solve_warm(
         }
         let node_key = key(relaxation.objective);
         if node_key > prune_threshold(incumbent_key, incumbent_from_hint) {
-            continue; // Bound dominated by incumbent.
+            // Bound dominated by incumbent.
+            if let (Some(snapshot), Some(ws)) = (captured, workspace.as_deref_mut()) {
+                ws.recycle_snapshot(snapshot);
+            }
+            continue;
         }
         // Find the most fractional integer variable.
         let mut branch_var: Option<(usize, f64)> = None;
@@ -221,7 +275,11 @@ pub fn solve_warm(
         }
         match branch_var {
             None => {
-                // Integral: candidate incumbent. A search-derived solution
+                // Integral: no children, so the captured basis is not needed.
+                if let (Some(snapshot), Some(ws)) = (captured, workspace.as_deref_mut()) {
+                    ws.recycle_snapshot(snapshot);
+                }
+                // Candidate incumbent. A search-derived solution
                 // that ties a hint-derived incumbent takes precedence so the
                 // returned vertex matches what a cold solve would pick.
                 if node_key < incumbent_key
@@ -249,18 +307,30 @@ pub fn solve_warm(
                 down[vi].1 = down[vi].1.min(floor);
                 let mut up = node.bounds.clone();
                 up[vi].0 = up[vi].0.max(floor + 1.0);
+                // Both children share the parent's final basis; whichever is
+                // explored last (or pruned) releases it back to the pool.
+                let shared = captured.map(Rc::new);
                 heap.push(Node {
                     bounds: down,
                     parent_bound: node_key,
                     depth: node.depth + 1,
+                    snapshot: shared.clone(),
                 });
                 heap.push(Node {
                     bounds: up,
                     parent_bound: node_key,
                     depth: node.depth + 1,
+                    snapshot: shared,
                 });
             }
         }
+    }
+
+    // Nodes abandoned by an early break still hold basis snapshots; recycle
+    // their rows before reporting (the emptiness check feeds the status).
+    let work_remaining = !heap.is_empty();
+    for mut node in heap.drain() {
+        release_snapshot(node.snapshot.take(), workspace.as_deref_mut());
     }
 
     if saw_unbounded_root {
@@ -281,7 +351,7 @@ pub fn solve_warm(
             sol.nodes_explored = nodes_explored;
             // If we ran out of nodes with work remaining, we cannot certify
             // optimality.
-            if nodes_explored >= config.max_nodes && !heap.is_empty() {
+            if nodes_explored >= config.max_nodes && work_remaining {
                 sol.status = SolveStatus::Feasible;
             }
             Ok(sol)
@@ -632,6 +702,65 @@ mod tests {
             )
             .unwrap();
         assert_eq!(sol.status, SolveStatus::Unbounded);
+    }
+
+    #[test]
+    fn dual_restarts_match_cold_node_solves_exactly() {
+        // The knapsack relaxation is fractional at the root, so the search
+        // genuinely branches and children are solved via dual restart.
+        let m = knapsack_model();
+        let simplex = SimplexConfig::default();
+        let cold_config = BranchBoundConfig {
+            use_dual_restart: false,
+            ..BranchBoundConfig::default()
+        };
+        let dual_config = BranchBoundConfig::default();
+        let mut cold_ws = crate::workspace::SolverWorkspace::new();
+        let mut dual_ws = crate::workspace::SolverWorkspace::new();
+        let cold = m
+            .solve_warm(&simplex, &cold_config, None, &mut cold_ws)
+            .unwrap();
+        let dual = m
+            .solve_warm(&simplex, &dual_config, None, &mut dual_ws)
+            .unwrap();
+        assert_eq!(cold.status, dual.status);
+        assert_eq!(cold.values, dual.values, "schedule-identical solutions");
+        assert!((cold.objective - dual.objective).abs() < 1e-12);
+        assert_eq!(cold.nodes_explored, dual.nodes_explored);
+        // The cold run never attempts a restart; the dual run must have.
+        assert_eq!(cold_ws.stats().dual_restarts, 0);
+        let stats = dual_ws.stats();
+        assert!(stats.dual_restarts > 0, "expected dual restarts: {stats:?}");
+        assert_eq!(stats.basis_reuse_hits, stats.dual_restarts);
+        assert!(stats.bound_flips > 0);
+        // Restarted children must not cost more pivots than cold children.
+        assert!(
+            dual.simplex_iterations <= cold.simplex_iterations,
+            "dual {} vs cold {} pivots",
+            dual.simplex_iterations,
+            cold.simplex_iterations
+        );
+    }
+
+    #[test]
+    fn dual_restart_snapshots_are_recycled_into_the_row_pool() {
+        let m = knapsack_model();
+        let mut ws = crate::workspace::SolverWorkspace::new();
+        let sol = m
+            .solve_warm(
+                &SimplexConfig::default(),
+                &BranchBoundConfig::default(),
+                None,
+                &mut ws,
+            )
+            .unwrap();
+        assert!(sol.status.has_solution());
+        // Every captured snapshot must end up back in the pool: after the
+        // search no rows may be stranded in dropped snapshots.
+        assert!(
+            ws.pooled_rows() > 0,
+            "tableau rows should be recycled via snapshots"
+        );
     }
 
     #[test]

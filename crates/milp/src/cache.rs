@@ -229,6 +229,7 @@ impl ModelFingerprint {
         exact.write_usize(bb_config.max_nodes);
         exact.write_f64(bb_config.integrality_tolerance);
         exact.write_f64(bb_config.absolute_gap);
+        exact.write_u8(bb_config.use_dual_restart as u8);
 
         ModelFingerprint {
             key: key.finish(),

@@ -9,11 +9,12 @@
 //! * [`model`] — a builder-style API for variables, linear expressions,
 //!   constraints, and the objective, similar in spirit to PuLP.
 //! * [`simplex`] — a dense, two-phase primal simplex for the LP relaxation,
-//!   with Bland's-rule anti-cycling and infeasibility/unboundedness
-//!   detection.
+//!   with Bland's-rule anti-cycling, infeasibility/unboundedness detection,
+//!   and dual-simplex warm restarts from captured basis snapshots
+//!   ([`solve_dual_from_snapshot`]).
 //! * [`branch_bound`] — best-first branch & bound on fractional integer
-//!   variables, with incumbent pruning and a configurable gap/iteration
-//!   budget.
+//!   variables, with incumbent pruning, a configurable gap/iteration
+//!   budget, and per-node dual restarts from the parent's final basis.
 //! * [`solution`] — solve status and per-variable value extraction.
 //! * [`workspace`] — reusable allocations and cold/warm solve accounting for
 //!   rolling-horizon (repeated) solves; see [`Model::solve_warm`].
@@ -58,6 +59,9 @@ pub use cache::{CacheLookup, CacheStats, ModelFingerprint, SolutionCache, Soluti
 pub use error::MilpError;
 pub use expr::{LinExpr, Var};
 pub use model::{Constraint, Model, Sense, VarKind};
-pub use simplex::{SimplexConfig, SimplexOutcome};
+pub use simplex::{
+    solve_dual_from_snapshot, solve_with_basis_capture, BasisSnapshot, DualOutcome, LpConstraint,
+    LpProblem, SimplexConfig, SimplexOutcome,
+};
 pub use solution::{Solution, SolveStatus};
 pub use workspace::{SolverWorkspace, WarmStats};

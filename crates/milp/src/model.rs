@@ -5,10 +5,23 @@ use crate::branch_bound::{self, BranchBoundConfig};
 use crate::cache::{CacheLookup, ModelFingerprint};
 use crate::error::MilpError;
 use crate::expr::{LinExpr, Var};
-use crate::simplex::{self, SimplexConfig, SimplexOutcome};
+use crate::simplex::{self, BasisSnapshot, DualOutcome, SimplexConfig, SimplexOutcome};
 use crate::solution::{Solution, SolveStatus};
 use crate::workspace::SolverWorkspace;
 use serde::{Deserialize, Serialize};
+
+/// Result of attempting a dual-restart LP solve at a branch & bound node.
+// One short-lived value per node solve, consumed immediately — the size gap
+// to the unit variant never multiplies across a collection.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum DualLp {
+    /// The restart ran to a definitive verdict; the solution (and optionally
+    /// the re-captured basis) is as trustworthy as a cold solve's.
+    Finished(Solution, Option<BasisSnapshot>),
+    /// The restart was abandoned (pivot cap or incompatible snapshot); the
+    /// caller must solve the node cold.
+    Fallback,
+}
 
 /// The kind of a decision variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -410,6 +423,69 @@ impl Model {
         hint: Option<&[f64]>,
         workspace: Option<&mut SolverWorkspace>,
     ) -> Result<Solution, MilpError> {
+        self.solve_lp_relaxation_captured(config, bound_overrides, hint, workspace, false)
+            .map(|(solution, _)| solution)
+    }
+
+    /// Like [`Model::solve_lp_relaxation`], but when `capture` is set the
+    /// final simplex basis of an optimal solve is returned as a
+    /// [`BasisSnapshot`] for dual restarts at child branch & bound nodes.
+    pub(crate) fn solve_lp_relaxation_captured(
+        &self,
+        config: &SimplexConfig,
+        bound_overrides: Option<&[(f64, f64)]>,
+        hint: Option<&[f64]>,
+        workspace: Option<&mut SolverWorkspace>,
+        capture: bool,
+    ) -> Result<(Solution, Option<BasisSnapshot>), MilpError> {
+        let problem = match self.build_lp(bound_overrides)? {
+            Ok(problem) => problem,
+            Err(trivial) => return Ok((trivial, None)),
+        };
+        let (outcome, snapshot) = if capture {
+            simplex::solve_with_basis_capture(&problem, config, hint, workspace)
+        } else {
+            (
+                simplex::solve_with_hint(&problem, config, hint, workspace),
+                None,
+            )
+        };
+        Ok((self.lp_solution(outcome), snapshot))
+    }
+
+    /// Attempt a dual-restart LP relaxation solve from a parent node's basis
+    /// snapshot. Returns [`DualLp::Fallback`] when the snapshot cannot be
+    /// used (the caller then solves cold); a finished restart's solution is
+    /// equivalent to a cold solve's.
+    pub(crate) fn solve_lp_relaxation_dual(
+        &self,
+        config: &SimplexConfig,
+        bound_overrides: Option<&[(f64, f64)]>,
+        snapshot: &BasisSnapshot,
+        workspace: Option<&mut SolverWorkspace>,
+    ) -> Result<DualLp, MilpError> {
+        let problem = match self.build_lp(bound_overrides)? {
+            Ok(problem) => problem,
+            Err(trivial) => return Ok(DualLp::Finished(trivial, None)),
+        };
+        Ok(
+            match simplex::solve_dual_from_snapshot(&problem, config, snapshot, workspace) {
+                DualOutcome::Finished(outcome, captured) => {
+                    DualLp::Finished(self.lp_solution(outcome), captured)
+                }
+                DualOutcome::PivotLimit { .. } | DualOutcome::Incompatible => DualLp::Fallback,
+            },
+        )
+    }
+
+    /// Build the standard-form LP relaxation (integrality dropped,
+    /// maximization mapped to minimization). The inner `Err` carries the
+    /// trivially-infeasible solution produced when branching empties a
+    /// variable's bound box.
+    fn build_lp(
+        &self,
+        bound_overrides: Option<&[(f64, f64)]>,
+    ) -> Result<Result<simplex::LpProblem, Solution>, MilpError> {
         let (direction, objective) = self.objective.as_ref().ok_or(MilpError::MissingObjective)?;
         let sign = match direction {
             Direction::Minimize => 1.0,
@@ -427,17 +503,17 @@ impl Model {
                 upper[i] = upper[i].min(*hi);
                 if lower[i] > upper[i] {
                     // Branching produced an empty box: trivially infeasible.
-                    return Ok(Solution {
+                    return Ok(Err(Solution {
                         status: SolveStatus::Infeasible,
                         objective: f64::INFINITY,
                         values: vec![0.0; self.vars.len()],
                         simplex_iterations: 0,
                         nodes_explored: 0,
-                    });
+                    }));
                 }
             }
         }
-        let problem = simplex::LpProblem {
+        Ok(Ok(simplex::LpProblem {
             num_vars: self.vars.len(),
             costs,
             lower,
@@ -451,9 +527,17 @@ impl Model {
                     rhs: c.rhs - c.expr.constant_term(),
                 })
                 .collect(),
-        };
-        let outcome = simplex::solve_with_hint(&problem, config, hint, workspace);
-        let solution = match outcome {
+        }))
+    }
+
+    /// Map a simplex outcome back into model space (objective re-evaluated
+    /// in the model's own direction).
+    fn lp_solution(&self, outcome: SimplexOutcome) -> Solution {
+        let (direction, objective) = self
+            .objective
+            .as_ref()
+            .expect("build_lp already required an objective");
+        match outcome {
             SimplexOutcome::Optimal {
                 values, iterations, ..
             } => Solution {
@@ -487,8 +571,7 @@ impl Model {
                 simplex_iterations: iterations,
                 nodes_explored: 1,
             },
-        };
-        Ok(solution)
+        }
     }
 }
 

@@ -27,6 +27,24 @@
 //! phase 2 starts at (or next to) the hinted vertex; otherwise the solver
 //! falls back to a normal phase 1 from the crashed basis. The result is
 //! always the same optimum a cold solve finds — only the pivot path differs.
+//!
+//! # Dual-simplex restarts
+//!
+//! Branch & bound re-solves the *same* LP with tightened variable bounds at
+//! every child node. In the standard form built here, a bound change is a
+//! pure right-hand-side change: constraint rows shift by `coeff · Δlower`
+//! (or `Δupper` for mirrored variables) and explicit bound rows move to
+//! `upper − lower`, while the coefficient matrix, the column layout, and the
+//! phase-2 reduced costs are untouched. The parent node's optimal basis
+//! therefore stays *dual feasible* for the child, and
+//! [`solve_dual_from_snapshot`] restores it from a [`BasisSnapshot`]
+//! (captured by [`solve_with_basis_capture`]), replays only the sparse rhs
+//! delta, and runs the dual simplex — leaving row with the most negative
+//! rhs, entering column by the dual ratio test — instead of a cold
+//! two-phase solve. Restarts are gated by a per-variable bound-class check
+//! (a bound turning finite would add rows) and by a pivot cap ~10× below
+//! the cold auto cap; both failure modes surface as typed outcomes so the
+//! caller can fall back to a cold solve explicitly.
 
 use crate::model::Sense;
 use crate::workspace::SolverWorkspace;
@@ -110,6 +128,129 @@ pub enum SimplexOutcome {
     },
 }
 
+/// Where a standard-form row came from, recorded at construction time so a
+/// dual restart can recompute the row's rhs under changed variable bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowSource {
+    /// The `index`-th model constraint of the [`LpProblem`].
+    Constraint(usize),
+    /// The explicit upper-bound row of original variable `var`
+    /// (`y_var <= upper - lower` in shifted solver space).
+    Bound {
+        /// Original variable index.
+        var: usize,
+    },
+}
+
+/// Bound-finiteness class of an original variable. The class fully
+/// determines how the variable maps onto solver columns (and whether it owns
+/// an explicit bound row), so two problems with equal classes per variable
+/// share the same standard-form coefficient matrix — only the rhs differs.
+fn bound_class(lower: f64, upper: f64) -> u8 {
+    match (lower.is_finite(), upper.is_finite()) {
+        (true, true) => 0,   // shifted + bound row
+        (true, false) => 1,  // shifted only
+        (false, true) => 2,  // mirrored
+        (false, false) => 3, // split
+    }
+}
+
+/// Construction-time metadata needed to re-target a final tableau at new
+/// variable bounds (see [`BasisSnapshot`]).
+#[derive(Debug, Clone, Default)]
+struct SnapshotMeta {
+    /// Provenance of each row, in tableau order.
+    sources: Vec<RowSource>,
+    /// Whether the row's rhs sign was flipped during normalization.
+    flipped: Vec<bool>,
+    /// The initial basic column of each row (slack for `<=` rows, artificial
+    /// for `>=`/`==` rows). Column `unit_cols[r]` of `B^-1` is exactly the
+    /// `r`-th column of the current inverse, which is what lets the rhs
+    /// delta be replayed without refactorizing.
+    unit_cols: Vec<usize>,
+    /// Standard-form rhs (post sign-normalization) the tableau was last
+    /// solved against.
+    b0: Vec<f64>,
+    /// Per-variable [`bound_class`] at capture time.
+    classes: Vec<u8>,
+}
+
+/// A final simplex basis captured after an optimal solve, reusable to
+/// warm-restart the *same* LP under changed variable bounds with the dual
+/// simplex (see [`solve_dual_from_snapshot`]).
+///
+/// The snapshot owns the final tableau rows; recycle them into a
+/// [`SolverWorkspace`] with [`SolverWorkspace::recycle_snapshot`] once the
+/// snapshot is no longer needed.
+#[derive(Debug, Clone, Default)]
+pub struct BasisSnapshot {
+    /// Final tableau, `rows x (cols + 1)`, last column rhs.
+    rows: Vec<Vec<f64>>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    non_artificial_cols: usize,
+    cols: usize,
+    structural_cols: usize,
+    meta: SnapshotMeta,
+}
+
+impl BasisSnapshot {
+    /// Number of tableau rows held by the snapshot.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether this snapshot can be restored against `problem`: same
+    /// variable count, same constraint count, and the same bound-finiteness
+    /// class for every variable (a bound turning finite or infinite changes
+    /// the standard-form column/row layout, which a restart cannot express).
+    pub fn compatible_with(&self, problem: &LpProblem) -> bool {
+        if problem.num_vars != self.meta.classes.len() {
+            return false;
+        }
+        let constraint_rows = self
+            .meta
+            .sources
+            .iter()
+            .filter(|s| matches!(s, RowSource::Constraint(_)))
+            .count();
+        if problem.constraints.len() != constraint_rows {
+            return false;
+        }
+        (0..problem.num_vars)
+            .all(|i| bound_class(problem.lower[i], problem.upper[i]) == self.meta.classes[i])
+    }
+
+    /// Move this snapshot's row buffers out (used by workspace recycling).
+    pub(crate) fn into_rows(self) -> Vec<Vec<f64>> {
+        self.rows
+    }
+}
+
+/// Outcome of a dual-simplex restart attempt from a [`BasisSnapshot`].
+// One short-lived value per restart attempt, matched immediately at the call
+// site — never stored in bulk, so the variant size gap is harmless.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum DualOutcome {
+    /// The restart ran to completion and produced a definitive verdict
+    /// (optimal, infeasible, or unbounded), optionally capturing the new
+    /// final basis for further restarts.
+    Finished(SimplexOutcome, Option<BasisSnapshot>),
+    /// The dual pivot budget (auto-scaled ~10x below the cold cap, see
+    /// [`SimplexConfig::max_iterations`]) was exhausted before convergence.
+    /// The caller should fall back to a cold solve; the pivots spent here
+    /// are reported but deliberately *not* recorded as a solve.
+    PivotLimit {
+        /// Dual pivots performed before hitting the cap.
+        iterations: usize,
+    },
+    /// The snapshot cannot be applied to this problem: a variable's
+    /// bound-finiteness class changed, the constraint set changed shape, or
+    /// a numerical guard tripped during the restart. Solve cold instead.
+    Incompatible,
+}
+
 /// How an original variable maps onto solver (non-negative) variables.
 #[derive(Debug, Clone, Copy)]
 enum VarMap {
@@ -189,7 +330,49 @@ pub fn solve_with_hint(
     hint: Option<&[f64]>,
     workspace: Option<&mut SolverWorkspace>,
 ) -> SimplexOutcome {
-    Solver::new(problem, config, hint, workspace).run()
+    let (outcome, _) = Solver::new(problem, config, hint, workspace).run(false);
+    outcome
+}
+
+/// Like [`solve_with_hint`], but when the solve ends at an optimum the final
+/// basis is captured as a [`BasisSnapshot`] (the tableau rows move into the
+/// snapshot instead of being recycled). Branch & bound uses the snapshot to
+/// dual-restart child-node LPs via [`solve_dual_from_snapshot`].
+pub fn solve_with_basis_capture(
+    problem: &LpProblem,
+    config: &SimplexConfig,
+    hint: Option<&[f64]>,
+    workspace: Option<&mut SolverWorkspace>,
+) -> (SimplexOutcome, Option<BasisSnapshot>) {
+    Solver::new(problem, config, hint, workspace).run(true)
+}
+
+/// Re-solve `problem` starting from a previously captured basis with the
+/// dual simplex. `problem` must be the same LP as the one the snapshot was
+/// captured from *except for variable bounds* (this is exactly the branch &
+/// bound child-node situation); bound changes only move the standard-form
+/// rhs, so the snapshot basis stays dual-feasible and typically re-optimizes
+/// in a handful of pivots. Returns [`DualOutcome::Incompatible`] when the
+/// bound shape changed and [`DualOutcome::PivotLimit`] when the (reduced)
+/// dual pivot cap is exhausted — in both cases the caller should solve cold.
+///
+/// Successful restarts are recorded on the workspace as warm solves plus a
+/// `dual_restarts`/`basis_reuse_hits` pair; failed attempts count only a
+/// `dual_restarts` attempt.
+pub fn solve_dual_from_snapshot(
+    problem: &LpProblem,
+    config: &SimplexConfig,
+    snapshot: &BasisSnapshot,
+    mut workspace: Option<&mut SolverWorkspace>,
+) -> DualOutcome {
+    if !snapshot.compatible_with(problem) {
+        if let Some(ws) = workspace.as_deref_mut() {
+            ws.record_dual_restart(false, 0);
+        }
+        return DualOutcome::Incompatible;
+    }
+    let (solver, bound_flips) = Solver::from_snapshot(problem, config, snapshot, workspace);
+    solver.run_dual(bound_flips)
 }
 
 struct Solver<'a> {
@@ -210,6 +393,9 @@ struct Solver<'a> {
     warm_applied: bool,
     /// Whether a hint was offered but the crash failed to clear phase 1.
     hint_rejected: bool,
+    /// Construction-time row provenance, kept so the final basis can be
+    /// captured as a [`BasisSnapshot`].
+    meta: SnapshotMeta,
 }
 
 impl<'a> Solver<'a> {
@@ -222,8 +408,9 @@ impl<'a> Solver<'a> {
         // --- 1. Map original variables to non-negative solver variables. ---
         let mut var_map = Vec::with_capacity(problem.num_vars);
         let mut next_col = 0usize;
-        // Extra rows from finite upper bounds on shifted variables.
-        let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+        // Extra rows from finite upper bounds on shifted variables, as
+        // `(solver column, original variable, upper - lower)`.
+        let mut bound_rows: Vec<(usize, usize, f64)> = Vec::new();
         for i in 0..problem.num_vars {
             let lo = problem.lower[i];
             let hi = problem.upper[i];
@@ -233,7 +420,7 @@ impl<'a> Solver<'a> {
                     lower: lo,
                 });
                 if hi.is_finite() {
-                    bound_rows.push((next_col, hi - lo));
+                    bound_rows.push((next_col, i, hi - lo));
                 }
                 next_col += 1;
             } else if hi.is_finite() {
@@ -258,9 +445,10 @@ impl<'a> Solver<'a> {
             coeffs: Vec<f64>,
             sense: Sense,
             rhs: f64,
+            source: RowSource,
         }
         let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints.len() + bound_rows.len());
-        for c in &problem.constraints {
+        for (ci, c) in problem.constraints.iter().enumerate() {
             let mut coeffs = vec![0.0; structural_cols];
             let mut rhs = c.rhs;
             for &(var, coeff) in &c.coeffs {
@@ -283,20 +471,23 @@ impl<'a> Solver<'a> {
                 coeffs,
                 sense: c.sense,
                 rhs,
+                source: RowSource::Constraint(ci),
             });
         }
-        for &(col, ub) in &bound_rows {
+        for &(col, var, ub) in &bound_rows {
             let mut coeffs = vec![0.0; structural_cols];
             coeffs[col] = 1.0;
             rows.push(Row {
                 coeffs,
                 sense: Sense::LessEqual,
                 rhs: ub,
+                source: RowSource::Bound { var },
             });
         }
 
         // --- 3. Normalize rhs signs and count slack/artificial columns. ---
-        for row in &mut rows {
+        let mut flipped = vec![false; rows.len()];
+        for (r, row) in rows.iter_mut().enumerate() {
             if row.rhs < 0.0 {
                 for c in row.coeffs.iter_mut() {
                     *c = -*c;
@@ -307,6 +498,7 @@ impl<'a> Solver<'a> {
                     Sense::GreaterEqual => Sense::LessEqual,
                     Sense::Equal => Sense::Equal,
                 };
+                flipped[r] = true;
             }
         }
         let num_slack = rows
@@ -332,6 +524,10 @@ impl<'a> Solver<'a> {
         let mut basis = vec![0usize; m];
         let mut slack_cursor = structural_cols;
         let mut artificial_cursor = non_artificial_cols;
+        // The initial basic column of each row is a +1 unit column (slack
+        // for `<=`, artificial for `>=`/`==`): tableau column `unit_cols[r]`
+        // always holds the r-th column of B^-1, used by dual restarts.
+        let mut unit_cols = vec![0usize; m];
         for (r, row) in rows.iter().enumerate() {
             a[r][..structural_cols].copy_from_slice(&row.coeffs);
             a[r][total_cols] = row.rhs;
@@ -339,6 +535,7 @@ impl<'a> Solver<'a> {
                 Sense::LessEqual => {
                     a[r][slack_cursor] = 1.0;
                     basis[r] = slack_cursor;
+                    unit_cols[r] = slack_cursor;
                     slack_cursor += 1;
                 }
                 Sense::GreaterEqual => {
@@ -346,37 +543,35 @@ impl<'a> Solver<'a> {
                     slack_cursor += 1;
                     a[r][artificial_cursor] = 1.0;
                     basis[r] = artificial_cursor;
+                    unit_cols[r] = artificial_cursor;
                     artificial_cursor += 1;
                 }
                 Sense::Equal => {
                     a[r][artificial_cursor] = 1.0;
                     basis[r] = artificial_cursor;
+                    unit_cols[r] = artificial_cursor;
                     artificial_cursor += 1;
                 }
             }
         }
 
         // --- 5. Phase-2 costs on solver columns. ---
-        let mut solver_costs = vec![0.0; total_cols];
-        for i in 0..problem.num_vars {
-            let cost = problem.costs[i];
-            if cost == 0.0 {
-                continue;
-            }
-            match var_map[i] {
-                VarMap::Shifted { col, .. } => solver_costs[col] += cost,
-                VarMap::Mirrored { col, .. } => solver_costs[col] -= cost,
-                VarMap::Split { pos, neg } => {
-                    solver_costs[pos] += cost;
-                    solver_costs[neg] -= cost;
-                }
-            }
-        }
+        let solver_costs = build_solver_costs(problem, &var_map, total_cols);
 
         let max_iterations = if config.max_iterations == 0 {
             2_000 + 40 * (m + total_cols)
         } else {
             config.max_iterations
+        };
+
+        let meta = SnapshotMeta {
+            sources: rows.iter().map(|r| r.source).collect(),
+            flipped,
+            unit_cols,
+            b0: rows.iter().map(|r| r.rhs).collect(),
+            classes: (0..problem.num_vars)
+                .map(|i| bound_class(problem.lower[i], problem.upper[i]))
+                .collect(),
         };
 
         Self {
@@ -398,11 +593,17 @@ impl<'a> Solver<'a> {
             workspace,
             warm_applied: false,
             hint_rejected: false,
+            meta,
         }
     }
 
-    fn run(mut self) -> SimplexOutcome {
+    fn run(mut self, capture: bool) -> (SimplexOutcome, Option<BasisSnapshot>) {
         let outcome = self.run_phases();
+        let snapshot = if capture && matches!(outcome, SimplexOutcome::Optimal { .. }) {
+            Some(self.take_snapshot())
+        } else {
+            None
+        };
         if let Some(ws) = self.workspace.take() {
             ws.record_solve(self.warm_applied, self.iterations);
             if self.hint_rejected {
@@ -410,7 +611,318 @@ impl<'a> Solver<'a> {
             }
             ws.recycle_rows(self.tableau.a.drain(..));
         }
-        outcome
+        (outcome, snapshot)
+    }
+
+    /// Move the final tableau into a [`BasisSnapshot`] (zero-copy: the rows
+    /// leave the solver instead of being recycled into the workspace).
+    fn take_snapshot(&mut self) -> BasisSnapshot {
+        BasisSnapshot {
+            rows: std::mem::take(&mut self.tableau.a),
+            basis: self.tableau.basis.clone(),
+            non_artificial_cols: self.tableau.non_artificial_cols,
+            cols: self.tableau.cols,
+            structural_cols: self.structural_cols,
+            meta: std::mem::take(&mut self.meta),
+        }
+    }
+
+    /// Rebuild a solver positioned at the snapshot's final basis, with the
+    /// rhs re-targeted at `problem`'s (possibly changed) variable bounds.
+    /// The caller must have verified [`BasisSnapshot::compatible_with`].
+    /// Returns the solver and the number of rows whose rhs actually moved.
+    fn from_snapshot(
+        problem: &'a LpProblem,
+        config: &SimplexConfig,
+        snapshot: &BasisSnapshot,
+        mut workspace: Option<&'a mut SolverWorkspace>,
+    ) -> (Self, usize) {
+        // Equal bound classes guarantee this reproduces the snapshot's
+        // column layout exactly (only the shift/mirror offsets differ).
+        let mut var_map = Vec::with_capacity(problem.num_vars);
+        let mut next_col = 0usize;
+        for i in 0..problem.num_vars {
+            let lo = problem.lower[i];
+            let hi = problem.upper[i];
+            if lo.is_finite() {
+                var_map.push(VarMap::Shifted {
+                    col: next_col,
+                    lower: lo,
+                });
+                next_col += 1;
+            } else if hi.is_finite() {
+                var_map.push(VarMap::Mirrored {
+                    col: next_col,
+                    upper: hi,
+                });
+                next_col += 1;
+            } else {
+                var_map.push(VarMap::Split {
+                    pos: next_col,
+                    neg: next_col + 1,
+                });
+                next_col += 2;
+            }
+        }
+        debug_assert_eq!(next_col, snapshot.structural_cols);
+
+        // Recompute the standard-form rhs under the new bounds, reusing the
+        // snapshot's sign-normalization pattern (the coefficient signs were
+        // already flipped at capture time, so the rhs must flip with them).
+        let m = snapshot.rows.len();
+        let total_cols = snapshot.cols;
+        let mut b_child = Vec::with_capacity(m);
+        for (r, source) in snapshot.meta.sources.iter().enumerate() {
+            let mut rhs = match *source {
+                RowSource::Constraint(j) => {
+                    let c = &problem.constraints[j];
+                    let mut rhs = c.rhs;
+                    for &(var, coeff) in &c.coeffs {
+                        match var_map[var] {
+                            VarMap::Shifted { lower, .. } => rhs -= coeff * lower,
+                            VarMap::Mirrored { upper, .. } => rhs -= coeff * upper,
+                            VarMap::Split { .. } => {}
+                        }
+                    }
+                    rhs
+                }
+                RowSource::Bound { var } => problem.upper[var] - problem.lower[var],
+            };
+            if snapshot.meta.flipped[r] {
+                rhs = -rhs;
+            }
+            b_child.push(rhs);
+        }
+
+        // Copy the snapshot tableau into pooled row buffers.
+        let mut a: Vec<Vec<f64>> = snapshot
+            .rows
+            .iter()
+            .map(|src| {
+                let mut row = match workspace.as_deref_mut() {
+                    Some(ws) => ws.take_row(total_cols + 1),
+                    None => vec![0.0; total_cols + 1],
+                };
+                row.copy_from_slice(src);
+                row
+            })
+            .collect();
+
+        // Replay the rhs delta through the basis inverse: adding `delta` to
+        // the original rhs of row `r` adds `delta * B^-1 e_r` to the
+        // transformed rhs column, and `B^-1 e_r` is exactly tableau column
+        // `unit_cols[r]` (the row's initial +1 unit column).
+        let mut bound_flips = 0usize;
+        for r in 0..m {
+            let delta = b_child[r] - snapshot.meta.b0[r];
+            if delta == 0.0 {
+                continue;
+            }
+            bound_flips += 1;
+            let unit = snapshot.meta.unit_cols[r];
+            for row in a.iter_mut() {
+                let factor = row[unit];
+                if factor != 0.0 {
+                    row[total_cols] += delta * factor;
+                }
+            }
+        }
+
+        let solver_costs = build_solver_costs(problem, &var_map, total_cols);
+
+        // Satellite-3 cap fix: a dual restart expects ~10x fewer pivots
+        // than a cold two-phase solve, so the "auto" budget scales at 1/10th
+        // of the cold formula. Exceeding it surfaces as a typed
+        // [`DualOutcome::PivotLimit`] instead of a silent cold fallback.
+        let max_iterations = if config.max_iterations == 0 {
+            200 + 4 * (m + total_cols)
+        } else {
+            config.max_iterations
+        };
+
+        let meta = SnapshotMeta {
+            sources: snapshot.meta.sources.clone(),
+            flipped: snapshot.meta.flipped.clone(),
+            unit_cols: snapshot.meta.unit_cols.clone(),
+            b0: b_child,
+            classes: snapshot.meta.classes.clone(),
+        };
+
+        let solver = Self {
+            problem,
+            config: *config,
+            var_map,
+            tableau: Tableau {
+                a,
+                basis: snapshot.basis.clone(),
+                non_artificial_cols: snapshot.non_artificial_cols,
+                cols: total_cols,
+            },
+            solver_costs,
+            structural_cols: snapshot.structural_cols,
+            num_artificials: total_cols - snapshot.non_artificial_cols,
+            iterations: 0,
+            max_iterations,
+            hint: None,
+            workspace,
+            warm_applied: true,
+            hint_rejected: false,
+            meta,
+        };
+        (solver, bound_flips)
+    }
+
+    /// Dual-simplex loop from a restored basis: the basis is dual feasible
+    /// by construction (costs and columns are unchanged from the parent
+    /// solve), so only primal feasibility — negative rhs entries introduced
+    /// by the bound delta — needs to be repaired.
+    fn run_dual(mut self, bound_flips: usize) -> DualOutcome {
+        let phase = self.run_dual_phases();
+        let snapshot = if let DualPhase::Done(SimplexOutcome::Optimal { .. }) = &phase {
+            Some(self.take_snapshot())
+        } else {
+            None
+        };
+        if let Some(ws) = self.workspace.take() {
+            match &phase {
+                DualPhase::Done(_) => {
+                    ws.record_solve(true, self.iterations);
+                    ws.record_dual_restart(true, bound_flips);
+                }
+                DualPhase::PivotLimit | DualPhase::Guard => {
+                    ws.record_dual_restart(false, bound_flips);
+                }
+            }
+            ws.recycle_rows(self.tableau.a.drain(..));
+        }
+        match phase {
+            DualPhase::Done(outcome) => DualOutcome::Finished(outcome, snapshot),
+            DualPhase::PivotLimit => DualOutcome::PivotLimit {
+                iterations: self.iterations,
+            },
+            DualPhase::Guard => DualOutcome::Incompatible,
+        }
+    }
+
+    fn run_dual_phases(&mut self) -> DualPhase {
+        let tol = self.config.tolerance;
+        let limit_cols = self.tableau.non_artificial_cols;
+        let costs = self.solver_costs.clone();
+        let (mut obj_row, mut obj_val) = self.reduced_costs(&costs);
+        let mut stall = 0usize;
+        let mut last_obj = obj_val;
+        loop {
+            if self.iterations >= self.max_iterations {
+                return DualPhase::PivotLimit;
+            }
+            // Leaving row: most negative rhs, ties to the smallest basis
+            // column; after a stall, smallest basis column among all
+            // infeasible rows (Bland-style) to guarantee termination.
+            let use_bland = stall >= self.config.stall_threshold;
+            let mut leaving: Option<usize> = None;
+            let mut most_negative = f64::INFINITY;
+            for r in 0..self.tableau.rows() {
+                let rhs = self.tableau.rhs(r);
+                if rhs >= -tol {
+                    continue;
+                }
+                let better = match leaving {
+                    None => true,
+                    Some(l) => {
+                        if use_bland {
+                            self.tableau.basis[r] < self.tableau.basis[l]
+                        } else if rhs < most_negative - tol {
+                            true
+                        } else if rhs < most_negative + tol {
+                            self.tableau.basis[r] < self.tableau.basis[l]
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if better {
+                    most_negative = rhs;
+                    leaving = Some(r);
+                }
+            }
+            let Some(row) = leaving else {
+                break; // primal feasible again
+            };
+            // Dual ratio test: entering column minimizes
+            // `obj_row[c] / -a[row][c]` over negative entries of the leaving
+            // row (non-artificial columns only). Ascending scan with strict
+            // improvement keeps ties on the smallest column index.
+            let mut entering: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for c in 0..limit_cols {
+                let a_rc = self.tableau.a[row][c];
+                if a_rc < -tol {
+                    let ratio = obj_row[c] / (-a_rc);
+                    if entering.is_none() || ratio < best_ratio - tol {
+                        best_ratio = ratio;
+                        entering = Some(c);
+                    }
+                }
+            }
+            let Some(col) = entering else {
+                // The leaving row reads `sum(a_c * y_c) = rhs < 0` with every
+                // non-artificial `a_c >= 0` and `y >= 0` (artificials must be
+                // zero in any original-feasible point): a certificate of
+                // primal infeasibility.
+                return DualPhase::Done(SimplexOutcome::Infeasible {
+                    iterations: self.iterations,
+                });
+            };
+            self.tableau.pivot(row, col, &mut obj_row, &mut obj_val);
+            self.iterations += 1;
+            if (obj_val - last_obj).abs() <= tol {
+                stall += 1;
+            } else {
+                stall = 0;
+                last_obj = obj_val;
+            }
+        }
+        // Guard: a basic artificial sitting at a positive value means the
+        // restored point is not feasible for the *original* rows (this can
+        // happen when a redundant row's rhs moved); the dual loop cannot
+        // certify anything from here, so hand back to a cold solve.
+        let artificial_sum: f64 = (0..self.tableau.rows())
+            .filter(|&r| self.tableau.basis[r] >= limit_cols)
+            .map(|r| self.tableau.rhs(r))
+            .sum();
+        if artificial_sum > 1e-6 {
+            return DualPhase::Guard;
+        }
+        // Primal polish: bound changes cannot create negative reduced costs
+        // (costs and columns are untouched), so this normally returns
+        // immediately; it is a numerical backstop. Under the auto budget it
+        // gets cold-cap headroom; an explicit user cap stays hard.
+        if self.config.max_iterations == 0 {
+            self.max_iterations =
+                self.iterations + 2_000 + 40 * (self.tableau.rows() + self.tableau.cols);
+        }
+        match self.optimize(&mut obj_row, &mut obj_val, limit_cols) {
+            LoopResult::Optimal => {}
+            LoopResult::Unbounded => {
+                return DualPhase::Done(SimplexOutcome::Unbounded {
+                    iterations: self.iterations,
+                });
+            }
+            LoopResult::IterationLimit => return DualPhase::PivotLimit,
+        }
+        let values = self.extract_values();
+        let objective = self
+            .problem
+            .costs
+            .iter()
+            .zip(values.iter())
+            .map(|(c, v)| c * v)
+            .sum();
+        DualPhase::Done(SimplexOutcome::Optimal {
+            objective,
+            values,
+            iterations: self.iterations,
+        })
     }
 
     fn run_phases(&mut self) -> SimplexOutcome {
@@ -721,6 +1233,34 @@ enum LoopResult {
     IterationLimit,
 }
 
+/// Internal verdict of [`Solver::run_dual`] before workspace recording.
+enum DualPhase {
+    Done(SimplexOutcome),
+    PivotLimit,
+    Guard,
+}
+
+/// Phase-2 costs on solver columns (shared by cold construction and
+/// snapshot restores; the mapping depends only on the bound classes).
+fn build_solver_costs(problem: &LpProblem, var_map: &[VarMap], total_cols: usize) -> Vec<f64> {
+    let mut solver_costs = vec![0.0; total_cols];
+    for i in 0..problem.num_vars {
+        let cost = problem.costs[i];
+        if cost == 0.0 {
+            continue;
+        }
+        match var_map[i] {
+            VarMap::Shifted { col, .. } => solver_costs[col] += cost,
+            VarMap::Mirrored { col, .. } => solver_costs[col] -= cost,
+            VarMap::Split { pos, neg } => {
+                solver_costs[pos] += cost;
+                solver_costs[neg] -= cost;
+            }
+        }
+    }
+    solver_costs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -995,6 +1535,154 @@ mod tests {
         let second = solve_with_hint(&p, &SimplexConfig::default(), None, Some(&mut ws));
         assert_eq!(first, second, "workspace reuse must not change results");
         assert_eq!(ws.stats().cold_solves, 2);
+    }
+
+    /// Shared fixture for dual-restart tests: a bounded 3-variable LP whose
+    /// optimum moves when bounds tighten (the branch & bound child shape).
+    fn dual_fixture() -> LpProblem {
+        LpProblem {
+            num_vars: 3,
+            costs: vec![-8.0, -11.0, -6.0],
+            lower: vec![0.0, 0.0, 0.0],
+            upper: vec![1.0, 1.0, 1.0],
+            constraints: vec![
+                constraint(&[(0, 5.0), (1, 7.0), (2, 4.0)], Sense::LessEqual, 9.0),
+                constraint(&[(0, 1.0), (1, 1.0), (2, 1.0)], Sense::GreaterEqual, 1.0),
+            ],
+        }
+    }
+
+    #[test]
+    fn dual_restart_matches_cold_after_bound_tightening() {
+        let parent = dual_fixture();
+        let config = SimplexConfig::default();
+        let mut ws = SolverWorkspace::new();
+        let (outcome, snapshot) = solve_with_basis_capture(&parent, &config, None, Some(&mut ws));
+        assert!(matches!(outcome, SimplexOutcome::Optimal { .. }));
+        let snapshot = snapshot.expect("optimal solve captures a basis");
+
+        // Branch like B&B would: fix variable 1 down (upper 0) and up
+        // (lower 1), and check both children against cold solves.
+        for (lo, hi) in [(0.0, 0.0), (1.0, 1.0)] {
+            let mut child = parent.clone();
+            child.lower[1] = lo;
+            child.upper[1] = hi;
+            let cold = solve(&child, &config);
+            let dual = solve_dual_from_snapshot(&child, &config, &snapshot, Some(&mut ws));
+            let DualOutcome::Finished(warm, recaptured) = dual else {
+                panic!("expected a finished dual restart");
+            };
+            match (&cold, &warm) {
+                (
+                    SimplexOutcome::Optimal {
+                        objective: co,
+                        values: cv,
+                        ..
+                    },
+                    SimplexOutcome::Optimal {
+                        objective: wo,
+                        values: wv,
+                        ..
+                    },
+                ) => {
+                    assert!((co - wo).abs() < 1e-9, "cold {co} vs dual {wo}");
+                    for (c, w) in cv.iter().zip(wv) {
+                        assert!((c - w).abs() < 1e-9, "cold {cv:?} vs dual {wv:?}");
+                    }
+                }
+                other => panic!("expected two optima, got {other:?}"),
+            }
+            assert!(recaptured.is_some(), "optimal restart re-captures a basis");
+        }
+        let stats = ws.stats();
+        assert_eq!(stats.dual_restarts, 2);
+        assert_eq!(stats.basis_reuse_hits, 2);
+        assert!(stats.bound_flips >= 2, "bound changes must move rhs rows");
+        // Dual restarts are recorded as warm solves (the capture solve was
+        // the only cold one).
+        assert_eq!(stats.cold_solves, 1);
+        assert_eq!(stats.warm_solves, 2);
+    }
+
+    #[test]
+    fn dual_restart_certifies_infeasible_children() {
+        let parent = dual_fixture();
+        let config = SimplexConfig::default();
+        let (_, snapshot) = solve_with_basis_capture(&parent, &config, None, None);
+        let snapshot = snapshot.unwrap();
+        // Fix all three variables to 1: total weight 16 > 9, infeasible.
+        let mut child = parent.clone();
+        for i in 0..3 {
+            child.lower[i] = 1.0;
+        }
+        assert!(matches!(
+            solve(&child, &config),
+            SimplexOutcome::Infeasible { .. }
+        ));
+        let mut ws = SolverWorkspace::new();
+        match solve_dual_from_snapshot(&child, &config, &snapshot, Some(&mut ws)) {
+            DualOutcome::Finished(SimplexOutcome::Infeasible { .. }, recaptured) => {
+                assert!(recaptured.is_none(), "no basis capture without an optimum");
+            }
+            other => panic!("expected dual-certified infeasibility, got {other:?}"),
+        }
+        // Proving infeasibility without a cold solve still counts as reuse.
+        assert_eq!(ws.stats().basis_reuse_hits, 1);
+    }
+
+    #[test]
+    fn dual_restart_rejects_bound_class_changes() {
+        // Capture with an infinite upper bound, then make it finite: the
+        // standard form gains a bound row, which a restart cannot express.
+        let parent = LpProblem {
+            num_vars: 1,
+            costs: vec![1.0],
+            lower: vec![0.0],
+            upper: vec![f64::INFINITY],
+            constraints: vec![constraint(&[(0, 1.0)], Sense::GreaterEqual, 2.0)],
+        };
+        let config = SimplexConfig::default();
+        let (_, snapshot) = solve_with_basis_capture(&parent, &config, None, None);
+        let snapshot = snapshot.unwrap();
+        let mut child = parent.clone();
+        child.upper[0] = 5.0;
+        assert!(!snapshot.compatible_with(&child));
+        let mut ws = SolverWorkspace::new();
+        assert!(matches!(
+            solve_dual_from_snapshot(&child, &config, &snapshot, Some(&mut ws)),
+            DualOutcome::Incompatible
+        ));
+        // The attempt is counted, the miss is visible.
+        assert_eq!(ws.stats().dual_restarts, 1);
+        assert_eq!(ws.stats().basis_reuse_hits, 0);
+    }
+
+    #[test]
+    fn dual_restart_pivot_cap_is_typed_not_silent() {
+        let parent = dual_fixture();
+        let config = SimplexConfig::default();
+        let (_, snapshot) = solve_with_basis_capture(&parent, &config, None, None);
+        let snapshot = snapshot.unwrap();
+        let mut child = parent.clone();
+        child.lower[0] = 1.0; // forces at least one repair pivot
+        let starved = SimplexConfig {
+            max_iterations: 1,
+            ..config
+        };
+        // With a one-pivot budget the restart cannot finish repair + polish;
+        // the outcome must be the typed PivotLimit, never a wrong answer.
+        match solve_dual_from_snapshot(&child, &starved, &snapshot, None) {
+            DualOutcome::PivotLimit { iterations } => assert!(iterations <= 1),
+            DualOutcome::Finished(SimplexOutcome::Optimal { objective, .. }, _) => {
+                // Zero/one pivots may genuinely suffice; the answer must
+                // then match the cold optimum.
+                let SimplexOutcome::Optimal { objective: co, .. } = solve(&child, &config) else {
+                    panic!("cold child must be optimal");
+                };
+                assert!((objective - co).abs() < 1e-9);
+            }
+            other => panic!("expected PivotLimit or a correct optimum, got {other:?}"),
+        }
     }
 
     #[test]

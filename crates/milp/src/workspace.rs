@@ -13,6 +13,7 @@
 //!   Fig. 14 overhead experiment and the scheduler's `SolveStats` report.
 
 use crate::cache::{CacheLookup, CacheStats, ModelFingerprint, SolutionCacheHandle};
+use crate::simplex::BasisSnapshot;
 use crate::solution::Solution;
 use serde::{Deserialize, Serialize};
 
@@ -22,18 +23,30 @@ pub struct WarmStats {
     /// Simplex runs performed without a usable warm-start hint.
     pub cold_solves: usize,
     /// Simplex runs that built a crash basis from a prior solution and
-    /// skipped phase 1 entirely.
+    /// skipped phase 1 entirely, plus dual restarts from a basis snapshot.
     pub warm_solves: usize,
     /// Pivots spent in cold runs (both phases). Runs whose hint was
     /// rejected count here too, *including* their wasted crash pivots —
     /// this bucket measures what non-warm solves actually cost, not what an
     /// ideal hint-free solver would have cost.
     pub cold_pivots: usize,
-    /// Pivots spent in warm runs (crash pivots + phase 2).
+    /// Pivots spent in warm runs (crash pivots + phase 2, or dual-restart
+    /// pivots for basis-snapshot restarts).
     pub warm_pivots: usize,
     /// Hints that were offered but rejected (crash basis could not eliminate
     /// the artificial variables, so the run fell back to a cold phase 1).
     pub rejected_hints: usize,
+    /// Dual-simplex restarts *attempted* from a parent-node basis snapshot
+    /// (branch & bound child nodes; see
+    /// [`crate::simplex::solve_dual_from_snapshot`]).
+    pub dual_restarts: usize,
+    /// Dual restarts that ran to a definitive verdict without falling back
+    /// to a cold solve. `dual_restarts - basis_reuse_hits` is the number of
+    /// cold fallbacks (pivot cap hit or snapshot incompatible).
+    pub basis_reuse_hits: usize,
+    /// Standard-form rows whose rhs actually moved across all dual restarts
+    /// — the sparse work a restart replays instead of a full re-solve.
+    pub bound_flips: usize,
 }
 
 impl WarmStats {
@@ -48,6 +61,11 @@ impl WarmStats {
             cold_pivots: self.cold_pivots.saturating_sub(earlier.cold_pivots),
             warm_pivots: self.warm_pivots.saturating_sub(earlier.warm_pivots),
             rejected_hints: self.rejected_hints.saturating_sub(earlier.rejected_hints),
+            dual_restarts: self.dual_restarts.saturating_sub(earlier.dual_restarts),
+            basis_reuse_hits: self
+                .basis_reuse_hits
+                .saturating_sub(earlier.basis_reuse_hits),
+            bound_flips: self.bound_flips.saturating_sub(earlier.bound_flips),
         }
     }
 
@@ -175,9 +193,56 @@ impl SolverWorkspace {
         }
     }
 
+    /// Return a finished [`BasisSnapshot`]'s tableau rows to the pool.
+    ///
+    /// Branch & bound captures a snapshot per explored node and shares it
+    /// with both children; once the last child has consumed it, recycling
+    /// keeps the node's `m x n` tableau allocation alive for the next solve
+    /// instead of dropping it.
+    ///
+    /// ```
+    /// use waterwise_milp::{
+    ///     solve_with_basis_capture, LpConstraint, LpProblem, Sense, SimplexConfig,
+    ///     SolverWorkspace,
+    /// };
+    ///
+    /// let problem = LpProblem {
+    ///     num_vars: 1,
+    ///     costs: vec![1.0],
+    ///     lower: vec![0.0],
+    ///     upper: vec![f64::INFINITY],
+    ///     constraints: vec![LpConstraint {
+    ///         coeffs: vec![(0, 1.0)],
+    ///         sense: Sense::GreaterEqual,
+    ///         rhs: 2.0,
+    ///     }],
+    /// };
+    /// let mut ws = SolverWorkspace::new();
+    /// let (_, snapshot) =
+    ///     solve_with_basis_capture(&problem, &SimplexConfig::default(), None, Some(&mut ws));
+    /// // The optimal basis was captured, so its rows were *not* recycled...
+    /// let snapshot = snapshot.expect("optimal solve captures a basis");
+    /// assert_eq!(ws.pooled_rows(), 0);
+    /// // ...until the snapshot is explicitly returned to the pool.
+    /// let rows = snapshot.rows();
+    /// ws.recycle_snapshot(snapshot);
+    /// assert_eq!(ws.pooled_rows(), rows);
+    /// ```
+    pub fn recycle_snapshot(&mut self, snapshot: BasisSnapshot) {
+        self.recycle_rows(snapshot.into_rows());
+    }
+
     /// Number of pooled row buffers (exposed for tests).
     pub fn pooled_rows(&self) -> usize {
         self.row_pool.len()
+    }
+
+    pub(crate) fn record_dual_restart(&mut self, reused: bool, bound_flips: usize) {
+        self.stats.dual_restarts += 1;
+        if reused {
+            self.stats.basis_reuse_hits += 1;
+        }
+        self.stats.bound_flips += bound_flips;
     }
 
     pub(crate) fn record_solve(&mut self, warm: bool, pivots: usize) {
@@ -225,5 +290,23 @@ mod tests {
         assert_eq!(delta.rejected_hints, 1);
         assert!(ws.stats().mean_cold_pivots() > 9.9);
         assert!(ws.stats().mean_warm_pivots() < 3.1);
+    }
+
+    #[test]
+    fn dual_restart_counters_accumulate_and_saturate() {
+        let mut ws = SolverWorkspace::new();
+        ws.record_dual_restart(true, 3);
+        let before = ws.stats();
+        ws.record_dual_restart(false, 2);
+        ws.record_dual_restart(true, 0);
+        let delta = ws.stats().delta_since(&before);
+        assert_eq!(delta.dual_restarts, 2);
+        assert_eq!(delta.basis_reuse_hits, 1);
+        assert_eq!(delta.bound_flips, 2);
+        // Saturating: a reset workspace never underflows campaign counters.
+        let fresh = WarmStats::default().delta_since(&ws.stats());
+        assert_eq!(fresh.dual_restarts, 0);
+        assert_eq!(fresh.basis_reuse_hits, 0);
+        assert_eq!(fresh.bound_flips, 0);
     }
 }
