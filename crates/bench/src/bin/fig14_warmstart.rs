@@ -1,12 +1,15 @@
 //! Cold vs warm-started rolling-horizon solve comparison (Fig. 14 of this
 //! reproduction; not a figure of the paper). Writes `BENCH_fig14.json`.
 //! See the crate docs for scaling.
+//!
+//! The workload is declarative: `scenarios/fig14.spec` by default, or any
+//! spec file named via `--scenario <path>` / `WATERWISE_SCENARIO`.
 
 use waterwise_bench::experiments as ex;
 
 fn main() {
-    let scale = ex::ExperimentScale::from_env();
-    let tables = ex::fig14_warmstart(scale);
+    let scenario = ex::scenario_or_exit("fig14");
+    let tables = ex::fig14_warmstart(&scenario);
     ex::print_tables(&tables);
     ex::save_json("fig14", &tables);
 }

@@ -1,10 +1,15 @@
-//! Online placement service over TCP on the Fig. 5 workload (Fig. 17 of
-//! this reproduction; not a figure of the paper). Replays the workload as a
-//! live line-delimited-JSON request stream, asserts decision-identity with
-//! an offline replay in every cell, and reports sustained request
-//! throughput plus per-request placement latency percentiles.
+//! Online placement service over TCP (Fig. 17 of this reproduction; not a
+//! figure of the paper). Replays the scenario workload as a live
+//! line-delimited-JSON request stream, asserts decision-identity with an
+//! offline replay in every cell, and reports sustained request throughput
+//! plus per-request placement latency percentiles.
+//!
+//! The workload is declarative: `scenarios/fig17.spec` by default, or any
+//! spec file named via `--scenario <path>` / `WATERWISE_SCENARIO`.
 
 fn main() {
-    let scale = waterwise_bench::ExperimentScale::from_env();
-    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig17_service(scale));
+    let scenario = waterwise_bench::experiments::scenario_or_exit("fig17");
+    waterwise_bench::experiments::print_tables(&waterwise_bench::experiments::fig17_service(
+        &scenario,
+    ));
 }

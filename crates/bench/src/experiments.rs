@@ -2,9 +2,10 @@
 //! prints so that integration tests can assert on the numbers.
 
 use crate::table::{fmt2, pct, Table};
+use std::path::{Path, PathBuf};
 use waterwise_core::{
-    Campaign, CampaignConfig, ObjectiveWeights, Parallelism, SchedulerKind, SolutionCache,
-    SolutionCacheMode,
+    Campaign, CampaignConfig, ObjectiveWeights, Parallelism, Scenario, ScenarioError,
+    SchedulerKind, SolutionCache, SolutionCacheMode,
 };
 use waterwise_sustain::{EwifDataset, FootprintEstimator, Seconds};
 use waterwise_telemetry::{
@@ -74,6 +75,103 @@ pub fn save_json(name: &str, tables: &[Table]) {
 fn tolerance_label(t: f64) -> String {
     format!("{:.0}%", t * 100.0)
 }
+
+// ---------------------------------------------------------------------------
+// Declarative scenarios (scenarios/*.spec)
+// ---------------------------------------------------------------------------
+
+/// Directory holding the repo's scenario spec files: `WATERWISE_SCENARIO_DIR`
+/// if set, else the workspace-level `scenarios/` directory.
+pub fn scenario_dir() -> PathBuf {
+    std::env::var_os("WATERWISE_SCENARIO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("scenarios")
+        })
+}
+
+/// Path of the named scenario's spec file inside [`scenario_dir`].
+pub fn scenario_spec_path(name: &str) -> PathBuf {
+    scenario_dir().join(format!("{name}.spec"))
+}
+
+/// Load the named scenario from [`scenario_dir`], then apply the
+/// `WATERWISE_DAYS` / `WATERWISE_SEED` environment overrides when they are
+/// explicitly set (CI smoke runs rescale every campaign this way).
+pub fn load_scenario(name: &str) -> Result<Scenario, ScenarioError> {
+    Ok(apply_env_scale(waterwise_core::load_spec(
+        scenario_spec_path(name),
+    )?))
+}
+
+/// Apply explicit `WATERWISE_DAYS` / `WATERWISE_SEED` overrides to a loaded
+/// scenario; unset (or unparsable) variables leave the spec untouched.
+pub fn apply_env_scale(mut scenario: Scenario) -> Scenario {
+    if let Some(days) = std::env::var("WATERWISE_DAYS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        scenario = scenario.with_days(days);
+    }
+    if let Some(seed) = std::env::var("WATERWISE_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        scenario = scenario.with_seed(seed);
+    }
+    scenario
+}
+
+/// Resolve a fig binary's scenario: `--scenario <path>` on the command line
+/// (or `WATERWISE_SCENARIO=<path>`) names an explicit spec file; otherwise
+/// the named default under [`scenario_dir`] is loaded. On any read, parse,
+/// or validation failure the process exits with status 2 after printing the
+/// offending `file:line`.
+pub fn scenario_or_exit(name: &str) -> Scenario {
+    let path = scenario_cli_path().unwrap_or_else(|| scenario_spec_path(name));
+    match waterwise_core::load_spec(&path) {
+        Ok(scenario) => apply_env_scale(scenario),
+        Err(err) => {
+            eprintln!("{}", err.located(path.display()));
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `--scenario <path>` (or `--scenario=<path>`) from the command line, else
+/// `WATERWISE_SCENARIO` from the environment.
+fn scenario_cli_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--scenario" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(path) = arg.strip_prefix("--scenario=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    std::env::var_os("WATERWISE_SCENARIO").map(PathBuf::from)
+}
+
+/// Validate every spec file a `run_all` sweep will load, returning the first
+/// failure as a ready-to-print `file:line: message` string. Called up front
+/// so a malformed spec fails the whole suite immediately instead of dying
+/// mid-sweep after the earlier figures have already burned their runtime.
+pub fn validate_scenarios(names: &[&str]) -> Result<(), String> {
+    for name in names {
+        let path = scenario_spec_path(name);
+        if let Err(err) = waterwise_core::load_spec(&path) {
+            return Err(err.located(path.display()));
+        }
+    }
+    Ok(())
+}
+
+/// The scenario files the fig binaries load by default, in fig order.
+pub const SCENARIO_NAMES: [&str; 4] = ["fig05", "fig08", "fig14", "fig17"];
 
 // ---------------------------------------------------------------------------
 // Fig. 1 — carbon intensity and EWIF per energy source
@@ -262,10 +360,13 @@ pub fn fig03_greedy_opportunity(scale: ExperimentScale) -> Vec<Table> {
 
 /// Fig. 5: carbon and water savings of WaterWise and the greedy oracles over
 /// the baseline, for delay tolerances 25–100%, on the Borg-like trace.
-pub fn fig05_waterwise_google(scale: ExperimentScale) -> Vec<Table> {
+///
+/// The workload comes from `scenarios/fig05.spec`; the sweep re-runs the
+/// scenario at each delay tolerance.
+pub fn fig05_waterwise_google(scenario: &Scenario) -> Vec<Table> {
     vec![savings_sweep(
         "Fig. 5 — savings vs baseline (Borg-like trace, Electricity-Maps-style data)",
-        |tol| CampaignConfig::paper_default(scale.days, tol, scale.seed),
+        |tol| scenario.config.clone().with_delay_tolerance(tol),
         &[0.25, 0.50, 0.75, 1.00],
         &[
             SchedulerKind::CarbonGreedyOpt,
@@ -342,7 +443,10 @@ pub fn fig07_ecovisor(scale: ExperimentScale) -> Vec<Table> {
 // ---------------------------------------------------------------------------
 
 /// Fig. 8: WaterWise savings when λ_CO2 is 0.3 / 0.5 / 0.7 (50% tolerance).
-pub fn fig08_weight_sensitivity(scale: ExperimentScale) -> Vec<Table> {
+///
+/// The workload comes from `scenarios/fig08.spec`; the sweep re-weights the
+/// scenario's objective at each λ_CO2.
+pub fn fig08_weight_sensitivity(scenario: &Scenario) -> Vec<Table> {
     let mut table = Table::new(
         "Fig. 8 — weight sensitivity (50% delay tolerance)",
         &["lambda_co2", "carbon saving", "water saving"],
@@ -351,7 +455,9 @@ pub fn fig08_weight_sensitivity(scale: ExperimentScale) -> Vec<Table> {
     let configs: Vec<CampaignConfig> = lambdas
         .iter()
         .map(|&lambda| {
-            CampaignConfig::paper_default(scale.days, 0.5, scale.seed)
+            scenario
+                .config
+                .clone()
                 .with_weights(ObjectiveWeights::paper_default().with_carbon_weight(lambda))
         })
         .collect();
@@ -578,7 +684,10 @@ pub fn fig13_overhead(scale: ExperimentScale) -> Vec<Table> {
 /// per solve — total and on the steady-state slots (the last three quarters
 /// of the campaign's rounds) — warm-start coverage, decision latency, and
 /// the steady-state pivot speedup of warm over cold.
-pub fn fig14_warmstart(scale: ExperimentScale) -> Vec<Table> {
+///
+/// The workload comes from `scenarios/fig14.spec`; the sweep overrides the
+/// scenario's warm-start flag and horizon per cell.
+pub fn fig14_warmstart(scenario: &Scenario) -> Vec<Table> {
     let mut table = Table::new(
         "Fig. 14 — cold vs warm-started solves (Borg-like trace, 50% tolerance)",
         &[
@@ -597,7 +706,7 @@ pub fn fig14_warmstart(scale: ExperimentScale) -> Vec<Table> {
         // skipped or empty cold row can never yield a bogus speedup.
         let mut cold_steady_pivots = f64::NAN;
         for warm in [false, true] {
-            let mut config = CampaignConfig::paper_default(scale.days, 0.5, scale.seed);
+            let mut config = scenario.config.clone();
             config.waterwise.warm_start = warm;
             config.waterwise.horizon = horizon;
             let outcome = Campaign::new(config)
@@ -925,29 +1034,28 @@ pub fn fig16_pipeline(scale: ExperimentScale) -> Vec<Table> {
 /// itself is the clock, so a placement can only flush once later requests
 /// (or the closing stream) move simulated time past its scheduling round —
 /// the percentiles then measure replay pacing, not service speed.
-pub fn fig17_service(scale: ExperimentScale) -> Vec<Table> {
+///
+/// The workload, simulation shape, and scheduler configuration come from
+/// `scenarios/fig17.spec`; the sweep overrides only the clock and engine
+/// per cell (the spec's own clock is the offline reference's).
+pub fn fig17_service(scenario: &Scenario) -> Vec<Table> {
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
     use std::time::Instant;
     use waterwise_cluster::{ClockMode, EngineMode, Simulator};
-    use waterwise_core::{build_scheduler, WaterWiseConfig};
+    use waterwise_core::build_scheduler;
     use waterwise_service::{PlacementService, ServiceConfig, TcpPlacementServer};
-    use waterwise_traces::{JobSpec, TraceConfig, TraceGenerator};
+    use waterwise_traces::{JobSpec, TraceGenerator};
 
-    let jobs: Vec<JobSpec> =
-        TraceGenerator::new(TraceConfig::borg(scale.days, scale.seed)).generate();
-    let simulation = waterwise_cluster::SimulationConfig::paper_default(280, 0.5);
-    let telemetry = TelemetryConfig {
-        seed: scale.seed,
-        horizon_days: (scale.days.ceil() as usize + 2).max(3),
-        ..TelemetryConfig::default()
-    };
+    let jobs: Vec<JobSpec> = TraceGenerator::new(scenario.config.trace.clone()).generate();
+    let simulation = scenario.config.simulation.clone();
+    let telemetry = scenario.config.telemetry;
     let make_scheduler = || {
         build_scheduler(
             SchedulerKind::WaterWise,
             SyntheticTelemetry::generate(telemetry).shared(),
             FootprintEstimator::new(simulation.datacenter),
-            &WaterWiseConfig::default(),
+            &scenario.config.waterwise,
             None,
         )
     };
@@ -1176,11 +1284,8 @@ pub fn fig18_hotpath(scale: ExperimentScale) -> Vec<Table> {
         let provider: Arc<dyn ConditionsProvider> =
             Arc::new(SyntheticTelemetry::with_seed(scale.seed));
         let estimator = FootprintEstimator::paper_default();
-        let mut serial = WaterWiseScheduler::new(
-            provider.clone(),
-            estimator,
-            WaterWiseConfig::default(),
-        );
+        let mut serial =
+            WaterWiseScheduler::new(provider.clone(), estimator, WaterWiseConfig::default());
         let mut sharded = WaterWiseScheduler::new(
             provider.clone(),
             estimator,

@@ -1,0 +1,347 @@
+//! Golden-snapshot verification of the declarative scenarios.
+//!
+//! Each `scenarios/*.spec` workload is replayed and its canonical result
+//! rendering ([`Snapshot`]) compared byte-for-byte against the committed
+//! golden under `tests/snapshots/<scenario>.snap`. These tests replace the
+//! former `golden_figures.rs` percentage-table regressions (Figs. 5 and 8)
+//! and the in-bench identity asserts of Fig. 17: any schedule or summary
+//! drift fails with a line-level diff naming the drifted snapshot file.
+//!
+//! Blessing: `UPDATE_SNAPSHOTS=1 cargo test -p waterwise-bench` rewrites the
+//! goldens; commit the resulting diff. CI guards that the variable is never
+//! set there, so drift can only be accepted deliberately.
+//!
+//! The determinism sweep re-runs each scenario across engine mode (sync /
+//! pipelined) × warm/cold solver starts × solution-cache mode and demands a
+//! byte-identical rendering from every cell — "snapshot == replay"
+//! (ARCHITECTURE.md invariant table).
+
+use std::path::PathBuf;
+use waterwise_bench::experiments::{scenario_spec_path, validate_scenarios, SCENARIO_NAMES};
+use waterwise_core::scenario::{
+    assert_snapshot, check_snapshot, orphaned_snapshots, snapshot_path, update_mode, Snapshot,
+    SnapshotError,
+};
+use waterwise_core::{
+    load_spec, Campaign, EngineMode, ObjectiveWeights, Parallelism, Scenario, SchedulerKind,
+    SolutionCacheMode,
+};
+
+fn snapshots_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("snapshots")
+}
+
+/// Load a scenario at its spec scale. Deliberately *not*
+/// `experiments::load_scenario`: goldens are pinned at the committed spec's
+/// own days/seed, immune to `WATERWISE_DAYS`/`WATERWISE_SEED` in the
+/// environment.
+fn load(name: &str) -> Scenario {
+    load_spec(scenario_spec_path(name)).expect("committed scenario spec must load")
+}
+
+/// Snapshot one campaign outcome (summary + schedule digest) under `prefix`.
+fn add_outcome(snap: &mut Snapshot, prefix: &str, outcome: &waterwise_core::CampaignOutcome) {
+    snap.add_summary(prefix, &outcome.summary);
+    snap.add_schedule(prefix, &outcome.report.outcomes);
+}
+
+// ---------------------------------------------------------------------------
+// Per-scenario goldens
+// ---------------------------------------------------------------------------
+
+#[test]
+fn fig05_scenario_matches_golden_snapshot() {
+    let scenario = load("fig05");
+    let tolerances = [
+        (0.25, "tol25"),
+        (0.50, "tol50"),
+        (0.75, "tol75"),
+        (1.00, "tol100"),
+    ];
+    let configs: Vec<_> = tolerances
+        .iter()
+        .map(|&(tol, _)| scenario.config.clone().with_delay_tolerance(tol))
+        .collect();
+    let kinds = [
+        SchedulerKind::Baseline,
+        SchedulerKind::CarbonGreedyOpt,
+        SchedulerKind::WaterGreedyOpt,
+        SchedulerKind::WaterWise,
+    ];
+    let matrix =
+        Campaign::run_matrix(&configs, &kinds, Parallelism::Auto).expect("campaign must run");
+    let mut snap = Snapshot::new();
+    for ((_, label), row) in tolerances.iter().zip(&matrix) {
+        for outcome in row {
+            add_outcome(
+                &mut snap,
+                &format!("{label}.{}", outcome.kind.label()),
+                outcome,
+            );
+        }
+    }
+    assert_snapshot(&snapshots_dir(), "fig05", &snap.render());
+}
+
+#[test]
+fn fig08_scenario_matches_golden_snapshot() {
+    let scenario = load("fig08");
+    let lambdas = [(0.3, "lambda30"), (0.5, "lambda50"), (0.7, "lambda70")];
+    let configs: Vec<_> = lambdas
+        .iter()
+        .map(|&(lambda, _)| {
+            scenario
+                .config
+                .clone()
+                .with_weights(ObjectiveWeights::paper_default().with_carbon_weight(lambda))
+        })
+        .collect();
+    let matrix = Campaign::run_matrix(
+        &configs,
+        &[SchedulerKind::Baseline, SchedulerKind::WaterWise],
+        Parallelism::Auto,
+    )
+    .expect("campaign must run");
+    let mut snap = Snapshot::new();
+    for ((_, label), row) in lambdas.iter().zip(&matrix) {
+        for outcome in row {
+            add_outcome(
+                &mut snap,
+                &format!("{label}.{}", outcome.kind.label()),
+                outcome,
+            );
+        }
+    }
+    assert_snapshot(&snapshots_dir(), "fig08", &snap.render());
+}
+
+#[test]
+fn fig14_scenario_matches_golden_and_warm_equals_cold() {
+    let scenario = load("fig14");
+    let mut snap = Snapshot::new();
+    for (horizon, label) in [(Some(16), "h16"), (None, "hcap")] {
+        let run = |warm: bool| {
+            let mut config = scenario.config.clone();
+            config.waterwise.warm_start = warm;
+            config.waterwise.horizon = horizon;
+            Campaign::new(config)
+                .run(SchedulerKind::WaterWise)
+                .expect("campaign must run")
+        };
+        let cold = run(false);
+        let warm = run(true);
+        // The warm-start identity, byte for byte: warm starts accelerate
+        // solves, they must never change a schedule.
+        assert_eq!(
+            cold.report.outcomes, warm.report.outcomes,
+            "warm-started solves changed the {label} schedule"
+        );
+        add_outcome(&mut snap, label, &warm);
+    }
+    assert_snapshot(&snapshots_dir(), "fig14", &snap.render());
+}
+
+#[test]
+fn fig17_scenario_online_sessions_match_offline_golden() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use waterwise_cluster::{ClockMode, Simulator};
+    use waterwise_core::build_scheduler;
+    use waterwise_service::{PlacementService, ServiceConfig, TcpPlacementServer};
+    use waterwise_sustain::FootprintEstimator;
+    use waterwise_telemetry::SyntheticTelemetry;
+    use waterwise_traces::TraceGenerator;
+
+    let scenario = load("fig17");
+    let jobs = TraceGenerator::new(scenario.config.trace.clone()).generate();
+    let simulation = scenario.config.simulation.clone();
+    let telemetry = scenario.config.telemetry;
+    let make_scheduler = || {
+        build_scheduler(
+            SchedulerKind::WaterWise,
+            SyntheticTelemetry::generate(telemetry).shared(),
+            FootprintEstimator::new(simulation.datacenter),
+            &scenario.config.waterwise,
+            None,
+        )
+    };
+
+    let offline = Simulator::new(
+        simulation.clone(),
+        SyntheticTelemetry::generate(telemetry).shared(),
+    )
+    .expect("valid simulation config")
+    .run(&jobs, make_scheduler().as_mut())
+    .expect("offline reference campaign must run");
+
+    // The former in-bench identity asserts, now under `cargo test`: a live
+    // TCP session under the discrete clock must reproduce the offline
+    // schedule byte for byte, under both engines.
+    for engine in [EngineMode::Sync, EngineMode::Pipelined { workers: 2 }] {
+        let config = ServiceConfig::new(simulation.clone().with_engine_mode(engine), telemetry)
+            .with_clock(ClockMode::Discrete);
+        let service = PlacementService::new(config).expect("valid service config");
+        let server = TcpPlacementServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound address");
+        let report = std::thread::scope(|scope| {
+            let jobs = &jobs;
+            let client = scope.spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect to service");
+                let mut writer = stream.try_clone().expect("clone stream");
+                std::thread::scope(|inner| {
+                    // Drain responses concurrently or the two directions
+                    // deadlock on full socket buffers.
+                    let reader = inner.spawn(move || {
+                        for line in BufReader::new(stream).lines() {
+                            line.expect("read response line");
+                        }
+                    });
+                    for spec in jobs.iter() {
+                        writeln!(writer, "{}", waterwise_service::wire::encode_request(spec))
+                            .expect("send request");
+                    }
+                    writer.flush().expect("flush requests");
+                    let _ = writer.shutdown(std::net::Shutdown::Write);
+                    reader.join().expect("response reader panicked");
+                });
+            });
+            let report = server
+                .serve_connection(&service, make_scheduler().as_mut())
+                .expect("serving session must complete");
+            client.join().expect("client panicked");
+            report
+        });
+        assert_eq!(report.accepted, jobs.len(), "every request admitted");
+        assert_eq!(
+            report.report.outcomes,
+            offline.outcomes,
+            "online session ({}) diverged from the offline replay",
+            engine.label()
+        );
+    }
+
+    let mut snap = Snapshot::new();
+    snap.add_summary("offline", &offline.summary);
+    snap.add_schedule("offline", &offline.outcomes);
+    assert_snapshot(&snapshots_dir(), "fig17", &snap.render());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism sweep: engine mode × warm/cold × cache mode, per scenario
+// ---------------------------------------------------------------------------
+
+/// Replay the scenario's base campaign in every
+/// engine × warm/cold × cache-mode cell and demand a byte-identical
+/// snapshot rendering from each — the "snapshot == replay" invariant.
+fn sweep_renders_byte_identical(name: &str) {
+    let scenario = load(name);
+    let mut reference: Option<(String, String)> = None;
+    for engine in [EngineMode::Sync, EngineMode::Pipelined { workers: 2 }] {
+        for warm in [true, false] {
+            for cache in [SolutionCacheMode::Off, SolutionCacheMode::PerCampaign] {
+                let mut config = scenario.config.clone().with_engine_mode(engine);
+                config.waterwise.warm_start = warm;
+                let config = config.with_solution_cache(cache.clone());
+                let outcome = Campaign::new(config)
+                    .run(SchedulerKind::WaterWise)
+                    .expect("campaign must run");
+                let mut snap = Snapshot::new();
+                add_outcome(&mut snap, "waterwise", &outcome);
+                let rendered = snap.render();
+                let cell = format!("{}/warm={warm}/{}", engine.label(), cache.label());
+                match &reference {
+                    None => reference = Some((rendered, cell)),
+                    Some((expected, reference_cell)) => assert_eq!(
+                        expected, &rendered,
+                        "scenario {name}: cell {cell} rendered differently from {reference_cell}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fig05_sweep_is_byte_identical_across_engine_warm_cache() {
+    sweep_renders_byte_identical("fig05");
+}
+
+#[test]
+fn fig08_sweep_is_byte_identical_across_engine_warm_cache() {
+    sweep_renders_byte_identical("fig08");
+}
+
+#[test]
+fn fig14_sweep_is_byte_identical_across_engine_warm_cache() {
+    sweep_renders_byte_identical("fig14");
+}
+
+// ---------------------------------------------------------------------------
+// Harness negatives and hygiene
+// ---------------------------------------------------------------------------
+
+/// The deliberate-drift negative test: a single flipped digit in a schedule
+/// digest must be caught and reported as a readable diff naming the
+/// drifted `.snap` file.
+#[test]
+fn deliberate_drift_fails_with_a_diff_naming_the_scenario_file() {
+    if update_mode() {
+        return; // bless runs rewrite instead of diffing
+    }
+    let dir = snapshots_dir();
+    let committed =
+        std::fs::read_to_string(snapshot_path(&dir, "fig05")).expect("committed fig05.snap");
+    // Flip the last hex digit of the first schedule digest.
+    let drifted: String = {
+        let target = committed
+            .lines()
+            .find(|l| l.contains(".digest = "))
+            .expect("fig05.snap has digest lines");
+        let flipped = {
+            let mut chars: Vec<char> = target.chars().collect();
+            let last = chars.last_mut().expect("non-empty digest line");
+            *last = if *last == '0' { '1' } else { '0' };
+            chars.into_iter().collect::<String>()
+        };
+        committed.replacen(target, &flipped, 1)
+    };
+    let err = check_snapshot(&dir, "fig05", &drifted).expect_err("drift must be detected");
+    let SnapshotError::Drift { path, diff } = &err else {
+        panic!("expected Drift, got {err:?}");
+    };
+    assert!(path.ends_with("fig05.snap"), "diff must name the file");
+    assert!(diff.contains("- "), "diff shows the golden line");
+    assert!(diff.contains("+ "), "diff shows the drifted line");
+    assert!(diff.contains(".digest = "), "diff names the drifted key");
+}
+
+#[test]
+fn no_orphaned_snapshot_files() {
+    let orphans = orphaned_snapshots(&snapshots_dir(), &SCENARIO_NAMES)
+        .expect("snapshot directory must be readable");
+    assert!(
+        orphans.is_empty(),
+        "stale goldens with no scenario: {orphans:?} — delete them or restore their specs"
+    );
+}
+
+#[test]
+fn committed_scenario_specs_all_validate() {
+    if let Err(located) = validate_scenarios(&SCENARIO_NAMES) {
+        panic!("committed scenario spec failed validation: {located}");
+    }
+    // The server's default spec is not a fig scenario but ships alongside.
+    load_spec(scenario_spec_path("server_default")).expect("server_default.spec must load");
+}
+
+#[test]
+fn update_snapshots_is_never_set_in_ci() {
+    if std::env::var_os("CI").is_some() {
+        assert!(
+            !update_mode(),
+            "UPDATE_SNAPSHOTS must never be set in CI: goldens would silently re-bless"
+        );
+    }
+}

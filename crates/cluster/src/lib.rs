@@ -37,7 +37,9 @@ pub use engine::clock::ClockMode;
 pub use engine::online::{OnlineReport, PlacementNotice};
 pub use engine::{SimulationReport, Simulator};
 pub use error::{ConfigError, SimulationError};
-pub use metrics::{saving_percent, CampaignSummary, JobOutcome, OverheadSample, PipelineStats};
+pub use metrics::{
+    saving_percent, schedule_digest, CampaignSummary, JobOutcome, OverheadSample, PipelineStats,
+};
 pub use network::TransferModel;
 pub use scheduler::{
     Assignment, PendingJob, Scheduler, SchedulingContext, SchedulingDecision, SolverActivity,

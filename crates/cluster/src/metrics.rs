@@ -291,6 +291,58 @@ impl CampaignSummary {
     }
 }
 
+/// Order-sensitive 64-bit FNV-1a digest of a schedule.
+///
+/// Hashes every deterministic field of every [`JobOutcome`] — identity,
+/// placement, all event times, footprints (execution and transfer), and the
+/// violation flag — in outcome order, with floats folded in by their exact
+/// IEEE-754 bit patterns. Two campaigns produce the same digest exactly when
+/// their schedules and accounting are byte-identical, which makes the digest
+/// the one-line form of the workspace's replay contract: sync vs pipelined
+/// engines, warm vs cold solves, every solution-cache mode, and online
+/// ingestion vs offline replay must all collide on it. Wall-clock
+/// measurements never enter the hash.
+///
+/// ```
+/// use waterwise_cluster::schedule_digest;
+///
+/// assert_eq!(schedule_digest(&[]), 0xcbf2_9ce4_8422_2325); // FNV offset basis
+/// ```
+pub fn schedule_digest(outcomes: &[JobOutcome]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    for o in outcomes {
+        eat(&o.job.0.to_le_bytes());
+        eat(&[o.home_region.index() as u8, o.executed_region.index() as u8]);
+        for t in [
+            o.submit_time,
+            o.start_time,
+            o.completion_time,
+            o.execution_time,
+            o.transfer_time,
+        ] {
+            eat(&t.value().to_bits().to_le_bytes());
+        }
+        for v in [
+            o.footprint.total_carbon().value(),
+            o.footprint.total_water().value(),
+            o.transfer_footprint.total_carbon().value(),
+            o.transfer_footprint.total_water().value(),
+        ] {
+            eat(&v.to_bits().to_le_bytes());
+        }
+        eat(&[o.violated_tolerance as u8]);
+    }
+    hash
+}
+
 /// Percentage saving of `candidate` relative to `baseline` (positive when the
 /// candidate is smaller).
 ///

@@ -23,6 +23,8 @@ pub enum WaterWiseError {
     /// solver failure; this variant surfaces solver errors from direct model
     /// construction, e.g. through `waterwise-milp` re-exports).
     Solver(MilpError),
+    /// A declarative scenario spec failed to parse or validate.
+    Scenario(crate::scenario::ScenarioError),
 }
 
 impl fmt::Display for WaterWiseError {
@@ -31,6 +33,7 @@ impl fmt::Display for WaterWiseError {
             WaterWiseError::Config(e) => write!(f, "campaign configuration error: {e}"),
             WaterWiseError::Simulation(e) => write!(f, "simulation error: {e}"),
             WaterWiseError::Solver(e) => write!(f, "solver error: {e}"),
+            WaterWiseError::Scenario(e) => write!(f, "scenario spec error: {e}"),
         }
     }
 }
@@ -41,6 +44,7 @@ impl std::error::Error for WaterWiseError {
             WaterWiseError::Config(e) => Some(e),
             WaterWiseError::Simulation(e) => Some(e),
             WaterWiseError::Solver(e) => Some(e),
+            WaterWiseError::Scenario(e) => Some(e),
         }
     }
 }
@@ -66,6 +70,17 @@ impl From<SimulationError> for WaterWiseError {
 impl From<MilpError> for WaterWiseError {
     fn from(e: MilpError) -> Self {
         WaterWiseError::Solver(e)
+    }
+}
+
+impl From<crate::scenario::ScenarioError> for WaterWiseError {
+    fn from(e: crate::scenario::ScenarioError) -> Self {
+        // A spec that parsed but failed cross-field validation carries a
+        // `ConfigError`; flatten it for the same reason as `SimulationError`.
+        match e {
+            crate::scenario::ScenarioError::Config(c) => WaterWiseError::Config(c),
+            other => WaterWiseError::Scenario(other),
+        }
     }
 }
 

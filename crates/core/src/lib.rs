@@ -22,6 +22,9 @@
 //!   the normalization used by the objective function (Eq. 7).
 //! * [`experiment`] — campaign configuration and the runner used by the
 //!   examples, integration tests, and the benchmark harness.
+//! * [`scenario`] — declarative scenario specs (`scenarios/*.spec` files
+//!   that parse into a ready [`CampaignConfig`]) and the golden-snapshot
+//!   harness that pins their results byte-for-byte.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -29,6 +32,7 @@
 pub mod error;
 pub mod experiment;
 pub mod objective;
+pub mod scenario;
 pub mod sched;
 
 pub use error::WaterWiseError;
@@ -39,6 +43,7 @@ pub use experiment::{
 // Solution-cache handle types, re-exported so campaign drivers can build a
 // shared cache without depending on `waterwise-milp` directly.
 pub use objective::{CandidateFootprint, ObjectiveWeights};
+pub use scenario::{load_spec, parse_spec, Scenario, ScenarioError, Snapshot, SnapshotError};
 pub use sched::{
     BaselineScheduler, EcovisorScheduler, GreedyObjective, GreedyOptScheduler, LeastLoadScheduler,
     RoundRobinScheduler, WaterWiseConfig, WaterWiseScheduler,

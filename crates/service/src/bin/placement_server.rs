@@ -1,76 +1,125 @@
 //! `placement_server` — stand-alone TCP placement service.
 //!
 //! Serves the line-delimited-JSON placement protocol (one client session at
-//! a time; each session is one campaign). All knobs come from the
-//! environment; see `docs/ONLINE_SERVICE.md` for the operator's guide.
+//! a time; each session is one campaign). The base configuration is a
+//! declarative scenario spec — `scenarios/server_default.spec` unless
+//! `--scenario <path>` / `WATERWISE_SCENARIO` names another file (grammar:
+//! `docs/SCENARIOS.md`) — and individual environment variables override
+//! knobs on top of it; see `docs/ONLINE_SERVICE.md` for the operator's
+//! guide.
 //!
-//! | Variable | Default | Meaning |
+//! | Variable | Overrides | Meaning |
 //! |---|---|---|
-//! | `WATERWISE_ADDR` | `127.0.0.1:7878` | Listen address (`:0` for ephemeral). |
-//! | `WATERWISE_CLOCK` | `real-time:60` | `discrete` or `real-time:<scale>`. |
-//! | `WATERWISE_WORKERS` | `2` | `0` = synchronous engine, else pipelined workers. |
-//! | `WATERWISE_SERVERS` | `280` | Servers per region. |
-//! | `WATERWISE_TOLERANCE` | `0.5` | Delay tolerance (fraction of execution time). |
-//! | `WATERWISE_SEED` | `42` | Telemetry seed. |
-//! | `WATERWISE_SESSIONS` | unbounded | Serve this many sessions, then exit. |
+//! | `WATERWISE_ADDR` | — | Listen address, default `127.0.0.1:7878` (`:0` for ephemeral). |
+//! | `WATERWISE_SCENARIO` | the whole spec | Path of the scenario spec file. |
+//! | `WATERWISE_CLOCK` | `[simulation] clock` | `discrete` or `real-time:<scale>`. |
+//! | `WATERWISE_WORKERS` | `[simulation] engine` | `0` = synchronous engine, else pipelined workers. |
+//! | `WATERWISE_SERVERS` | `[simulation] servers_per_region` | Servers per region. |
+//! | `WATERWISE_TOLERANCE` | `[simulation] delay_tolerance` | Delay tolerance (fraction of execution time). |
+//! | `WATERWISE_SEED` | `[scenario] seed` | Trace + telemetry seed. |
+//! | `WATERWISE_SESSIONS` | — | Serve this many sessions, then exit (default unbounded). |
 
-use waterwise_cluster::{ClockMode, EngineMode, SimulationConfig};
-use waterwise_core::{build_scheduler, SchedulerKind, WaterWiseConfig};
+use std::path::{Path, PathBuf};
+use waterwise_cluster::{ClockMode, EngineMode};
+use waterwise_core::{build_scheduler, Scenario, SchedulerKind};
 use waterwise_service::{PlacementService, ServiceConfig, TcpPlacementServer};
 use waterwise_sustain::FootprintEstimator;
-use waterwise_telemetry::TelemetryConfig;
 
-fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+fn env_opt<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok().and_then(|v| v.parse().ok())
 }
 
-fn clock_from_env() -> ClockMode {
-    let raw = std::env::var("WATERWISE_CLOCK").unwrap_or_else(|_| "real-time:60".to_string());
-    if raw == "discrete" {
-        ClockMode::Discrete
-    } else {
-        let scale = raw
-            .strip_prefix("real-time:")
-            .or_else(|| raw.strip_prefix("realtime:"))
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(60.0);
-        ClockMode::RealTime { scale }
+/// `--scenario <path>` / `--scenario=<path>` / `WATERWISE_SCENARIO`, else
+/// `server_default.spec` under `WATERWISE_SCENARIO_DIR` or the workspace
+/// `scenarios/` directory.
+fn spec_path() -> PathBuf {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--scenario" {
+            if let Some(path) = args.next() {
+                return PathBuf::from(path);
+            }
+        }
+        if let Some(path) = arg.strip_prefix("--scenario=") {
+            return PathBuf::from(path);
+        }
+    }
+    if let Some(path) = std::env::var_os("WATERWISE_SCENARIO") {
+        return PathBuf::from(path);
+    }
+    std::env::var_os("WATERWISE_SCENARIO_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("..")
+                .join("..")
+                .join("scenarios")
+        })
+        .join("server_default.spec")
+}
+
+fn load_scenario_or_exit() -> Scenario {
+    let path = spec_path();
+    match waterwise_core::load_spec(&path) {
+        Ok(scenario) => scenario,
+        Err(err) => {
+            eprintln!("invalid scenario spec: {}", err.located(path.display()));
+            std::process::exit(2);
+        }
     }
 }
 
+fn clock_override() -> Option<ClockMode> {
+    let raw = std::env::var("WATERWISE_CLOCK").ok()?;
+    if raw == "discrete" {
+        return Some(ClockMode::Discrete);
+    }
+    let scale = raw
+        .strip_prefix("real-time:")
+        .or_else(|| raw.strip_prefix("realtime:"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60.0);
+    Some(ClockMode::RealTime { scale })
+}
+
 fn main() {
+    let mut scenario = load_scenario_or_exit();
+    if let Some(seed) = env_opt::<u64>("WATERWISE_SEED") {
+        scenario = scenario.with_seed(seed);
+    }
+    let mut simulation = scenario.config.simulation.clone();
+    if let Some(servers) = env_opt::<usize>("WATERWISE_SERVERS") {
+        for (_, n) in &mut simulation.regions {
+            *n = servers;
+        }
+    }
+    if let Some(tolerance) = env_opt::<f64>("WATERWISE_TOLERANCE") {
+        simulation.delay_tolerance = tolerance;
+    }
+    if let Some(workers) = env_opt::<usize>("WATERWISE_WORKERS") {
+        simulation.engine = if workers == 0 {
+            EngineMode::Sync
+        } else {
+            EngineMode::Pipelined { workers }
+        };
+    }
+    let engine = simulation.engine;
+    let clock = clock_override().unwrap_or(scenario.clock);
+    let telemetry = scenario.config.telemetry;
     let addr = std::env::var("WATERWISE_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
-    let workers: usize = env_or("WATERWISE_WORKERS", 2);
-    let engine = if workers == 0 {
-        EngineMode::Sync
-    } else {
-        EngineMode::Pipelined { workers }
-    };
-    let clock = clock_from_env();
-    let seed: u64 = env_or("WATERWISE_SEED", 42);
-    let simulation = SimulationConfig::paper_default(
-        env_or("WATERWISE_SERVERS", 280),
-        env_or("WATERWISE_TOLERANCE", 0.5),
-    )
-    .with_engine_mode(engine);
-    let telemetry = TelemetryConfig {
-        seed,
-        ..TelemetryConfig::default()
-    };
-    let sessions: usize = env_or("WATERWISE_SESSIONS", usize::MAX);
+    let sessions: usize = env_opt("WATERWISE_SESSIONS").unwrap_or(usize::MAX);
 
     let service =
         PlacementService::new(ServiceConfig::new(simulation, telemetry).with_clock(clock))
             .expect("valid service configuration");
     let server = TcpPlacementServer::bind(&addr).expect("bind listen address");
     eprintln!(
-        "placement_server listening on {} (clock {}, engine {}, seed {seed})",
+        "placement_server listening on {} (scenario {}, clock {}, engine {}, seed {})",
         server.local_addr().expect("bound address"),
+        scenario.name,
         clock.label(),
         engine.label(),
+        scenario.seed,
     );
 
     for session in 0..sessions {
@@ -80,7 +129,7 @@ fn main() {
             SchedulerKind::WaterWise,
             service.telemetry(),
             FootprintEstimator::new(service.config().simulation.datacenter),
-            &WaterWiseConfig::default(),
+            &scenario.config.waterwise,
             None,
         );
         match server.serve_connection(&service, scheduler.as_mut()) {
