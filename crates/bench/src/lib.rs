@@ -31,4 +31,4 @@ pub mod experiments;
 pub mod table;
 
 pub use experiments::ExperimentScale;
-pub use table::{tables_to_json, write_json_report, Table};
+pub use table::{json_string, tables_to_json, write_json_report, Table};

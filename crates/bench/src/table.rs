@@ -148,8 +148,14 @@ fn push_string_array(out: &mut String, cells: &[String]) {
     out.push(']');
 }
 
-/// Escape a string for a JSON value position.
-fn json_string(value: &str) -> String {
+/// Escape a string for a JSON value position. Public because it is the
+/// workspace's one JSON string writer (compat `serde` is a no-op):
+/// `waterwise-lint` builds its machine-readable report from it too.
+///
+/// ```
+/// assert_eq!(waterwise_bench::json_string("a\"b\n"), r#""a\"b\n""#);
+/// ```
+pub fn json_string(value: &str) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');

@@ -95,6 +95,7 @@ impl SimClock {
     /// Start the clock now, at simulated time zero.
     pub(crate) fn start(scale: f64) -> Self {
         Self {
+            // lint:allow(DET002: the RealTime clock origin IS the wall clock; Discrete mode — the deterministic path — never constructs a SimClock)
             origin: Instant::now(),
             scale,
         }

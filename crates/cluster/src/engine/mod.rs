@@ -41,7 +41,7 @@ use crate::scheduler::{
 };
 use crate::state::{RegionRuntime, RegionView};
 use queue::{Event, EventQueue, QueuedEvent};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 use waterwise_sustain::{FootprintEstimator, JobResourceUsage, Seconds};
 use waterwise_telemetry::{ConditionsProvider, Region};
@@ -135,11 +135,13 @@ pub(crate) struct EnactedPlacement {
 pub(crate) struct SimState {
     pub(crate) jobs: Vec<JobSpec>,
     /// Every job id admitted so far; rejects duplicates both in offline
-    /// traces (up front) and in online injections (per request).
-    seen_ids: HashSet<JobId>,
+    /// traces (up front) and in online injections (per request). Ordered
+    /// containers by the DET001 discipline: nothing schedule-affecting may
+    /// iterate in hash order, and membership checks cost the same either way.
+    seen_ids: BTreeSet<JobId>,
     participating: Vec<Region>,
     regions: Vec<RegionRuntime>,
-    region_slot: HashMap<Region, usize>,
+    region_slot: BTreeMap<Region, usize>,
     pub(crate) queue: EventQueue,
     pub(crate) interval: f64,
     pub(crate) tolerance: f64,
@@ -165,7 +167,7 @@ impl SimState {
         // Assignments are keyed by job id; a duplicate would leave one twin
         // pending forever (the round loop would never drain), so reject the
         // malformed trace up front with a typed error.
-        let mut seen_ids: HashSet<JobId> = HashSet::with_capacity(jobs.len());
+        let mut seen_ids: BTreeSet<JobId> = BTreeSet::new();
         for job in &jobs {
             if !seen_ids.insert(job.id) {
                 return Err(SimulationError::DuplicateJobId { id: job.id });
@@ -198,14 +200,14 @@ impl SimState {
             .iter()
             .map(|(r, servers)| RegionRuntime::new(*r, *servers))
             .collect();
-        let region_slot: HashMap<Region, usize> = regions
+        let region_slot: BTreeMap<Region, usize> = regions
             .iter()
             .enumerate()
             .map(|(i, r)| (r.region, i))
             .collect();
         Self {
             jobs: Vec::new(),
-            seen_ids: HashSet::new(),
+            seen_ids: BTreeSet::new(),
             participating,
             regions,
             region_slot,
@@ -295,7 +297,7 @@ impl SimState {
         now: f64,
         config: &SimulationConfig,
     ) -> Result<Vec<EnactedPlacement>, SimulationError> {
-        let by_id: HashMap<JobId, (usize, u32)> = self
+        let by_id: BTreeMap<JobId, (usize, u32)> = self
             .pending
             .iter()
             .take(snapshot_len)
@@ -470,6 +472,7 @@ pub(crate) fn timed_schedule(
     ctx: &SchedulingContext<'_>,
 ) -> (SchedulingDecision, f64, Option<SolverActivity>) {
     let before = scheduler.solver_activity();
+    // lint:allow(DET002: OverheadSample wall_clock timing capture; scrubbed from schedules by without_wall_clock)
     let started = Instant::now();
     let decision = scheduler.schedule(ctx);
     let elapsed = started.elapsed().as_secs_f64();

@@ -344,8 +344,11 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
                 }
                 continue;
             }
-            let QueuedEvent { time, event, .. } =
-                self.state.queue.pop().expect("peeked event exists");
+            // The dispatchability check above peeked a queued event; an
+            // empty pop just re-enters the watermark wait (DET003).
+            let Some(QueuedEvent { time, event, .. }) = self.state.queue.pop() else {
+                continue;
+            };
             self.state.last_time = time;
             match event {
                 Event::Arrival(i) => self.state.handle_arrival(i, time),
@@ -441,6 +444,7 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
                 }
                 // The commit barrier: the key the next round will carry.
                 let barrier = (now + self.state.interval, seq_base + batch as u64);
+                // lint:allow(DET002: commit_wait timing capture; scrubbed from schedules by without_wall_clock)
                 let wait_started = Instant::now();
                 let resp = loop {
                     // Overlap: while the solver stage works on this slot,
@@ -456,7 +460,11 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
                         {
                             break;
                         }
-                        let arrival = self.state.queue.pop().expect("peeked event exists");
+                        // The peek above proved the queue is non-empty; an
+                        // empty pop just ends the overlap early (DET003).
+                        let Some(arrival) = self.state.queue.pop() else {
+                            break;
+                        };
                         self.state.last_time = arrival.time;
                         if let Event::Arrival(i) = arrival.event {
                             self.state.handle_arrival(i, arrival.time);

@@ -155,13 +155,23 @@ pub(crate) fn run_pipelined<P: ConditionsProvider>(
         let mut merged: Vec<Option<Result<JobOutcome, SimulationError>>> =
             (0..state.completions).map(|_| None).collect();
         for handle in shard_handles {
-            for (index, result) in handle.join().expect("accounting shard panicked") {
+            // A join error carries the shard's own panic; re-raise it with
+            // its original payload instead of wrapping it in a fresh panic
+            // (DET003: the engine introduces no panic of its own here).
+            let outcomes = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            for (index, result) in outcomes {
                 merged[index] = Some(result);
             }
         }
         merged
             .into_iter()
-            .map(|slot| slot.expect("every completion index is accounted"))
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Some(result) => result,
+                None => Err(SimulationError::MissingCompletionRecord { index }),
+            })
             .collect()
     })?;
 
@@ -225,7 +235,11 @@ fn event_loop<P: ConditionsProvider>(
                         {
                             break;
                         }
-                        let arrival = state.queue.pop().expect("peeked event exists");
+                        // The peek above proved the queue is non-empty; an
+                        // empty pop just ends the overlap early (DET003).
+                        let Some(arrival) = state.queue.pop() else {
+                            break;
+                        };
                         state.last_time = arrival.time;
                         if let Event::Arrival(i) = arrival.event {
                             state.handle_arrival(i, arrival.time);
@@ -234,6 +248,7 @@ fn event_loop<P: ConditionsProvider>(
                     }
                     // Block for the slot's decision and commit it. Strict
                     // slot ordering is the commit protocol's invariant.
+                    // lint:allow(DET002: commit_wait timing capture; scrubbed from schedules by without_wall_clock)
                     let wait_started = Instant::now();
                     let resp = responses
                         .recv()

@@ -135,6 +135,16 @@ pub enum SimulationError {
         /// The smallest admissible submit time at the point of injection.
         watermark: f64,
     },
+    /// The pipelined engine's deterministic merge found a completion index
+    /// that no accounting shard returned an outcome for. Completion records
+    /// are indexed contiguously at dispatch, so this is an engine-invariant
+    /// violation (a shard dropped a record without erroring); reporting it
+    /// as a typed error fails the one affected campaign instead of
+    /// panicking the whole parallel run — the PR 3 de-panicking discipline.
+    MissingCompletionRecord {
+        /// The completion index no shard accounted for.
+        index: usize,
+    },
     /// The online caller dropped the placement-notice receiver while the
     /// campaign was still placing jobs. Placements are the service's
     /// responses; silently discarding them would strand the requests they
@@ -188,6 +198,12 @@ impl fmt::Display for SimulationError {
                      but the discrete watermark already passed {watermark} s"
                 )
             }
+            SimulationError::MissingCompletionRecord { index } => {
+                write!(
+                    f,
+                    "pipelined merge missing an outcome for completion index {index}"
+                )
+            }
             SimulationError::PlacementSinkDisconnected { job } => {
                 write!(
                     f,
@@ -209,6 +225,7 @@ impl std::error::Error for SimulationError {
             | SimulationError::AccountingStageDisconnected { .. }
             | SimulationError::PipelineCommitOrder { .. }
             | SimulationError::OutOfOrderArrival { .. }
+            | SimulationError::MissingCompletionRecord { .. }
             | SimulationError::PlacementSinkDisconnected { .. } => None,
         }
     }

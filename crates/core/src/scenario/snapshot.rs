@@ -234,6 +234,7 @@ pub fn check_snapshot(
 /// idiom. In bless mode the golden is written instead.
 pub fn assert_snapshot(dir: &Path, scenario: &str, rendered: &str) {
     if let Err(error) = check_snapshot(dir, scenario, rendered) {
+        // lint:allow(DET003: this is the test-harness assert itself — panicking with the diff is the whole point; non-panicking callers use check_snapshot)
         panic!("{error}");
     }
 }
@@ -269,6 +270,7 @@ pub fn diff_lines(expected: &str, actual: &str) -> String {
                     }
                     (Some(w), None) => out.push_str(&format!("  - {w}\n")),
                     (None, Some(g)) => out.push_str(&format!("  + {g}\n")),
+                    // lint:allow(DET003: every key iterated comes from the union of the two maps, so at least one lookup must succeed)
                     (None, None) => unreachable!("key from union of both maps"),
                 }
             }

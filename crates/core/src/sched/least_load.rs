@@ -39,14 +39,17 @@ impl Scheduler for LeastLoadScheduler {
             .collect();
         let mut assignments = Vec::with_capacity(ctx.pending.len());
         for p in ctx.pending {
-            let (best_idx, _, _) = *committed
-                .iter()
-                .min_by(|a, b| {
-                    (a.1 / a.2 as f64)
-                        .partial_cmp(&(b.1 / b.2 as f64))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
-                .expect("at least one region");
+            // A region-less context has nowhere to place anything: return
+            // the empty decision instead of panicking (DET003) — the engine
+            // treats unplaced jobs as deferred, exactly like an infeasible
+            // round.
+            let Some(&(best_idx, _, _)) = committed.iter().min_by(|a, b| {
+                (a.1 / a.2 as f64)
+                    .partial_cmp(&(b.1 / b.2 as f64))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) else {
+                break;
+            };
             assignments.push(Assignment {
                 job: p.spec.id,
                 region: ctx.regions[best_idx].region,

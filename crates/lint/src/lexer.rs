@@ -1,0 +1,512 @@
+//! A lightweight Rust lexer — just enough tokenization for the determinism
+//! rules, in the same hand-rolled spirit as the scenario spec parser and the
+//! bench JSON writer.
+//!
+//! The lexer's job is to make the rule engine *precise about what is code*:
+//! comments (line, doc, and nested block), string literals (plain, raw,
+//! byte), char literals, and lifetimes are consumed here so that a
+//! `HashMap` mentioned in a doc comment or an `unwrap()` inside a string
+//! can never produce a finding. Line numbers are 1-based, matching the
+//! `path:line:` diagnostic convention of [`ScenarioError`]-style rendering.
+//!
+//! [`ScenarioError`]: https://docs.rs/waterwise-core
+//!
+//! Waiver comments (`// lint:allow(DET002: reason)`) are collected during
+//! lexing — they live in comments, which only the lexer sees.
+
+/// What kind of token was lexed. Only the shapes the rules inspect are
+/// distinguished; all remaining punctuation is a single [`TokenKind::Punct`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unwrap`, ...).
+    Ident(Box<str>),
+    /// A floating-point literal (`1.0`, `2.5e-3`, `1.`, `7f64`).
+    Float,
+    /// An integer literal (`42`, `0xff`, `1_000`).
+    Int,
+    /// The two-character `==` operator.
+    EqEq,
+    /// The two-character `!=` operator.
+    NotEq,
+    /// Any other single punctuation character (`.`, `!`, `{`, `(`, `:`, ...).
+    Punct(char),
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// A comment containing `lint:allow`, reported with the line it sits on;
+/// parsing the waiver grammar itself happens in the rule engine, where a
+/// malformed waiver becomes a finding rather than a lex error.
+#[derive(Debug, Clone)]
+pub struct WaiverComment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The comment text after the `//` / `/*` marker, trimmed.
+    pub text: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub waivers: Vec<WaiverComment>,
+}
+
+/// Tokenize `src`. Never fails: unterminated strings/comments simply end
+/// the token stream at end-of-file, which is the forgiving behavior a lint
+/// (not a compiler) wants — rustc will reject the file anyway.
+pub fn lex(src: &str) -> LexedFile {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexedFile::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, line: u32) {
+        self.out.tokens.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.string_body();
+                }
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_raw_string(line),
+                '=' if self.peek(1) == Some('=') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::EqEq, line);
+                }
+                '!' if self.peek(1) == Some('=') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::NotEq, line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// `// ...` to end of line. Doc comments (`///`, `//!`) are consumed
+    /// too but never carry waivers — documentation *talking about* the
+    /// waiver grammar must not enact it.
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let doc = matches!(self.peek(2), Some('/') | Some('!'));
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        if doc {
+            return;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let text = text.trim_start_matches('/').trim().to_string();
+        if text.contains("lint:allow") {
+            self.out.waivers.push(WaiverComment { line, text });
+        }
+    }
+
+    /// `/* ... */`, nested per Rust's rules. Block doc comments
+    /// (`/**`, `/*!`) never carry waivers, mirroring the line-comment rule.
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let doc = matches!(self.peek(2), Some('*') | Some('!'));
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        if doc {
+            return;
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        if text.contains("lint:allow") {
+            let text = text
+                .trim_start_matches(['/', '*'])
+                .trim_end_matches(['/', '*'])
+                .trim()
+                .to_string();
+            self.out.waivers.push(WaiverComment { line, text });
+        }
+    }
+
+    /// The body of a `"..."` string, opening quote already consumed.
+    fn string_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// `r"..."` / `r#"..."#` / `br##"..."##`: the prefix identifier has
+    /// already been matched by the caller; `hashes` is the number of `#`
+    /// between the prefix and the opening quote.
+    fn raw_string_body(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    matched += 1;
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+    /// A lifetime is a quote followed by an identifier that is *not*
+    /// closed by another quote right after its first character.
+    fn char_or_lifetime(&mut self) {
+        self.bump(); // opening '
+        match (self.peek(0), self.peek(1)) {
+            (Some('\\'), _) => {
+                // Escaped char literal: consume through the closing quote.
+                self.bump();
+                self.bump(); // the escaped character (b, n, ', \, x, u, ...)
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+            }
+            (Some(c), Some('\'')) if c != '\'' => {
+                // Plain char literal 'x'.
+                self.bump();
+                self.bump();
+            }
+            (Some(c), _) if c.is_alphabetic() || c == '_' => {
+                // Lifetime: consume the identifier, no closing quote.
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// A numeric literal. Floats are what DET005 cares about: a `.` with a
+    /// digit (or end-of-literal) after it, an exponent, or an explicit
+    /// `f32`/`f64` suffix. `1..n` ranges and tuple indices stay integers.
+    fn number(&mut self, line: u32) {
+        let mut is_float = false;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('b') | Some('o')) {
+            // Radix literal: never a float; consume prefix + digits.
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_hexdigit() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            self.digits();
+            if self.peek(0) == Some('.') {
+                let after = self.peek(1);
+                let fractional = match after {
+                    Some(c) if c.is_ascii_digit() => true,
+                    // `1.` is a float; `1..n` is a range; `1.pow()` is a call.
+                    Some('.') => false,
+                    Some(c) if c.is_alphabetic() || c == '_' => false,
+                    _ => true,
+                };
+                if fractional {
+                    is_float = true;
+                    self.bump();
+                    self.digits();
+                }
+            }
+            if matches!(self.peek(0), Some('e') | Some('E')) {
+                let (sign, digit) = (self.peek(1), self.peek(2));
+                let exponent = match sign {
+                    Some(c) if c.is_ascii_digit() => true,
+                    Some('+') | Some('-') => matches!(digit, Some(d) if d.is_ascii_digit()),
+                    _ => false,
+                };
+                if exponent {
+                    is_float = true;
+                    self.bump();
+                    if matches!(self.peek(0), Some('+') | Some('-')) {
+                        self.bump();
+                    }
+                    self.digits();
+                }
+            }
+        }
+        // Type suffix (f64, u32, usize, ...) — an `f` suffix marks a float.
+        let suffix_start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let suffix: String = self.chars[suffix_start..self.pos].iter().collect();
+        if suffix == "f32" || suffix == "f64" {
+            is_float = true;
+        }
+        self.push(
+            if is_float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+            line,
+        );
+    }
+
+    fn digits(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_digit() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier — unless it is the prefix of a raw/byte string
+    /// (`r"`, `r#"`, `b"`, `br#"`), which must be consumed as a string so
+    /// its contents can't leak tokens.
+    fn ident_or_raw_string(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let name: String = self.chars[start..self.pos].iter().collect();
+        if name == "r" || name == "b" || name == "br" {
+            let mut hashes = 0usize;
+            while self.peek(hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(hashes) == Some('"') {
+                if name == "b" && hashes == 0 {
+                    // Byte string b"..." uses plain escape rules.
+                    self.bump();
+                    self.string_body();
+                } else {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes);
+                }
+                return;
+            }
+        }
+        self.push(TokenKind::Ident(name.into_boxed_str()), line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let src = r##"
+            // HashMap in a line comment
+            /// HashMap in a doc comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap::new()";
+            let r = r#"unwrap() "quoted" HashMap"#;
+            let b = b"HashMap";
+            let ok = real_ident;
+        "##;
+        assert_eq!(
+            idents(src),
+            vec![
+                "let",
+                "s",
+                "let",
+                "r",
+                "let",
+                "b",
+                "let",
+                "ok",
+                "real_ident"
+            ]
+        );
+    }
+
+    #[test]
+    fn float_literals_are_distinguished_from_ints_and_ranges() {
+        let kinds: Vec<TokenKind> = lex("1.0 2 3e-4 0x1f 1..5 x.0 7f64 8u32")
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect();
+        use TokenKind::*;
+        assert_eq!(
+            kinds,
+            vec![
+                Float,
+                Int,
+                Float,
+                Int,
+                Int,
+                Punct('.'),
+                Punct('.'),
+                Int,
+                Ident("x".into()),
+                Punct('.'),
+                Int,
+                Float,
+                Int,
+            ]
+        );
+    }
+
+    #[test]
+    fn eqeq_and_noteq_are_single_tokens_with_lines() {
+        let toks = lex("a == b\nc != 1.0").tokens;
+        assert_eq!(toks[1].kind, TokenKind::EqEq);
+        assert_eq!(toks[1].line, 1);
+        assert_eq!(toks[4].kind, TokenKind::NotEq);
+        assert_eq!(toks[4].line, 2);
+        assert_eq!(toks[5].kind, TokenKind::Float);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_do_not_swallow_code() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'z'; let n = '\\n'; after() }";
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn waiver_comments_are_collected_with_lines() {
+        let src = "let x = 1;\n// lint:allow(DET002: timing capture)\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].line, 2);
+        assert_eq!(lexed.waivers[0].text, "lint:allow(DET002: timing capture)");
+    }
+
+    #[test]
+    fn doc_comments_never_carry_waivers() {
+        let src = "/// lint:allow(DET001: doc mention)\n\
+                   //! lint:allow(DET002: inner doc mention)\n\
+                   /** lint:allow(DET003: block doc mention) */\n\
+                   // lint:allow(DET004: a real waiver)\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.waivers.len(), 1);
+        assert_eq!(lexed.waivers[0].line, 4);
+    }
+
+    #[test]
+    fn unterminated_string_ends_cleanly_at_eof() {
+        let lexed = lex("let s = \"never closed");
+        assert_eq!(lexed.tokens.len(), 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! The `waterwise-lint` binary: walk the workspace's `.rs` files, enforce
+//! the determinism rules, print `path:line: DET00N message` diagnostics,
+//! and optionally emit the machine-readable JSON report CI archives.
+//!
+//! ```text
+//! waterwise-lint [--deny] [--json PATH] [--root DIR] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings present without `--deny`), `1` at
+//! least one unwaived finding under `--deny`, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use waterwise_lint::{lint_workspace, RuleId};
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => match args.next() {
+                Some(path) => json = Some(PathBuf::from(path)),
+                None => return usage("--json requires a path"),
+            },
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => return usage("--root requires a directory"),
+            },
+            "--list-rules" => {
+                for rule in RuleId::DET_RULES {
+                    println!("{}  {}", rule.code(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("waterwise-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in report.active() {
+        println!("{}", finding.render());
+    }
+    let active = report.active_count();
+    eprintln!(
+        "waterwise-lint: {} files scanned, {} finding{} ({} waived with reasons)",
+        report.files,
+        active,
+        if active == 1 { "" } else { "s" },
+        report.waived_count()
+    );
+    if let Some(path) = json {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("waterwise-lint: cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("waterwise-lint: JSON report written to {}", path.display());
+    }
+    if deny && active > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!(
+        "waterwise-lint: {problem}\n\
+         usage: waterwise-lint [--deny] [--json PATH] [--root DIR] [--list-rules]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,240 @@
+//! Fixture battery for the determinism lint: every DET rule has at least
+//! one positive and one negative fixture, the waiver grammar edge cases
+//! (missing reason, unknown rule id, stale waiver) are findings in their
+//! own right, and every diagnostic is pinned to its exact `path:line`.
+//!
+//! The fixtures live under `tests/fixtures/` — a directory the workspace
+//! walker deliberately skips, so the seeded violations never pollute the
+//! real `waterwise-lint --deny` run that CI enforces.
+
+use std::path::{Path, PathBuf};
+use waterwise_lint::{lint_paths, lint_workspace, Report, ScopeMode};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// Lint a single fixture with every rule in scope (fixtures live outside
+/// the real crate paths, so the workspace scoping would mask them).
+fn lint_fixture(name: &str) -> Report {
+    lint_paths(&fixture_root(), &[name.to_string()], ScopeMode::Everywhere)
+        .expect("fixture file reads")
+}
+
+/// Active (unwaived) findings rendered in the `path:line: CODE message`
+/// diagnostic shape, in report order.
+fn active_lines(report: &Report) -> Vec<String> {
+    report.active().map(|f| f.render()).collect()
+}
+
+/// Assert each active finding against its exact `path:line: CODE` anchor.
+fn assert_anchors(report: &Report, expected: &[&str]) {
+    let lines = active_lines(report);
+    assert_eq!(
+        lines.len(),
+        expected.len(),
+        "finding count mismatch: {lines:#?}"
+    );
+    for (line, anchor) in lines.iter().zip(expected) {
+        assert!(
+            line.starts_with(anchor),
+            "expected a finding anchored at `{anchor}`, got `{line}`"
+        );
+    }
+}
+
+#[test]
+fn det001_catches_hash_iteration_at_exact_lines() {
+    let report = lint_fixture("det001_hash_iteration.rs");
+    assert_anchors(
+        &report,
+        &[
+            "det001_hash_iteration.rs:4: DET001 ",
+            "det001_hash_iteration.rs:5: DET001 ",
+        ],
+    );
+    let lines = active_lines(&report);
+    assert!(lines[0].contains("`HashMap`"), "{}", lines[0]);
+    assert!(lines[1].contains("`HashSet`"), "{}", lines[1]);
+}
+
+#[test]
+fn det001_passes_ordered_containers() {
+    assert_anchors(&lint_fixture("det001_btree_clean.rs"), &[]);
+}
+
+#[test]
+fn det002_catches_wall_clock_reads_at_exact_lines() {
+    let report = lint_fixture("det002_wall_clock.rs");
+    assert_anchors(
+        &report,
+        &[
+            "det002_wall_clock.rs:4: DET002 ",
+            "det002_wall_clock.rs:5: DET002 ",
+        ],
+    );
+    let lines = active_lines(&report);
+    assert!(lines[0].contains("`Instant::now()`"), "{}", lines[0]);
+    assert!(lines[1].contains("`SystemTime::now()`"), "{}", lines[1]);
+}
+
+#[test]
+fn det002_accepts_a_reasoned_waiver() {
+    let report = lint_fixture("det002_waived.rs");
+    assert_anchors(&report, &[]);
+    assert_eq!(report.waived_count(), 1);
+    let waived: Vec<_> = report
+        .findings
+        .iter()
+        .filter_map(|f| f.waived.as_deref())
+        .collect();
+    assert_eq!(
+        waived,
+        ["prepare timing capture; scrubbed by without_wall_clock"]
+    );
+}
+
+#[test]
+fn det003_catches_every_panicking_operator_at_exact_lines() {
+    let report = lint_fixture("det003_panics.rs");
+    assert_anchors(
+        &report,
+        &[
+            "det003_panics.rs:4: DET003 ",
+            "det003_panics.rs:5: DET003 ",
+            "det003_panics.rs:7: DET003 ",
+            "det003_panics.rs:9: DET003 ",
+        ],
+    );
+    let lines = active_lines(&report);
+    assert!(lines[0].contains("`.unwrap()`"), "{}", lines[0]);
+    assert!(lines[1].contains("`.expect()`"), "{}", lines[1]);
+    assert!(lines[2].contains("`panic!`"), "{}", lines[2]);
+    assert!(lines[3].contains("`unreachable!`"), "{}", lines[3]);
+}
+
+#[test]
+fn det003_passes_typed_error_handling() {
+    assert_anchors(&lint_fixture("det003_typed_errors.rs"), &[]);
+}
+
+#[test]
+fn det004_catches_parallelism_and_thread_identity_at_exact_lines() {
+    let report = lint_fixture("det004_parallelism.rs");
+    assert_anchors(
+        &report,
+        &[
+            "det004_parallelism.rs:4: DET004 ",
+            "det004_parallelism.rs:8: DET004 ",
+        ],
+    );
+    let lines = active_lines(&report);
+    assert!(
+        lines[0].contains("`available_parallelism()`"),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("`thread::current().id()`"),
+        "{}",
+        lines[1]
+    );
+}
+
+#[test]
+fn det004_passes_a_threaded_through_worker_count() {
+    assert_anchors(&lint_fixture("det004_cached.rs"), &[]);
+}
+
+#[test]
+fn det005_catches_float_equality_at_exact_lines() {
+    let report = lint_fixture("det005_float_eq.rs");
+    assert_anchors(
+        &report,
+        &[
+            "det005_float_eq.rs:4: DET005 ",
+            "det005_float_eq.rs:4: DET005 ",
+        ],
+    );
+    let lines = active_lines(&report);
+    assert!(lines[0].contains("float `==`"), "{}", lines[0]);
+    assert!(lines[1].contains("float `!=`"), "{}", lines[1]);
+}
+
+#[test]
+fn det005_passes_total_cmp() {
+    assert_anchors(&lint_fixture("det005_total_cmp.rs"), &[]);
+}
+
+#[test]
+fn waiver_without_a_reason_is_itself_an_error() {
+    // Both spellings — no colon at all, and a colon with nothing after it —
+    // fail WVR001, and the finding they tried to cover stays active.
+    let report = lint_fixture("waiver_missing_reason.rs");
+    assert_anchors(
+        &report,
+        &[
+            "waiver_missing_reason.rs:4: WVR001 ",
+            "waiver_missing_reason.rs:5: DET003 ",
+            "waiver_missing_reason.rs:9: WVR001 ",
+            "waiver_missing_reason.rs:10: DET003 ",
+        ],
+    );
+    let lines = active_lines(&report);
+    assert!(lines[0].contains("no reason"), "{}", lines[0]);
+}
+
+#[test]
+fn waiver_naming_an_unknown_rule_is_itself_an_error() {
+    let report = lint_fixture("waiver_unknown_rule.rs");
+    assert_anchors(
+        &report,
+        &[
+            "waiver_unknown_rule.rs:4: WVR002 ",
+            "waiver_unknown_rule.rs:5: DET003 ",
+        ],
+    );
+    let lines = active_lines(&report);
+    assert!(lines[0].contains("`DET999`"), "{}", lines[0]);
+}
+
+#[test]
+fn stale_waiver_is_itself_an_error() {
+    let report = lint_fixture("waiver_stale.rs");
+    assert_anchors(&report, &["waiver_stale.rs:4: WVR003 "]);
+    let lines = active_lines(&report);
+    assert!(lines[0].contains("stale waiver"), "{}", lines[0]);
+}
+
+#[test]
+fn test_code_is_masked_entirely() {
+    let report = lint_fixture("test_code_masked.rs");
+    assert_anchors(&report, &[]);
+    assert_eq!(report.findings.len(), 0, "test code must produce nothing");
+}
+
+/// The acceptance gate itself, as a test: the real workspace lints clean,
+/// and every waiver that suppresses a finding carries a reason.
+#[test]
+fn workspace_lints_clean_with_reasoned_waivers() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = lint_workspace(&root).expect("workspace lints");
+    let active: Vec<String> = active_lines(&report);
+    assert!(
+        active.is_empty(),
+        "unwaived findings:\n{}",
+        active.join("\n")
+    );
+    for finding in &report.findings {
+        let reason = finding.waived.as_deref().unwrap_or_default();
+        assert!(
+            !reason.trim().is_empty(),
+            "waived finding without a reason: {}",
+            finding.render()
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! DET001 negative: ordered containers iterate deterministically.
+
+fn carried_assignments() {
+    let carried = std::collections::BTreeMap::<u64, u32>::new();
+    let mut seen = std::collections::BTreeSet::<u64>::new();
+    for (job, region) in &carried {
+        seen.insert(*job + u64::from(*region));
+    }
+}

@@ -1,0 +1,7 @@
+//! DET002 negative: a scrubbed timing capture carries its waiver.
+
+fn timed() -> f64 {
+    // lint:allow(DET002: prepare timing capture; scrubbed by without_wall_clock)
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+//! DET002 positive: raw wall-clock reads with no scrub-site waiver.
+
+fn stamp() -> (std::time::Instant, std::time::SystemTime) {
+    let started = std::time::Instant::now();
+    let stamped = std::time::SystemTime::now();
+    (started, stamped)
+}

@@ -1,0 +1,10 @@
+//! DET003 positive: panicking operators in engine code.
+
+fn drain(queue: &mut Vec<u32>) -> u32 {
+    let head = queue.pop().unwrap();
+    let next = queue.last().expect("non-empty");
+    if head > *next {
+        panic!("inverted order");
+    }
+    unreachable!("drain never falls through");
+}

@@ -1,0 +1,8 @@
+//! DET003 negative: typed errors instead of panics.
+
+fn drain(queue: &mut Vec<u32>) -> Result<u32, String> {
+    let Some(head) = queue.pop() else {
+        return Err("empty queue".to_string());
+    };
+    Ok(head)
+}

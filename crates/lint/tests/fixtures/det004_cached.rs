@@ -1,0 +1,5 @@
+//! DET004 negative: the worker count is decided once and threaded through.
+
+fn shard(workers: usize, tasks: usize) -> usize {
+    tasks.div_ceil(workers.max(1))
+}

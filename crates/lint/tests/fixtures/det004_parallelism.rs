@@ -1,0 +1,9 @@
+//! DET004 positive: per-call parallelism and thread-identity reads.
+
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn shard_by_thread() -> bool {
+    format!("{:?}", std::thread::current().id()).len() % 2 == 0
+}

@@ -1,0 +1,5 @@
+//! DET005 positive: float equality in accounting code.
+
+fn settled(remaining: f64, epsilon: f64) -> bool {
+    remaining == 0.0 || epsilon != 1.0e-9
+}

@@ -1,0 +1,5 @@
+//! DET005 negative: ordered comparison instead of float equality.
+
+fn settled(remaining: f64) -> bool {
+    remaining.total_cmp(&0.0) == std::cmp::Ordering::Equal
+}

@@ -1,0 +1,15 @@
+//! Test-mask fixture: panicking asserts are fine inside test code.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert_eq!(m.get(&1).copied().unwrap_or(super::double(1)), 2);
+        Vec::<u32>::new().pop().unwrap();
+    }
+}

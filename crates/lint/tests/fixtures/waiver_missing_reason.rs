@@ -1,0 +1,11 @@
+//! WVR001 fixture: waivers that fail to justify themselves.
+
+fn noisy(queue: &mut Vec<u32>) -> u32 {
+    // lint:allow(DET003)
+    queue.pop().unwrap()
+}
+
+fn louder(queue: &mut Vec<u32>) -> u32 {
+    // lint:allow(DET003:)
+    queue.pop().unwrap()
+}

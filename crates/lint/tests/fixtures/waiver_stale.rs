@@ -1,0 +1,6 @@
+//! WVR003 fixture: a waiver that outlived its violation.
+
+fn quiet(queue: &mut Vec<u32>) -> Option<u32> {
+    // lint:allow(DET003: the queue is checked non-empty by the caller)
+    queue.pop()
+}

@@ -1,0 +1,6 @@
+//! WVR002 fixture: a waiver naming a rule that does not exist.
+
+fn noisy(queue: &mut Vec<u32>) -> u32 {
+    // lint:allow(DET999: trust me)
+    queue.pop().unwrap()
+}

@@ -42,9 +42,29 @@ use crate::model::{Direction, Model, Sense, VarKind};
 use crate::simplex::SimplexConfig;
 use crate::solution::{Solution, SolveStatus};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A cache shard: fingerprint key → exact-variant bucket. A `BTreeMap` by
+/// the DET001 discipline — the capacity-eviction scan iterates the shard,
+/// and hash order must never pick the victim (stamps break ties exactly,
+/// but the scan order itself stays deterministic this way).
+type Shard = BTreeMap<u64, Vec<CacheEntry>>;
+
+/// Read-lock a shard, recovering from poisoning. A poisoned shard only
+/// means another thread panicked while holding the lock; entries are
+/// inserted whole under the write guard, so the map is still structurally
+/// sound and serving slightly-stale cache state beats propagating a panic
+/// into every sibling campaign (DET003).
+fn read_shard(lock: &RwLock<Shard>) -> RwLockReadGuard<'_, Shard> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock a shard, recovering from poisoning (see [`read_shard`]).
+fn write_shard(lock: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A shareable, thread-safe handle to a [`SolutionCache`].
 pub type SolutionCacheHandle = Arc<SolutionCache>;
@@ -359,7 +379,7 @@ struct CacheEntry {
 /// ```
 #[derive(Debug)]
 pub struct SolutionCache {
-    shards: Vec<RwLock<HashMap<u64, Vec<CacheEntry>>>>,
+    shards: Vec<RwLock<Shard>>,
     shard_capacity: usize,
     stamp: AtomicU64,
     exact_hits: AtomicUsize,
@@ -387,7 +407,7 @@ impl SolutionCache {
     pub fn with_capacity(capacity: usize) -> Self {
         let shard_capacity = capacity.div_ceil(SHARDS).max(1);
         Self {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::new())).collect(),
             shard_capacity,
             stamp: AtomicU64::new(0),
             exact_hits: AtomicUsize::new(0),
@@ -409,16 +429,13 @@ impl SolutionCache {
         SolutionCache::new().into_handle()
     }
 
-    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, Vec<CacheEntry>>> {
+    fn shard(&self, key: u64) -> &RwLock<Shard> {
         &self.shards[(key as usize) & (SHARDS - 1)]
     }
 
     /// Probe the cache. Read-locks a single shard.
     pub fn lookup(&self, fingerprint: ModelFingerprint) -> CacheLookup {
-        let shard = self
-            .shard(fingerprint.key)
-            .read()
-            .expect("cache shard lock");
+        let shard = read_shard(self.shard(fingerprint.key));
         let result = match shard.get(&fingerprint.key) {
             Some(bucket) => {
                 if let Some(entry) = bucket.iter().find(|e| e.exact == fingerprint.exact) {
@@ -457,10 +474,7 @@ impl SolutionCache {
             values: solution.values.clone(),
             stamp,
         };
-        let mut shard = self
-            .shard(fingerprint.key)
-            .write()
-            .expect("cache shard lock");
+        let mut shard = write_shard(self.shard(fingerprint.key));
         let mut evicted = false;
         let bucket = shard.entry(fingerprint.key).or_default();
         if let Some(existing) = bucket.iter_mut().find(|e| e.exact == fingerprint.exact) {
@@ -489,15 +503,15 @@ impl SolutionCache {
                         .min_by_key(|&(_, _, s)| s)
                         .map(|(k, i, _)| (k, i))
                     {
-                        let emptied = {
-                            let bucket = shard.get_mut(&key).expect("bucket exists");
+                        // The key was just found by the scan above; a miss
+                        // here only skips one eviction (DET003: no panic).
+                        if let Some(bucket) = shard.get_mut(&key) {
                             bucket.remove(index);
-                            bucket.is_empty()
-                        };
-                        if emptied {
-                            shard.remove(&key);
+                            if bucket.is_empty() {
+                                shard.remove(&key);
+                            }
+                            evicted = true;
                         }
-                        evicted = true;
                     }
                 }
             }
@@ -514,13 +528,7 @@ impl SolutionCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.read()
-                    .expect("cache shard lock")
-                    .values()
-                    .map(Vec::len)
-                    .sum::<usize>()
-            })
+            .map(|s| read_shard(s).values().map(Vec::len).sum::<usize>())
             .sum()
     }
 
@@ -537,7 +545,7 @@ impl SolutionCache {
     /// Drop every cached entry (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().expect("cache shard lock").clear();
+            write_shard(shard).clear();
         }
     }
 

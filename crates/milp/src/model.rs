@@ -536,6 +536,7 @@ impl Model {
         let (direction, objective) = self
             .objective
             .as_ref()
+            // lint:allow(DET003: lp_solution is private and only reachable through solve, which errors on a missing objective before building the LP)
             .expect("build_lp already required an objective");
         match outcome {
             SimplexOutcome::Optimal {
