@@ -170,8 +170,9 @@ pub fn validate_scenarios(names: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
-/// The scenario files the fig binaries load by default, in fig order.
-pub const SCENARIO_NAMES: [&str; 4] = ["fig05", "fig08", "fig14", "fig17"];
+/// The golden-snapshotted scenarios: the fig binaries' defaults in fig
+/// order, plus the multi-session host scenario pinned over live TCP.
+pub const SCENARIO_NAMES: [&str; 5] = ["fig05", "fig08", "fig14", "fig17", "server_multi"];
 
 // ---------------------------------------------------------------------------
 // Fig. 1 — carbon intensity and EWIF per energy source
@@ -1199,6 +1200,147 @@ pub fn fig17_service(scenario: &Scenario) -> Vec<Table> {
         table.row(&[
             clock_label.to_string(),
             engine.label(),
+            report.accepted.to_string(),
+            fmt2(wall),
+            fmt2(report.accepted as f64 / wall.max(1e-9)),
+            report.served.to_string(),
+            fmt2(percentile(&latencies, 50.0)),
+            fmt2(percentile(&latencies, 95.0)),
+            fmt2(percentile(&latencies, 99.0)),
+            "yes".to_string(),
+        ]);
+    }
+
+    // The multi-session cell: the same workload split round-robin across
+    // four concurrent tenant clients multiplexed onto ONE persistent engine
+    // run (streaming admission, deficit-round-robin drain). "identical"
+    // here is the journal contract: the admission journal of the live
+    // concurrent run replays offline to the byte-identical schedule.
+    {
+        use waterwise_service::{AdmissionConfig, AdmissionMode, ClusterHost, TcpClusterServer};
+
+        const SESSIONS: usize = 4;
+        let engine = EngineMode::Pipelined { workers: 2 };
+        let service = PlacementService::new(
+            ServiceConfig::new(simulation.clone().with_engine_mode(engine), telemetry)
+                .with_clock(ClockMode::Discrete),
+        )
+        .expect("valid service config");
+        let host = ClusterHost::start_with_service(
+            service,
+            AdmissionConfig {
+                tenant_inflight_quota: jobs.len().max(1),
+                mode: AdmissionMode::Streaming {
+                    close_after_sessions: Some(SESSIONS),
+                },
+                ..AdmissionConfig::default()
+            },
+            make_scheduler(),
+        )
+        .expect("host must start");
+        let server = TcpClusterServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound address");
+        let streams: Vec<Vec<&JobSpec>> = (0..SESSIONS)
+            .map(|s| jobs.iter().skip(s).step_by(SESSIONS).collect())
+            .collect();
+
+        let session_started = Instant::now();
+        let latencies: Vec<f64> = std::thread::scope(|scope| {
+            let serving = scope.spawn(|| server.serve_sessions(&host, SESSIONS));
+            let clients: Vec<_> = streams
+                .iter()
+                .enumerate()
+                .map(|(s, stream)| {
+                    scope.spawn(move || {
+                        let socket = TcpStream::connect(addr).expect("connect to service");
+                        let mut writer = socket.try_clone().expect("clone stream");
+                        let send_times = std::sync::Mutex::new(std::collections::HashMap::<
+                            u64,
+                            Instant,
+                        >::with_capacity(
+                            stream.len()
+                        ));
+                        std::thread::scope(|inner| {
+                            let send_times = &send_times;
+                            let reader = inner.spawn(move || {
+                                let mut latencies: Vec<f64> = Vec::with_capacity(stream.len());
+                                for line in BufReader::new(socket).lines() {
+                                    let line = line.expect("read response line");
+                                    let Some(id) = waterwise_service::wire::placement_job_id(&line)
+                                    else {
+                                        continue;
+                                    };
+                                    if let Some(sent) =
+                                        send_times.lock().expect("send-time map lock").remove(&id)
+                                    {
+                                        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                                    }
+                                }
+                                latencies
+                            });
+                            for spec in stream.iter() {
+                                send_times
+                                    .lock()
+                                    .expect("send-time map lock")
+                                    .insert(spec.id.0, Instant::now());
+                                writeln!(
+                                    writer,
+                                    "{}",
+                                    waterwise_service::wire::encode_tenant_request(
+                                        &format!("tenant-{s}"),
+                                        spec
+                                    )
+                                )
+                                .expect("send request");
+                            }
+                            writer.flush().expect("flush requests");
+                            stream_half_close(&writer);
+                            let latencies = reader.join().expect("response reader panicked");
+                            assert_eq!(
+                                latencies.len(),
+                                stream.len(),
+                                "tenant-{s}: every request must be placed"
+                            );
+                            latencies
+                        })
+                    })
+                })
+                .collect();
+            let latencies = clients
+                .into_iter()
+                .flat_map(|c| c.join().expect("client panicked"))
+                .collect();
+            serving
+                .join()
+                .expect("server panicked")
+                .expect("sessions must serve");
+            latencies
+        });
+        let wall = session_started.elapsed().as_secs_f64();
+        let report = host.shutdown().expect("host shutdown");
+        assert_eq!(report.accepted, jobs.len(), "every request admitted");
+        assert_eq!(report.served, jobs.len(), "every placement delivered");
+
+        // journal == replay: the concurrent run's admission journal,
+        // replayed offline on a fresh engine, reproduces the schedule
+        // byte for byte.
+        let replay_service = PlacementService::new(
+            ServiceConfig::new(simulation.clone(), telemetry).with_clock(ClockMode::Discrete),
+        )
+        .expect("valid service config");
+        let replay = report
+            .journal
+            .replay(&replay_service, make_scheduler().as_mut())
+            .expect("journal must replay");
+        assert_eq!(
+            report.report.outcomes, replay.report.report.outcomes,
+            "offline journal replay diverged from the live multi-session run"
+        );
+        assert_eq!(report.schedule_digest(), replay.schedule_digest());
+
+        table.row(&[
+            "discrete".to_string(),
+            format!("{} x{SESSIONS} sessions", engine.label()),
             report.accepted.to_string(),
             fmt2(wall),
             fmt2(report.accepted as f64 / wall.max(1e-9)),

@@ -228,6 +228,149 @@ fn fig17_scenario_online_sessions_match_offline_golden() {
     assert_snapshot(&snapshots_dir(), "fig17", &snap.render());
 }
 
+#[test]
+fn server_multi_scenario_live_tcp_sessions_match_golden() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use waterwise_cluster::ClockMode;
+    use waterwise_core::build_scheduler;
+    use waterwise_service::{
+        wire, AdmissionConfig, AdmissionMode, ClusterHost, PlacementService, ServiceConfig,
+        TcpClusterServer,
+    };
+    use waterwise_sustain::FootprintEstimator;
+    use waterwise_traces::TraceGenerator;
+
+    let scenario = load("server_multi");
+    let jobs = TraceGenerator::new(scenario.config.trace.clone()).generate();
+    let simulation = scenario.config.simulation.clone();
+    let telemetry = scenario.config.telemetry;
+    // Round-robin split across four tenant streams — a pure function of the
+    // trace, independent of any live-run race.
+    let tenants = ["tenant-a", "tenant-b", "tenant-c", "tenant-d"];
+    let streams: Vec<Vec<_>> = (0..tenants.len())
+        .map(|t| {
+            jobs.iter()
+                .skip(t)
+                .step_by(tenants.len())
+                .cloned()
+                .collect()
+        })
+        .collect();
+
+    let make_service = |engine| {
+        PlacementService::new(
+            ServiceConfig::new(simulation.clone().with_engine_mode(engine), telemetry)
+                .with_clock(ClockMode::Discrete),
+        )
+        .expect("valid service config")
+    };
+    let make_scheduler = |service: &PlacementService| {
+        build_scheduler(
+            SchedulerKind::WaterWise,
+            service.telemetry(),
+            FootprintEstimator::new(simulation.datacenter),
+            &scenario.config.waterwise,
+            None,
+        )
+    };
+
+    // Gated admission: every request is held until all four sessions end,
+    // then released in canonical (submit_time, tenant, id) order — the
+    // merged schedule cannot depend on accept order or interleaving, which
+    // is what makes a live multi-session TCP run goldenable at all.
+    let admission = AdmissionConfig {
+        tenant_inflight_quota: jobs.len().max(1),
+        mode: AdmissionMode::Gated {
+            sessions: tenants.len(),
+        },
+        ..AdmissionConfig::default()
+    };
+
+    let mut reference: Option<String> = None;
+    for engine in [EngineMode::Sync, EngineMode::Pipelined { workers: 2 }] {
+        let service = make_service(engine);
+        let scheduler = make_scheduler(&service);
+        let host = ClusterHost::start_with_service(service, admission.clone(), scheduler)
+            .expect("host must start");
+        let server = TcpClusterServer::bind("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.local_addr().expect("bound address");
+        std::thread::scope(|scope| {
+            let serving = scope.spawn(|| server.serve_sessions(&host, tenants.len()));
+            let clients: Vec<_> = tenants
+                .iter()
+                .zip(&streams)
+                .map(|(tenant, stream)| {
+                    scope.spawn(move || {
+                        let mut socket = TcpStream::connect(addr).expect("connect");
+                        let reader = BufReader::new(socket.try_clone().expect("clone stream"));
+                        for spec in stream {
+                            writeln!(socket, "{}", wire::encode_tenant_request(tenant, spec))
+                                .expect("send request");
+                        }
+                        socket.flush().expect("flush requests");
+                        let _ = socket.shutdown(std::net::Shutdown::Write);
+                        reader
+                            .lines()
+                            .filter_map(|l| wire::placement_job_id(&l.expect("read line")))
+                            .count()
+                    })
+                })
+                .collect();
+            for (client, stream) in clients.into_iter().zip(&streams) {
+                assert_eq!(
+                    client.join().expect("client panicked"),
+                    stream.len(),
+                    "every request of every tenant must be placed"
+                );
+            }
+            serving.join().expect("server panicked").expect("sessions");
+        });
+        let report = host.shutdown().expect("host shutdown");
+        assert_eq!(report.accepted, jobs.len());
+        assert_eq!(report.served, jobs.len());
+        assert_eq!(report.sessions, tenants.len());
+
+        // journal == replay, byte for byte: the live run's admission
+        // journal replayed offline reproduces the schedule exactly.
+        let replay_service = make_service(EngineMode::Sync);
+        let mut replay_scheduler = make_scheduler(&replay_service);
+        let replay = report
+            .journal
+            .replay(&replay_service, replay_scheduler.as_mut())
+            .expect("journal must replay");
+        assert_eq!(
+            report.report.outcomes, replay.report.report.outcomes,
+            "offline journal replay diverged from the live multi-session run"
+        );
+        assert_eq!(report.schedule_digest(), replay.schedule_digest());
+
+        let mut snap = Snapshot::new();
+        snap.add_summary("host", &report.report.summary);
+        snap.add_schedule("host", &report.report.outcomes);
+        snap.entry("host.sessions", report.sessions);
+        snap.entry("host.accepted", report.accepted);
+        for (tenant, stats) in &report.tenants {
+            snap.entry(format!("tenant.{tenant}.served"), stats.served);
+        }
+        let rendered = snap.render();
+        match &reference {
+            None => reference = Some(rendered),
+            Some(expected) => assert_eq!(
+                expected,
+                &rendered,
+                "multi-session run diverged between engines ({})",
+                engine.label()
+            ),
+        }
+    }
+    assert_snapshot(
+        &snapshots_dir(),
+        "server_multi",
+        &reference.expect("at least one engine ran"),
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Determinism sweep: engine mode × warm/cold × cache mode, per scenario
 // ---------------------------------------------------------------------------

@@ -619,6 +619,37 @@ impl<P: ConditionsProvider> Simulator<P> {
         online::run_online(self, scheduler, arrivals, placements, clock)
     }
 
+    /// Run one online campaign whose arrivals carry caller-allocated
+    /// low-band sequence numbers ([`online::SequencedJob`]) instead of
+    /// receipt-order ones.
+    ///
+    /// [`Simulator::run_online`] breaks exact-timestamp ties by receipt
+    /// order, which is fine for a single ingestion thread but racy when a
+    /// multi-session admission layer funnels concurrent tenants into one
+    /// engine: whichever session's submission happened to win the queue
+    /// would win the tie, and the schedule would depend on thread timing.
+    /// Here the admission layer allocates each arrival's sequence itself —
+    /// e.g. `waterwise-service` partitions the band per session
+    /// (`session << 32 | request index`) — so tie order is a pure function
+    /// of the allocated sequences and the identical schedule is reproduced
+    /// by re-injecting the journaled `(spec, seq)` pairs in any order.
+    ///
+    /// Sequences must be unique and strictly below
+    /// [`online::ONLINE_ARRIVAL_SEQ_LIMIT`]; violations fail the run with
+    /// [`SimulationError::ArrivalSeqOutOfBand`] /
+    /// [`SimulationError::ArrivalSeqReused`]. Everything else — clock
+    /// pacing, the watermark rule, monotone stamps, engine modes — behaves
+    /// exactly as in [`Simulator::run_online`].
+    pub fn run_online_sequenced(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        arrivals: std::sync::mpsc::Receiver<online::SequencedJob>,
+        placements: std::sync::mpsc::SyncSender<online::PlacementNotice>,
+        clock: clock::ClockMode,
+    ) -> Result<online::OnlineReport, SimulationError> {
+        online::run_online_sequenced(self, scheduler, arrivals, placements, clock)
+    }
+
     /// The conditions provider the engine accounts footprints with.
     pub fn provider(&self) -> &P {
         &self.provider

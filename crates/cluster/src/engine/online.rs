@@ -51,7 +51,8 @@ use crate::config::EngineMode;
 use crate::error::SimulationError;
 use crate::metrics::{CampaignSummary, JobOutcome, OverheadSample, PipelineStats};
 use crate::scheduler::{Scheduler, SchedulingContext, SolverActivity};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::collections::BTreeSet;
+use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SyncSender, TryRecvError};
 use std::time::{Duration, Instant};
 use waterwise_sustain::Seconds;
 use waterwise_telemetry::{ConditionsProvider, Region};
@@ -63,6 +64,19 @@ use waterwise_traces::{JobId, JobSpec};
 /// band — the ordering an offline replay produces by pushing all arrivals
 /// first. 2^48 events is far beyond any campaign; the bands cannot collide.
 pub(crate) const ONLINE_ROUND_SEQ_BASE: u64 = 1 << 48;
+
+/// Exclusive upper bound of the low (arrival) sequence band for
+/// caller-sequenced online runs ([`Simulator::run_online_sequenced`]).
+/// Every caller-allocated arrival sequence must be strictly below this
+/// value or the arrival would collide with the round/decision band and the
+/// run is rejected with [`SimulationError::ArrivalSeqOutOfBand`].
+///
+/// The admission layer in `waterwise-service` partitions this band per
+/// session (`session << 32 | request`), which makes exact-timestamp tie
+/// order a pure function of `(session, request index)` — independent of
+/// the physical interleaving in which concurrent sessions reached the
+/// engine.
+pub const ONLINE_ARRIVAL_SEQ_LIMIT: u64 = ONLINE_ROUND_SEQ_BASE;
 
 /// How long the staged (pipelined) online driver waits on the solver-stage
 /// response channel between ingestion sweeps while a solve is in flight.
@@ -98,6 +112,25 @@ pub struct PlacementNotice {
     pub solver: Option<SolverActivity>,
 }
 
+/// A job injected into a caller-sequenced online run
+/// ([`Simulator::run_online_sequenced`]) together with its caller-allocated
+/// low-band arrival sequence.
+///
+/// The sequence is the exact-timestamp tie-breaker: on equal submit times
+/// the arrival with the smaller `seq` orders first, regardless of the
+/// physical order in which the injections reached the engine. Sequences
+/// must be unique across the run and strictly below
+/// [`ONLINE_ARRIVAL_SEQ_LIMIT`]; they need not be contiguous or arrive in
+/// order (the admission layer may hand out per-session bands).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencedJob {
+    /// The injected request.
+    pub spec: JobSpec,
+    /// Caller-allocated low-band arrival sequence
+    /// (`< ONLINE_ARRIVAL_SEQ_LIMIT`, unique per run).
+    pub seq: u64,
+}
+
 /// The result of one online campaign.
 #[derive(Debug, Clone)]
 pub struct OnlineReport {
@@ -108,6 +141,12 @@ pub struct OnlineReport {
     /// were stamped with — replaying this trace through
     /// [`Simulator::run`] reproduces [`OnlineReport::report`]'s schedule
     /// byte-identically.
+    ///
+    /// For caller-sequenced runs ([`Simulator::run_online_sequenced`])
+    /// receipt order and sequence order may differ, so an offline replay
+    /// must re-inject the trace through `run_online_sequenced` with the
+    /// same per-arrival sequences (the service's admission journal records
+    /// them) rather than through [`Simulator::run`].
     pub trace: Vec<JobSpec>,
 }
 
@@ -122,12 +161,80 @@ enum SolveBackend<'s> {
     },
 }
 
+/// The arrival source of an online run: either a plain [`JobSpec`] channel
+/// (the driver assigns low-band sequences `0, 1, 2, …` in receipt order) or
+/// a caller-sequenced channel (the caller allocated each arrival's low-band
+/// sequence up front, e.g. from per-session bands).
+enum ArrivalStream {
+    Auto(Receiver<JobSpec>),
+    Sequenced(Receiver<SequencedJob>),
+}
+
+impl ArrivalStream {
+    fn try_recv(&self) -> Result<(JobSpec, Option<u64>), TryRecvError> {
+        match self {
+            ArrivalStream::Auto(rx) => rx.try_recv().map(|spec| (spec, None)),
+            ArrivalStream::Sequenced(rx) => rx.try_recv().map(|job| (job.spec, Some(job.seq))),
+        }
+    }
+
+    fn recv(&self) -> Result<(JobSpec, Option<u64>), RecvError> {
+        match self {
+            ArrivalStream::Auto(rx) => rx.recv().map(|spec| (spec, None)),
+            ArrivalStream::Sequenced(rx) => rx.recv().map(|job| (job.spec, Some(job.seq))),
+        }
+    }
+
+    fn recv_timeout(&self, wait: Duration) -> Result<(JobSpec, Option<u64>), RecvTimeoutError> {
+        match self {
+            ArrivalStream::Auto(rx) => rx.recv_timeout(wait).map(|spec| (spec, None)),
+            ArrivalStream::Sequenced(rx) => {
+                rx.recv_timeout(wait).map(|job| (job.spec, Some(job.seq)))
+            }
+        }
+    }
+}
+
 /// Run one online campaign. See [`Simulator::run_online`] for the public
 /// contract and [`self`] (module docs) for the identity discipline.
 pub(crate) fn run_online<P: ConditionsProvider>(
     sim: &Simulator<P>,
     scheduler: &mut dyn Scheduler,
     arrivals: Receiver<JobSpec>,
+    placements: SyncSender<PlacementNotice>,
+    clock: ClockMode,
+) -> Result<OnlineReport, SimulationError> {
+    run_online_stream(
+        sim,
+        scheduler,
+        ArrivalStream::Auto(arrivals),
+        placements,
+        clock,
+    )
+}
+
+/// Run one caller-sequenced online campaign. See
+/// [`Simulator::run_online_sequenced`] for the public contract.
+pub(crate) fn run_online_sequenced<P: ConditionsProvider>(
+    sim: &Simulator<P>,
+    scheduler: &mut dyn Scheduler,
+    arrivals: Receiver<SequencedJob>,
+    placements: SyncSender<PlacementNotice>,
+    clock: ClockMode,
+) -> Result<OnlineReport, SimulationError> {
+    run_online_stream(
+        sim,
+        scheduler,
+        ArrivalStream::Sequenced(arrivals),
+        placements,
+        clock,
+    )
+}
+
+fn run_online_stream<P: ConditionsProvider>(
+    sim: &Simulator<P>,
+    scheduler: &mut dyn Scheduler,
+    arrivals: ArrivalStream,
     placements: SyncSender<PlacementNotice>,
     clock: ClockMode,
 ) -> Result<OnlineReport, SimulationError> {
@@ -164,14 +271,19 @@ pub(crate) fn run_online<P: ConditionsProvider>(
 struct OnlineDriver<'a, P> {
     sim: &'a Simulator<P>,
     state: SimState,
-    arrivals: Receiver<JobSpec>,
+    arrivals: ArrivalStream,
     placements: SyncSender<PlacementNotice>,
     /// `None` for [`ClockMode::Discrete`], a started clock for `RealTime`.
     clock: Option<SimClock>,
     /// Whether the arrival source can still produce requests.
     open: bool,
-    /// Next low-band sequence number (receipt order of arrivals).
+    /// Next low-band sequence number (receipt order of arrivals), used when
+    /// the stream does not carry caller-allocated sequences.
     arrival_seq: u64,
+    /// Caller-allocated sequences seen so far (sequenced streams only):
+    /// a reused sequence would make the exact-tie order between the twins
+    /// ambiguous, so the run is rejected instead.
+    used_seqs: BTreeSet<u64>,
     /// Largest submit time stamped so far — the `Discrete` watermark.
     last_stamp: f64,
     /// Largest dispatched non-arrival event time: new stamps must exceed it
@@ -186,7 +298,7 @@ struct OnlineDriver<'a, P> {
 impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
     fn new(
         sim: &'a Simulator<P>,
-        arrivals: Receiver<JobSpec>,
+        arrivals: ArrivalStream,
         placements: SyncSender<PlacementNotice>,
         clock: ClockMode,
     ) -> Self {
@@ -205,6 +317,7 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
             clock,
             open: true,
             arrival_seq: 0,
+            used_seqs: BTreeSet::new(),
             last_stamp: f64::NEG_INFINITY,
             committed_time: f64::NEG_INFINITY,
             outcomes: Vec::new(),
@@ -227,8 +340,27 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
     }
 
     /// Admit one injected job: stamp (or validate) its submit time and
-    /// enqueue its arrival from the low sequence band.
-    fn ingest(&mut self, mut spec: JobSpec) -> Result<(), SimulationError> {
+    /// enqueue its arrival from the low sequence band. `seq` is the
+    /// caller-allocated arrival sequence on sequenced streams (validated
+    /// against the band limit and for uniqueness); `None` assigns the next
+    /// receipt-order sequence.
+    fn ingest(&mut self, mut spec: JobSpec, seq: Option<u64>) -> Result<(), SimulationError> {
+        let arrival_seq = match seq {
+            None => {
+                let next = self.arrival_seq;
+                self.arrival_seq += 1;
+                next
+            }
+            Some(seq) => {
+                if seq >= ONLINE_ARRIVAL_SEQ_LIMIT {
+                    return Err(SimulationError::ArrivalSeqOutOfBand { job: spec.id, seq });
+                }
+                if !self.used_seqs.insert(seq) {
+                    return Err(SimulationError::ArrivalSeqReused { job: spec.id, seq });
+                }
+                seq
+            }
+        };
         let floor = self.stamp_floor();
         let stamp = match &self.clock {
             None => {
@@ -248,8 +380,7 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
                 stamp
             }
         };
-        self.state.push_job(spec, self.arrival_seq)?;
-        self.arrival_seq += 1;
+        self.state.push_job(spec, arrival_seq)?;
         self.last_stamp = stamp;
         Ok(())
     }
@@ -259,7 +390,7 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
     fn drain_injections(&mut self) -> Result<(), SimulationError> {
         while self.open {
             match self.arrivals.try_recv() {
-                Ok(spec) => self.ingest(spec)?,
+                Ok((spec, seq)) => self.ingest(spec, seq)?,
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => self.open = false,
             }
@@ -270,7 +401,7 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
     /// Block until the source produces a request (ingested) or closes.
     fn await_source(&mut self) -> Result<(), SimulationError> {
         match self.arrivals.recv() {
-            Ok(spec) => self.ingest(spec),
+            Ok((spec, seq)) => self.ingest(spec, seq),
             Err(_) => {
                 self.open = false;
                 Ok(())
@@ -336,7 +467,7 @@ impl<'a, P: ConditionsProvider> OnlineDriver<'a, P> {
                     Some(clock) => {
                         let wait = clock.wall_until(time);
                         match self.arrivals.recv_timeout(wait) {
-                            Ok(spec) => self.ingest(spec)?,
+                            Ok((spec, seq)) => self.ingest(spec, seq)?,
                             Err(RecvTimeoutError::Timeout) => {}
                             Err(RecvTimeoutError::Disconnected) => self.open = false,
                         }

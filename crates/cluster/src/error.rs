@@ -154,6 +154,27 @@ pub enum SimulationError {
         /// The placed job whose notice had no receiver.
         job: JobId,
     },
+    /// A caller-sequenced online injection carried an arrival sequence at
+    /// or above the round/decision band floor
+    /// ([`crate::ONLINE_ARRIVAL_SEQ_LIMIT`]). Admitting it could make the
+    /// arrival lose exact-timestamp ties against decision events — an
+    /// ordering no offline replay can reproduce — so the run is rejected.
+    ArrivalSeqOutOfBand {
+        /// The rejected job.
+        job: JobId,
+        /// The out-of-band sequence it carried.
+        seq: u64,
+    },
+    /// A caller-sequenced online injection reused an arrival sequence an
+    /// earlier injection already carried. The sequence is the
+    /// exact-timestamp tie-breaker, so a reuse would leave the order
+    /// between the twins ambiguous; the run is rejected instead.
+    ArrivalSeqReused {
+        /// The rejected job.
+        job: JobId,
+        /// The sequence that was already taken.
+        seq: u64,
+    },
 }
 
 impl fmt::Display for SimulationError {
@@ -210,6 +231,19 @@ impl fmt::Display for SimulationError {
                     "placement sink hung up before accepting the notice for {job}"
                 )
             }
+            SimulationError::ArrivalSeqOutOfBand { job, seq } => {
+                write!(
+                    f,
+                    "sequenced online arrival for {job} carries sequence {seq}, \
+                     at or above the arrival band limit"
+                )
+            }
+            SimulationError::ArrivalSeqReused { job, seq } => {
+                write!(
+                    f,
+                    "sequenced online arrival for {job} reuses arrival sequence {seq}"
+                )
+            }
         }
     }
 }
@@ -226,7 +260,9 @@ impl std::error::Error for SimulationError {
             | SimulationError::PipelineCommitOrder { .. }
             | SimulationError::OutOfOrderArrival { .. }
             | SimulationError::MissingCompletionRecord { .. }
-            | SimulationError::PlacementSinkDisconnected { .. } => None,
+            | SimulationError::PlacementSinkDisconnected { .. }
+            | SimulationError::ArrivalSeqOutOfBand { .. }
+            | SimulationError::ArrivalSeqReused { .. } => None,
         }
     }
 }

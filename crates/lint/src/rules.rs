@@ -115,6 +115,19 @@ const SCHEDULE_AFFECTING: &[&str] = &[
     "crates/milp/src/",
 ];
 
+/// Crates that must stay panic-free (DET003): the schedule-affecting set
+/// plus the serving layer — a panic in the multi-session host poisons
+/// shared admission state and takes every tenant's session down with it.
+/// Unordered-map iteration (DET001) stays out of scope for the service:
+/// its maps are response/routing plumbing whose order never reaches a
+/// schedule (the engine orders by `(time, seq)` event keys alone).
+const PANIC_FREE: &[&str] = &[
+    "crates/core/src/",
+    "crates/cluster/src/",
+    "crates/milp/src/",
+    "crates/service/src/",
+];
+
 /// Everything that executes between a request and a committed placement;
 /// bench drivers (which *measure* wall time) and the vendored compat stubs
 /// are deliberately outside.
@@ -150,7 +163,8 @@ fn rule_applies(rule: RuleId, rel_path: &str, mode: ScopeMode) -> bool {
         return true;
     }
     match rule {
-        RuleId::Det001 | RuleId::Det003 => in_scope(SCHEDULE_AFFECTING, rel_path),
+        RuleId::Det001 => in_scope(SCHEDULE_AFFECTING, rel_path),
+        RuleId::Det003 => in_scope(PANIC_FREE, rel_path),
         RuleId::Det002 => in_scope(WALL_CLOCK_SCOPE, rel_path),
         RuleId::Det004 => true,
         RuleId::Det005 => in_scope(FLOAT_EQ_SCOPE, rel_path),
@@ -660,8 +674,24 @@ mod tests {
             check_file("crates/core/src/x.rs", src, ScopeMode::Workspace).len(),
             1
         );
+        // The service is out of DET001's scope (its maps never order a
+        // schedule) ...
         assert_eq!(
             check_file("crates/service/src/x.rs", src, ScopeMode::Workspace).len(),
+            0
+        );
+        // ... but inside DET003's: a panic in the multi-session host takes
+        // every tenant down.
+        let panicky = "fn f(m: &Mutex<u32>) { let g = m.lock().unwrap(); }";
+        assert_eq!(
+            check_file("crates/service/src/x.rs", panicky, ScopeMode::Workspace)
+                .iter()
+                .filter(|f| f.rule.code() == "DET003")
+                .count(),
+            1
+        );
+        assert_eq!(
+            check_file("crates/bench/src/x.rs", panicky, ScopeMode::Workspace).len(),
             0
         );
     }

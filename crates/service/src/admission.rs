@@ -1,0 +1,856 @@
+//! Multi-tenant admission control for the persistent cluster host.
+//!
+//! Every session thread of a [`crate::ClusterHost`] funnels its requests
+//! through one shared admission queue. Admission is where the
+//! multi-tenant policy lives:
+//!
+//! - **Per-tenant in-flight quotas.** A tenant may hold at most
+//!   [`AdmissionConfig::tenant_inflight_quota`] requests that are queued or
+//!   awaiting placement; excess submissions are shed *at submit* with a
+//!   typed [`ServiceError::AdmissionRejected`] (reported in-band on TCP),
+//!   so no tenant can monopolize the engine or starve the queue.
+//! - **Deficit-round-robin drain.** Admitted requests drain into the
+//!   engine tenant-by-tenant, [`AdmissionConfig::drr_quantum`] requests
+//!   per visit, so a flooding tenant interleaves fairly with light ones.
+//! - **Deterministic sequencing.** Each drained request carries an arrival
+//!   sequence from its session's band (`session << 32 | request index`),
+//!   so exact-timestamp tie order in the engine is a pure function of
+//!   `(session, request index)` — independent of which session's thread
+//!   happened to reach the queue first. Submit-time stamps are
+//!   monotonized against the host watermark in drain order, mirroring the
+//!   engine's own discrete-clock floor.
+//! - **Journaling.** Every drained request is appended to the admission
+//!   journal ([`crate::Journal`]) with its sequence and tenant; replaying
+//!   the journal offline reproduces the byte-identical schedule.
+//!
+//! [`AdmissionMode::Gated`] trades liveness for full run-level
+//! determinism: nothing drains until every expected session has ended its
+//! stream, then the whole batch is released in a canonical order
+//! (`(submit_time, tenant, id)`) with sequences `0, 1, 2, …` — the shape
+//! the `server_multi` golden snapshot pins over live TCP, where even
+//! session start order is a race.
+
+use crate::error::ServiceError;
+use crate::journal::{Journal, JournalEntry};
+use crate::request::PlacementResponse;
+use crate::sync::{lock_clean, wait_clean};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use waterwise_cluster::SequencedJob;
+use waterwise_sustain::Seconds;
+use waterwise_traces::{JobId, JobSpec};
+
+/// The name a multi-session host admits and quota-accounts a request
+/// under. Tenants are created on first use; requests without a wire
+/// `tenant` field fall to their session's default tenant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TenantId(String);
+
+impl TenantId {
+    /// Wrap a tenant name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The tenant's name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TenantId {
+    fn from(name: &str) -> Self {
+        Self(name.to_string())
+    }
+}
+
+impl From<String> for TenantId {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
+
+/// When admitted requests drain into the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Drain continuously (deficit round-robin) while sessions stream.
+    /// Exact-tie order is deterministic (session bands); everything else
+    /// about the live schedule is pinned by the admission journal, which
+    /// replays offline to the byte-identical schedule.
+    Streaming {
+        /// Automatically stop admitting — and let the engine drain and the
+        /// host report — once this many sessions have opened *and* every
+        /// one of them has ended its stream. `None` keeps the host alive
+        /// until [`crate::ClusterHost::shutdown`].
+        close_after_sessions: Option<usize>,
+    },
+    /// Hold every request until all `sessions` expected sessions have
+    /// ended their streams, then release the whole batch in canonical
+    /// `(submit_time, tenant, id)` order with sequences `0, 1, 2, …` and
+    /// close. The live schedule is then a pure function of the submitted
+    /// *set* — no race, not even session start order, can perturb it —
+    /// which is what lets a golden snapshot pin a concurrent TCP run.
+    /// This is also the maximal-batching shape: one MILP round sees every
+    /// tenant's jobs at once.
+    Gated {
+        /// Sessions the gate waits for.
+        sessions: usize,
+    },
+}
+
+impl Default for AdmissionMode {
+    fn default() -> Self {
+        AdmissionMode::Streaming {
+            close_after_sessions: None,
+        }
+    }
+}
+
+/// Fairness and batching knobs of the multi-tenant host.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Max requests one tenant may have queued or awaiting placement;
+    /// submissions beyond it are shed with
+    /// [`ServiceError::AdmissionRejected`].
+    pub tenant_inflight_quota: usize,
+    /// Requests drained per tenant per deficit-round-robin visit.
+    pub drr_quantum: usize,
+    /// When admitted requests drain into the engine.
+    pub mode: AdmissionMode,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            tenant_inflight_quota: 64,
+            drr_quantum: 8,
+            mode: AdmissionMode::default(),
+        }
+    }
+}
+
+/// Sessions are dense indices into the admission state's session table —
+/// also the high half of the per-session arrival-sequence band.
+pub(crate) type SessionId = usize;
+
+/// Hard cap on sessions per host run: the arrival band is
+/// `session << 32 | request`, and `2^16 * 2^32` is the whole low band
+/// ([`ONLINE_ARRIVAL_SEQ_LIMIT`] = 2^48).
+const MAX_SESSIONS: usize = 1 << 16;
+/// Requests per session before its band half overflows.
+const MAX_SESSION_REQUESTS: u64 = 1 << 32;
+
+/// One submitted-but-not-yet-drained request.
+#[derive(Debug)]
+struct QueuedRequest {
+    band_seq: u64,
+    spec: JobSpec,
+}
+
+/// Per-tenant accounting.
+#[derive(Debug, Default)]
+struct TenantState {
+    queue: VecDeque<QueuedRequest>,
+    /// Drained into the engine, placement not yet delivered.
+    in_flight: usize,
+    /// Remaining deficit of the current DRR visit.
+    deficit: usize,
+    /// Whether the tenant is in the DRR active list.
+    in_active: bool,
+    accepted: usize,
+    rejected: usize,
+    served: usize,
+}
+
+/// Per-session bookkeeping.
+#[derive(Debug)]
+struct SessionState {
+    /// The session's bounded response outbox; dropped (closing the
+    /// session's writer) once the stream has ended and every outstanding
+    /// request is answered — or immediately when the session dies.
+    sink: Option<SyncSender<PlacementResponse>>,
+    /// Admitted requests not yet answered or dropped.
+    outstanding: usize,
+    /// Requests submitted so far (the band half of the next sequence).
+    submitted: u64,
+    /// The stream ended (EOF / `finish`); no further submissions.
+    ended: bool,
+}
+
+/// Where a placement notice routes back to.
+pub(crate) struct DeliveryRoute {
+    pub(crate) tenant: TenantId,
+    pub(crate) session: SessionId,
+    pub(crate) spec: JobSpec,
+    pub(crate) sink: Option<SyncSender<PlacementResponse>>,
+}
+
+/// Final per-tenant admission statistics, reported by
+/// [`crate::HostReport::tenants`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantReport {
+    /// Requests admitted into the engine.
+    pub accepted: usize,
+    /// Requests shed (duplicates, quota).
+    pub rejected: usize,
+    /// Placement responses delivered.
+    pub served: usize,
+}
+
+#[derive(Default)]
+struct AdmissionState {
+    tenants: BTreeMap<TenantId, TenantState>,
+    /// DRR rotation of tenants with non-empty queues.
+    active: VecDeque<TenantId>,
+    sessions: Vec<SessionState>,
+    /// Sessions whose stream has not ended yet.
+    sessions_open: usize,
+    /// Pending placements by job id (also carries the spec for response
+    /// enrichment).
+    routes: BTreeMap<JobId, (TenantId, SessionId, JobSpec)>,
+    /// Every id ever admitted — host-wide duplicate detection (the
+    /// engine's own id table spans the whole persistent run).
+    seen_ids: BTreeSet<JobId>,
+    /// Largest submit-time stamp drained so far (the discrete watermark).
+    watermark: f64,
+    /// Gated mode: the canonically-ordered batch, once released.
+    release: VecDeque<SequencedJob>,
+    gate_released: bool,
+    /// No further sessions or submissions (shutdown, auto-close, or an
+    /// engine failure).
+    closed: bool,
+    journal: Vec<JournalEntry>,
+    accepted: usize,
+    rejected: usize,
+    served: usize,
+}
+
+/// The shared admission queue of one [`crate::ClusterHost`]. All methods
+/// are `&self` and thread-safe; session threads submit, the host's feeder
+/// thread drains, the host's router thread delivers.
+pub(crate) struct AdmissionQueue {
+    config: AdmissionConfig,
+    state: Mutex<AdmissionState>,
+    /// Signals the feeder (work queued, gate released, closed) — and
+    /// anything waiting on session lifecycle edges.
+    ready: Condvar,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(config: AdmissionConfig) -> Self {
+        Self {
+            config,
+            state: Mutex::new(AdmissionState {
+                watermark: f64::NEG_INFINITY,
+                ..AdmissionState::default()
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Open a session, registering its response outbox. Fails once the
+    /// host is closed, the expected session count was reached, or the
+    /// session band space is exhausted.
+    pub(crate) fn open_session(
+        &self,
+        sink: SyncSender<PlacementResponse>,
+    ) -> Result<SessionId, ServiceError> {
+        let mut state = lock_clean(&self.state);
+        if state.closed {
+            return Err(ServiceError::ServiceStopped);
+        }
+        let opened = state.sessions.len();
+        let expected = match self.config.mode {
+            AdmissionMode::Gated { sessions } => Some(sessions),
+            AdmissionMode::Streaming {
+                close_after_sessions,
+            } => close_after_sessions,
+        };
+        if opened >= MAX_SESSIONS || expected.is_some_and(|n| opened >= n) {
+            return Err(ServiceError::SessionLimit { sessions: opened });
+        }
+        state.sessions.push(SessionState {
+            sink: Some(sink),
+            outstanding: 0,
+            submitted: 0,
+            ended: false,
+        });
+        state.sessions_open += 1;
+        Ok(opened)
+    }
+
+    /// Submit one request under `tenant`. Fail-fast (never blocks): quota
+    /// and duplicate rejections come back as typed errors the session
+    /// reports in-band, and the request is gone.
+    pub(crate) fn submit(
+        &self,
+        session: SessionId,
+        tenant: &TenantId,
+        spec: JobSpec,
+    ) -> Result<(), ServiceError> {
+        validate_spec(&spec)?;
+        let mut state = lock_clean(&self.state);
+        if state.closed {
+            return Err(ServiceError::ServiceStopped);
+        }
+        match state.sessions.get(session) {
+            None => return Err(ServiceError::ServiceStopped),
+            Some(s) if s.ended => return Err(ServiceError::ServiceStopped),
+            Some(s) if s.submitted >= MAX_SESSION_REQUESTS => {
+                return Err(ServiceError::SessionLimit { sessions: session })
+            }
+            Some(_) => {}
+        }
+        if state.seen_ids.contains(&spec.id) {
+            state.rejected += 1;
+            if let Some(t) = state.tenants.get_mut(tenant) {
+                t.rejected += 1;
+            }
+            return Err(ServiceError::DuplicateRequest { id: spec.id });
+        }
+        let quota = self.config.tenant_inflight_quota.max(1);
+        let tenant_state = state.tenants.entry(tenant.clone()).or_default();
+        let in_flight = tenant_state.queue.len() + tenant_state.in_flight;
+        if in_flight >= quota {
+            tenant_state.rejected += 1;
+            state.rejected += 1;
+            return Err(ServiceError::AdmissionRejected {
+                tenant: tenant.as_str().to_string(),
+                in_flight,
+                quota,
+            });
+        }
+        tenant_state.accepted += 1;
+        if !tenant_state.in_active {
+            tenant_state.in_active = true;
+            state.active.push_back(tenant.clone());
+        }
+        state.accepted += 1;
+        state.seen_ids.insert(spec.id);
+        state
+            .routes
+            .insert(spec.id, (tenant.clone(), session, spec.clone()));
+        let k = state.sessions[session].submitted;
+        state.sessions[session].submitted = k + 1;
+        state.sessions[session].outstanding += 1;
+        let band_seq = ((session as u64) << 32) | k;
+        if let Some(tenant_state) = state.tenants.get_mut(tenant) {
+            tenant_state
+                .queue
+                .push_back(QueuedRequest { band_seq, spec });
+        }
+        self.ready.notify_all();
+        Ok(())
+    }
+
+    /// The session's request stream ended (EOF, `finish`, disconnect).
+    /// Idempotent. May release the gate or auto-close the host.
+    pub(crate) fn end_session(&self, session: SessionId) {
+        let mut state = lock_clean(&self.state);
+        let Some(s) = state.sessions.get_mut(session) else {
+            return;
+        };
+        if s.ended {
+            return;
+        }
+        s.ended = true;
+        if s.outstanding == 0 {
+            s.sink = None;
+        }
+        state.sessions_open -= 1;
+        let opened = state.sessions.len();
+        let all_ended = state.sessions_open == 0;
+        match self.config.mode {
+            AdmissionMode::Gated { sessions } => {
+                if all_ended && opened >= sessions && !state.gate_released {
+                    release_gate(&mut state);
+                }
+            }
+            AdmissionMode::Streaming {
+                close_after_sessions: Some(sessions),
+            } => {
+                if all_ended && opened >= sessions {
+                    state.closed = true;
+                }
+            }
+            AdmissionMode::Streaming {
+                close_after_sessions: None,
+            } => {}
+        }
+        self.ready.notify_all();
+    }
+
+    /// A session died without being answered (its writer failed): drop its
+    /// outbox so nothing blocks on it again. Its already-admitted jobs
+    /// still run (the engine cannot un-admit them); their responses are
+    /// discarded at delivery.
+    pub(crate) fn mark_session_dead(&self, session: SessionId) {
+        let mut state = lock_clean(&self.state);
+        if let Some(s) = state.sessions.get_mut(session) {
+            s.sink = None;
+        }
+    }
+
+    /// Close admission: no new sessions or submissions. Queued requests
+    /// still drain (a gated host releases whatever is queued), so the
+    /// engine can finish and report.
+    pub(crate) fn close(&self) {
+        let mut state = lock_clean(&self.state);
+        if let AdmissionMode::Gated { .. } = self.config.mode {
+            if !state.gate_released {
+                release_gate(&mut state);
+            }
+        }
+        state.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Drop every session outbox (the engine ended — with a report or an
+    /// error — so no further responses can come).
+    pub(crate) fn hang_up_sessions(&self) {
+        let mut state = lock_clean(&self.state);
+        state.closed = true;
+        for session in &mut state.sessions {
+            session.sink = None;
+        }
+        self.ready.notify_all();
+    }
+
+    /// Block until the next request is ready to enter the engine; `None`
+    /// when admission is closed and everything queued has drained — the
+    /// engine's end-of-source. Called by the host's feeder thread.
+    ///
+    /// This is where the deficit-round-robin policy and the watermark
+    /// stamping run, and where the journal entry is written: the journal
+    /// records exactly the `(spec, seq)` stream the engine sees, in the
+    /// order it sees it.
+    pub(crate) fn next_job(&self) -> Option<SequencedJob> {
+        let quantum = self.config.drr_quantum.max(1);
+        let mut state = lock_clean(&self.state);
+        loop {
+            if let AdmissionMode::Gated { .. } = self.config.mode {
+                if state.gate_released {
+                    return state.release.pop_front();
+                }
+                // Closed without a release: the engine died before the
+                // gate; nothing will ever drain.
+                if state.closed {
+                    return None;
+                }
+            } else {
+                if let Some(job) = drr_pop(&mut state, quantum) {
+                    return Some(job);
+                }
+                if state.closed {
+                    return None;
+                }
+            }
+            state = wait_clean(&self.ready, state);
+        }
+    }
+
+    /// Look up where `job`'s placement routes back to. `None` for unknown
+    /// jobs (already delivered, or never admitted). The route is consumed.
+    pub(crate) fn route(&self, job: JobId) -> Option<DeliveryRoute> {
+        let mut state = lock_clean(&self.state);
+        let (tenant, session, spec) = state.routes.remove(&job)?;
+        let sink = state
+            .sessions
+            .get(session)
+            .and_then(|s| s.sink.as_ref().cloned());
+        Some(DeliveryRoute {
+            tenant,
+            session,
+            spec,
+            sink,
+        })
+    }
+
+    /// Account a delivery attempt: frees the tenant's quota slot and the
+    /// session's outstanding slot; `sent` is whether the response reached
+    /// the session (a dead session's responses are discarded, which must
+    /// not poison the host). Closes the session's outbox once its stream
+    /// has ended and nothing is outstanding.
+    pub(crate) fn delivered(&self, tenant: &TenantId, session: SessionId, sent: bool) {
+        let mut state = lock_clean(&self.state);
+        if let Some(t) = state.tenants.get_mut(tenant) {
+            t.in_flight = t.in_flight.saturating_sub(1);
+            if sent {
+                t.served += 1;
+            }
+        }
+        if sent {
+            state.served += 1;
+        }
+        if let Some(s) = state.sessions.get_mut(session) {
+            s.outstanding = s.outstanding.saturating_sub(1);
+            if !sent {
+                // The session cannot receive responses anymore.
+                s.sink = None;
+            }
+            if s.ended && s.outstanding == 0 {
+                s.sink = None;
+            }
+        }
+        self.ready.notify_all();
+    }
+
+    /// Sessions opened over the host's lifetime.
+    pub(crate) fn sessions_opened(&self) -> usize {
+        lock_clean(&self.state).sessions.len()
+    }
+
+    /// Consume the admission bookkeeping into the host report's
+    /// ingredients: the journal (entries in drain order) and the
+    /// counters. Called once at shutdown, after the engine has returned.
+    pub(crate) fn take_report_parts(
+        &self,
+    ) -> (
+        Journal,
+        usize,
+        usize,
+        usize,
+        BTreeMap<TenantId, TenantReport>,
+    ) {
+        let mut state = lock_clean(&self.state);
+        let journal = Journal {
+            entries: std::mem::take(&mut state.journal),
+        };
+        let tenants = state
+            .tenants
+            .iter()
+            .map(|(tenant, t)| {
+                (
+                    tenant.clone(),
+                    TenantReport {
+                        accepted: t.accepted,
+                        rejected: t.rejected,
+                        served: t.served,
+                    },
+                )
+            })
+            .collect();
+        (
+            journal,
+            state.accepted,
+            state.rejected,
+            state.served,
+            tenants,
+        )
+    }
+}
+
+/// In-process submissions bypass the wire grammar, so re-check here what
+/// the wire codec enforces: a non-finite or negative numeric would kill
+/// the whole persistent engine run instead of failing one request.
+fn validate_spec(spec: &JobSpec) -> Result<(), ServiceError> {
+    let checks = [
+        ("submit_time", spec.submit_time.value()),
+        ("actual_execution_time", spec.actual_execution_time.value()),
+        (
+            "estimated_execution_time",
+            spec.estimated_execution_time.value(),
+        ),
+        ("actual_energy", spec.actual_energy.value()),
+        ("estimated_energy", spec.estimated_energy.value()),
+    ];
+    for (key, value) in checks {
+        if !value.is_finite() || value < 0.0 {
+            return Err(ServiceError::MalformedRequest {
+                line: 0,
+                message: format!("{key} must be finite and non-negative, got {value}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Pop the next request under deficit round-robin, stamping and
+/// journaling it. Runs under the state lock.
+fn drr_pop(state: &mut AdmissionState, quantum: usize) -> Option<SequencedJob> {
+    loop {
+        let tenant = state.active.front()?.clone();
+        let Some(t) = state.tenants.get_mut(&tenant) else {
+            state.active.pop_front();
+            continue;
+        };
+        if t.queue.is_empty() {
+            t.in_active = false;
+            t.deficit = 0;
+            state.active.pop_front();
+            continue;
+        }
+        if t.deficit == 0 {
+            t.deficit = quantum;
+        }
+        let Some(request) = t.queue.pop_front() else {
+            continue;
+        };
+        t.deficit -= 1;
+        t.in_flight += 1;
+        if t.deficit == 0 || t.queue.is_empty() {
+            // End of visit: rotate to the back while work remains.
+            let more = !t.queue.is_empty();
+            t.deficit = 0;
+            t.in_active = more;
+            state.active.pop_front();
+            if more {
+                state.active.push_back(tenant.clone());
+            }
+        }
+        return Some(stamp_and_journal(
+            state,
+            tenant,
+            request.spec,
+            request.band_seq,
+        ));
+    }
+}
+
+/// Monotonize the request's submit time against the host watermark (the
+/// exact mirror of the engine's discrete stamp floor, so a drained
+/// request can never be rejected as out-of-order) and record the journal
+/// entry. Under [`waterwise_cluster::ClockMode::RealTime`] the engine
+/// re-stamps on ingestion; the journaled stamp is backfilled from the
+/// engine trace at shutdown.
+fn stamp_and_journal(
+    state: &mut AdmissionState,
+    tenant: TenantId,
+    mut spec: JobSpec,
+    seq: u64,
+) -> SequencedJob {
+    let stamp = spec.submit_time.value().max(state.watermark);
+    state.watermark = stamp;
+    spec.submit_time = Seconds::new(stamp);
+    state.journal.push(JournalEntry {
+        seq,
+        tenant,
+        spec: spec.clone(),
+    });
+    SequencedJob { spec, seq }
+}
+
+/// Gated release: order the whole batch canonically by
+/// `(submit_time, tenant, id)` — every key independent of submission
+/// races — and assign contiguous sequences in that order. Runs under the
+/// state lock; also closes admission (the gate is one-shot).
+fn release_gate(state: &mut AdmissionState) {
+    let mut batch: Vec<(TenantId, QueuedRequest)> = Vec::new();
+    let tenants: Vec<TenantId> = state.tenants.keys().cloned().collect();
+    for tenant in tenants {
+        if let Some(t) = state.tenants.get_mut(&tenant) {
+            t.in_active = false;
+            t.deficit = 0;
+            while let Some(request) = t.queue.pop_front() {
+                t.in_flight += 1;
+                batch.push((tenant.clone(), request));
+            }
+        }
+    }
+    state.active.clear();
+    batch.sort_by(|(ta, a), (tb, b)| {
+        a.spec
+            .submit_time
+            .value()
+            .total_cmp(&b.spec.submit_time.value())
+            .then_with(|| ta.cmp(tb))
+            .then_with(|| a.spec.id.cmp(&b.spec.id))
+    });
+    for (seq, (tenant, request)) in batch.into_iter().enumerate() {
+        let job = stamp_and_journal(state, tenant, request.spec, seq as u64);
+        state.release.push_back(job);
+    }
+    state.gate_released = true;
+    state.closed = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waterwise_cluster::ONLINE_ARRIVAL_SEQ_LIMIT;
+    use waterwise_sustain::KilowattHours;
+    use waterwise_telemetry::Region;
+    use waterwise_traces::Benchmark;
+
+    fn spec(id: u64, submit: f64) -> JobSpec {
+        JobSpec {
+            id: JobId(id),
+            benchmark: Benchmark::Dedup,
+            submit_time: Seconds::new(submit),
+            home_region: Region::Oregon,
+            actual_execution_time: Seconds::new(60.0),
+            actual_energy: KilowattHours::new(0.01),
+            estimated_execution_time: Seconds::new(60.0),
+            estimated_energy: KilowattHours::new(0.01),
+            package_bytes: 1,
+        }
+    }
+
+    fn sink() -> SyncSender<PlacementResponse> {
+        // The receiver is dropped: admission never sends on sinks itself.
+        std::sync::mpsc::sync_channel(1).0
+    }
+
+    #[test]
+    fn drr_interleaves_a_flooding_tenant_with_a_light_one() {
+        let queue = AdmissionQueue::new(AdmissionConfig {
+            tenant_inflight_quota: 1000,
+            drr_quantum: 2,
+            mode: AdmissionMode::default(),
+        });
+        let s = queue.open_session(sink()).unwrap();
+        let flood = TenantId::from("flood");
+        let light = TenantId::from("light");
+        for id in 0..6 {
+            queue.submit(s, &flood, spec(id, 0.0)).unwrap();
+        }
+        for id in 100..102 {
+            queue.submit(s, &light, spec(id, 0.0)).unwrap();
+        }
+        queue.close();
+        let mut order = Vec::new();
+        while let Some(job) = queue.next_job() {
+            order.push(job.spec.id.0);
+        }
+        // Quantum 2: two flood, then light gets its visit, not starved
+        // behind all six flood requests.
+        assert_eq!(order, vec![0, 1, 100, 101, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn quota_sheds_with_a_typed_error_and_frees_on_delivery() {
+        let queue = AdmissionQueue::new(AdmissionConfig {
+            tenant_inflight_quota: 2,
+            drr_quantum: 8,
+            mode: AdmissionMode::default(),
+        });
+        let s = queue.open_session(sink()).unwrap();
+        let tenant = TenantId::from("t");
+        queue.submit(s, &tenant, spec(1, 0.0)).unwrap();
+        queue.submit(s, &tenant, spec(2, 0.0)).unwrap();
+        match queue.submit(s, &tenant, spec(3, 0.0)) {
+            Err(ServiceError::AdmissionRejected {
+                tenant: name,
+                in_flight: 2,
+                quota: 2,
+            }) => assert_eq!(name, "t"),
+            other => panic!("expected AdmissionRejected, got {other:?}"),
+        }
+        // Drain one into the engine and deliver it: the quota slot frees.
+        let job = queue.next_job().unwrap();
+        assert!(queue.route(job.spec.id).is_some());
+        queue.delivered(&tenant, s, true);
+        queue.submit(s, &tenant, spec(3, 0.0)).unwrap();
+        let (journal, accepted, rejected, served, tenants) = queue.take_report_parts();
+        assert_eq!(journal.entries.len(), 1);
+        assert_eq!((accepted, rejected, served), (3, 1, 1));
+        assert_eq!(tenants[&tenant].rejected, 1);
+    }
+
+    #[test]
+    fn duplicates_are_rejected_host_wide_even_after_delivery() {
+        let queue = AdmissionQueue::new(AdmissionConfig::default());
+        let s = queue.open_session(sink()).unwrap();
+        let tenant = TenantId::from("t");
+        queue.submit(s, &tenant, spec(7, 0.0)).unwrap();
+        let job = queue.next_job().unwrap();
+        assert!(queue.route(job.spec.id).is_some());
+        queue.delivered(&tenant, s, true);
+        assert!(matches!(
+            queue.submit(s, &tenant, spec(7, 1.0)),
+            Err(ServiceError::DuplicateRequest { id: JobId(7) })
+        ));
+    }
+
+    #[test]
+    fn band_sequences_encode_session_and_request_index() {
+        let queue = AdmissionQueue::new(AdmissionConfig::default());
+        let s0 = queue.open_session(sink()).unwrap();
+        let s1 = queue.open_session(sink()).unwrap();
+        let tenant = TenantId::from("t");
+        queue.submit(s0, &tenant, spec(1, 0.0)).unwrap();
+        queue.submit(s1, &tenant, spec(2, 0.0)).unwrap();
+        queue.submit(s1, &tenant, spec(3, 0.0)).unwrap();
+        queue.close();
+        let mut seqs = BTreeMap::new();
+        while let Some(job) = queue.next_job() {
+            seqs.insert(job.spec.id.0, job.seq);
+        }
+        assert_eq!(seqs[&1], 0);
+        assert_eq!(seqs[&2], 1 << 32);
+        assert_eq!(seqs[&3], (1 << 32) | 1);
+        assert!(seqs.values().all(|&s| s < ONLINE_ARRIVAL_SEQ_LIMIT));
+    }
+
+    #[test]
+    fn gated_release_orders_canonically_and_stamps_monotonically() {
+        let queue = AdmissionQueue::new(AdmissionConfig {
+            tenant_inflight_quota: 64,
+            drr_quantum: 8,
+            mode: AdmissionMode::Gated { sessions: 2 },
+        });
+        let s0 = queue.open_session(sink()).unwrap();
+        let s1 = queue.open_session(sink()).unwrap();
+        let a = TenantId::from("a");
+        let b = TenantId::from("b");
+        // Interleaved submission order deliberately disagrees with the
+        // canonical (time, tenant, id) order.
+        queue.submit(s1, &b, spec(10, 30.0)).unwrap();
+        queue.submit(s0, &a, spec(11, 30.0)).unwrap();
+        queue.submit(s1, &a, spec(12, 0.0)).unwrap();
+        queue.submit(s0, &b, spec(13, 60.0)).unwrap();
+        // Nothing drains before the gate.
+        queue.end_session(s0);
+        queue.end_session(s1);
+        let mut order = Vec::new();
+        let mut stamps = Vec::new();
+        while let Some(job) = queue.next_job() {
+            order.push(job.spec.id.0);
+            stamps.push(job.spec.submit_time.value());
+            assert_eq!(job.seq, (order.len() - 1) as u64);
+        }
+        assert_eq!(order, vec![12, 11, 10, 13]);
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+        // The gate is one-shot: admission closed behind it.
+        assert!(matches!(
+            queue.submit(s0, &a, spec(99, 99.0)),
+            Err(ServiceError::ServiceStopped)
+        ));
+    }
+
+    #[test]
+    fn session_limits_and_non_finite_specs_are_typed_errors() {
+        let queue = AdmissionQueue::new(AdmissionConfig {
+            mode: AdmissionMode::Streaming {
+                close_after_sessions: Some(1),
+            },
+            ..AdmissionConfig::default()
+        });
+        let s = queue.open_session(sink()).unwrap();
+        assert!(matches!(
+            queue.open_session(sink()),
+            Err(ServiceError::SessionLimit { sessions: 1 })
+        ));
+        let mut bad = spec(1, 0.0);
+        bad.submit_time = Seconds::new(f64::NAN);
+        assert!(matches!(
+            queue.submit(s, &TenantId::from("t"), bad),
+            Err(ServiceError::MalformedRequest { .. })
+        ));
+        // Ending the only expected session auto-closes the host.
+        queue.end_session(s);
+        assert!(queue.next_job().is_none());
+        assert!(matches!(
+            queue.submit(s, &TenantId::from("t"), spec(2, 0.0)),
+            Err(ServiceError::ServiceStopped)
+        ));
+    }
+}

@@ -1,12 +1,21 @@
 //! `placement_server` — stand-alone TCP placement service.
 //!
-//! Serves the line-delimited-JSON placement protocol (one client session at
-//! a time; each session is one campaign). The base configuration is a
-//! declarative scenario spec — `scenarios/server_default.spec` unless
-//! `--scenario <path>` / `WATERWISE_SCENARIO` names another file (grammar:
-//! `docs/SCENARIOS.md`) — and individual environment variables override
-//! knobs on top of it; see `docs/ONLINE_SERVICE.md` for the operator's
-//! guide.
+//! Serves the line-delimited-JSON placement protocol. The base
+//! configuration is a declarative scenario spec —
+//! `scenarios/server_default.spec` unless `--scenario <path>` /
+//! `WATERWISE_SCENARIO` names another file (grammar: `docs/SCENARIOS.md`)
+//! — and individual environment variables override knobs on top of it;
+//! see `docs/ONLINE_SERVICE.md` for the operator's guide.
+//!
+//! Two serving shapes:
+//!
+//! - **default**: one client session at a time, each session an
+//!   independent campaign with a fresh scheduler;
+//! - **multi-session** (`WATERWISE_MULTI_SESSION=<n>`): one persistent
+//!   engine run hosting `n` *concurrent* client sessions with per-tenant
+//!   admission control; on completion the host prints the campaign
+//!   summary and (with `WATERWISE_JOURNAL=<path>`) writes the admission
+//!   journal, replayable via [`waterwise_service::Journal`].
 //!
 //! | Variable | Overrides | Meaning |
 //! |---|---|---|
@@ -17,16 +26,32 @@
 //! | `WATERWISE_SERVERS` | `[simulation] servers_per_region` | Servers per region. |
 //! | `WATERWISE_TOLERANCE` | `[simulation] delay_tolerance` | Delay tolerance (fraction of execution time). |
 //! | `WATERWISE_SEED` | `[scenario] seed` | Trace + telemetry seed. |
-//! | `WATERWISE_SESSIONS` | — | Serve this many sessions, then exit (default unbounded). |
+//! | `WATERWISE_SESSIONS` | — | Single-session mode: serve this many sessions, then exit. |
+//! | `WATERWISE_MULTI_SESSION` | — | Host this many concurrent sessions on one engine run. |
+//! | `WATERWISE_ADMISSION` | — | Multi-session drain mode: `streaming` (default) or `gated`. |
+//! | `WATERWISE_TENANT_QUOTA` | — | Per-tenant in-flight quota (default 64). |
+//! | `WATERWISE_DRR_QUANTUM` | — | Deficit-round-robin quantum (default 8). |
+//! | `WATERWISE_JOURNAL` | — | Multi-session: write the admission journal to this path. |
 
 use std::path::{Path, PathBuf};
 use waterwise_cluster::{ClockMode, EngineMode};
 use waterwise_core::{build_scheduler, Scenario, SchedulerKind};
-use waterwise_service::{PlacementService, ServiceConfig, TcpPlacementServer};
+use waterwise_service::{
+    AdmissionConfig, AdmissionMode, ClusterHost, PlacementService, ServiceConfig, TcpClusterServer,
+    TcpPlacementServer,
+};
 use waterwise_sustain::FootprintEstimator;
 
 fn env_opt<T: std::str::FromStr>(key: &str) -> Option<T> {
     std::env::var(key).ok().and_then(|v| v.parse().ok())
+}
+
+/// Print the failure and exit with the operator-error status. The serving
+/// loops report per-session errors instead; this is for startup-time
+/// misconfiguration (bad spec, unbindable address).
+fn exit_with(message: std::fmt::Arguments<'_>) -> ! {
+    eprintln!("{message}");
+    std::process::exit(2);
 }
 
 /// `--scenario <path>` / `--scenario=<path>` / `WATERWISE_SCENARIO`, else
@@ -62,10 +87,10 @@ fn load_scenario_or_exit() -> Scenario {
     let path = spec_path();
     match waterwise_core::load_spec(&path) {
         Ok(scenario) => scenario,
-        Err(err) => {
-            eprintln!("invalid scenario spec: {}", err.located(path.display()));
-            std::process::exit(2);
-        }
+        Err(err) => exit_with(format_args!(
+            "invalid scenario spec: {}",
+            err.located(path.display())
+        )),
     }
 }
 
@@ -80,6 +105,90 @@ fn clock_override() -> Option<ClockMode> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(60.0);
     Some(ClockMode::RealTime { scale })
+}
+
+/// The multi-session admission policy from the environment.
+fn admission_config(concurrent: usize) -> AdmissionConfig {
+    let mut config = AdmissionConfig {
+        mode: AdmissionMode::Streaming {
+            close_after_sessions: Some(concurrent),
+        },
+        ..AdmissionConfig::default()
+    };
+    if let Some(quota) = env_opt::<usize>("WATERWISE_TENANT_QUOTA") {
+        config.tenant_inflight_quota = quota;
+    }
+    if let Some(quantum) = env_opt::<usize>("WATERWISE_DRR_QUANTUM") {
+        config.drr_quantum = quantum;
+    }
+    if std::env::var("WATERWISE_ADMISSION").as_deref() == Ok("gated") {
+        config.mode = AdmissionMode::Gated {
+            sessions: concurrent,
+        };
+    }
+    config
+}
+
+/// Host `concurrent` simultaneous sessions on one persistent engine run.
+fn serve_multi_session(
+    service: PlacementService,
+    scenario: &Scenario,
+    addr: &str,
+    concurrent: usize,
+) {
+    let scheduler = build_scheduler(
+        SchedulerKind::WaterWise,
+        service.telemetry(),
+        FootprintEstimator::new(service.config().simulation.datacenter),
+        &scenario.config.waterwise,
+        None,
+    );
+    let admission = admission_config(concurrent);
+    let host = match ClusterHost::start_with_service(service, admission, scheduler) {
+        Ok(host) => host,
+        Err(error) => exit_with(format_args!("failed to start cluster host: {error}")),
+    };
+    let server = match TcpClusterServer::bind(addr) {
+        Ok(server) => server,
+        Err(error) => exit_with(format_args!("failed to bind {addr}: {error}")),
+    };
+    match server.local_addr() {
+        Ok(local) => eprintln!(
+            "placement_server hosting {concurrent} concurrent sessions on {local} \
+             (scenario {}, seed {})",
+            scenario.name, scenario.seed,
+        ),
+        Err(error) => exit_with(format_args!("listener has no local address: {error}")),
+    }
+    if let Err(error) = server.serve_sessions(&host, concurrent) {
+        eprintln!("multi-session serve ended with a session failure: {error}");
+    }
+    match host.shutdown() {
+        Ok(report) => {
+            eprintln!(
+                "host done: {} sessions, {} tenants, accepted {}, rejected {}, served {}, \
+                 makespan {:.0} s, digest {:016x}",
+                report.sessions,
+                report.tenants.len(),
+                report.accepted,
+                report.rejected,
+                report.served,
+                report.report.makespan.value(),
+                report.schedule_digest(),
+            );
+            if let Some(path) = std::env::var_os("WATERWISE_JOURNAL") {
+                match std::fs::write(&path, report.journal.encode()) {
+                    Ok(()) => eprintln!(
+                        "admission journal ({} entries) written to {}",
+                        report.journal.entries.len(),
+                        PathBuf::from(&path).display()
+                    ),
+                    Err(error) => eprintln!("failed to write journal: {error}"),
+                }
+            }
+        }
+        Err(error) => exit_with(format_args!("host failed: {error}")),
+    }
 }
 
 fn main() {
@@ -110,17 +219,30 @@ fn main() {
     let sessions: usize = env_opt("WATERWISE_SESSIONS").unwrap_or(usize::MAX);
 
     let service =
-        PlacementService::new(ServiceConfig::new(simulation, telemetry).with_clock(clock))
-            .expect("valid service configuration");
-    let server = TcpPlacementServer::bind(&addr).expect("bind listen address");
-    eprintln!(
-        "placement_server listening on {} (scenario {}, clock {}, engine {}, seed {})",
-        server.local_addr().expect("bound address"),
-        scenario.name,
-        clock.label(),
-        engine.label(),
-        scenario.seed,
-    );
+        match PlacementService::new(ServiceConfig::new(simulation, telemetry).with_clock(clock)) {
+            Ok(service) => service,
+            Err(error) => exit_with(format_args!("invalid service configuration: {error}")),
+        };
+
+    if let Some(concurrent) = env_opt::<usize>("WATERWISE_MULTI_SESSION") {
+        serve_multi_session(service, &scenario, &addr, concurrent.max(1));
+        return;
+    }
+
+    let server = match TcpPlacementServer::bind(&addr) {
+        Ok(server) => server,
+        Err(error) => exit_with(format_args!("failed to bind {addr}: {error}")),
+    };
+    match server.local_addr() {
+        Ok(local) => eprintln!(
+            "placement_server listening on {local} (scenario {}, clock {}, engine {}, seed {})",
+            scenario.name,
+            clock.label(),
+            engine.label(),
+            scenario.seed,
+        ),
+        Err(error) => exit_with(format_args!("listener has no local address: {error}")),
+    }
 
     for session in 0..sessions {
         // One fresh WaterWise scheduler per session: sessions are

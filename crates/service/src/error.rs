@@ -47,6 +47,35 @@ pub enum ServiceError {
     /// The service already stopped accepting requests (the engine ended or
     /// failed), so a [`crate::RequestSender::submit`] had no receiver.
     ServiceStopped,
+    /// A tenant hit its bounded in-flight quota on the multi-session host:
+    /// the request was shed *before* the admission queue instead of letting
+    /// one tenant monopolize the engine. Reported in-band (TCP clients see
+    /// an `{"type":"error","code":"admission_rejected",...}` line); the
+    /// session keeps going and the tenant can resubmit once placements
+    /// drain its in-flight window.
+    AdmissionRejected {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// Requests the tenant had queued or awaiting placement.
+        in_flight: usize,
+        /// The configured per-tenant quota.
+        quota: usize,
+    },
+    /// The multi-session host ran out of session capacity: either the
+    /// configured session count was reached (gated/auto-closing hosts) or
+    /// the per-session sequence band space (2^16 sessions per host run)
+    /// was exhausted.
+    SessionLimit {
+        /// Sessions the host had already opened.
+        sessions: usize,
+    },
+    /// An admission journal line could not be parsed back into an entry.
+    JournalMalformed {
+        /// 1-based line number in the journal text.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -66,6 +95,26 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::ServiceStopped => {
                 write!(f, "the placement service is no longer accepting requests")
+            }
+            ServiceError::AdmissionRejected {
+                tenant,
+                in_flight,
+                quota,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} is at its in-flight quota ({in_flight}/{quota}); \
+                     retry after placements drain"
+                )
+            }
+            ServiceError::SessionLimit { sessions } => {
+                write!(
+                    f,
+                    "the host is not accepting new sessions ({sessions} already opened)"
+                )
+            }
+            ServiceError::JournalMalformed { line, message } => {
+                write!(f, "malformed journal entry on line {line}: {message}")
             }
         }
     }

@@ -1,0 +1,393 @@
+//! The multi-tenant persistent placement host.
+//!
+//! Where [`crate::PlacementService::serve`] runs one source-to-drain
+//! session per call, a [`ClusterHost`] keeps **one** engine run alive
+//! across many concurrent sessions: it owns the persistent
+//! [`crate::PlacementService`] (simulated cluster, telemetry, and — via
+//! the engine — the scheduler's warmed solution cache and solver
+//! workspace) and multiplexes sessions onto it through a shared
+//! [`crate::AdmissionConfig`]-governed admission queue. Sessions submit
+//! concurrently; requests drain tenant-fairly into a single
+//! `run_online_sequenced` engine call; placements route back to the
+//! session that asked.
+//!
+//! Three host-owned threads do the multiplexing:
+//!
+//! - the **feeder** blocks on the admission queue and forwards each
+//!   drained request (already stamped, sequenced, and journaled) into the
+//!   engine's bounded arrival channel;
+//! - the **engine** thread runs the simulator's online driver for the
+//!   whole host lifetime — one persistent run, so caches stay warm across
+//!   sessions and one MILP round batches whatever the admission queue
+//!   drained from *all* tenants since the last round;
+//! - the **router** receives placement notices, enriches them into
+//!   [`crate::PlacementResponse`]s, and delivers each to its session's
+//!   bounded outbox.
+//!
+//! Determinism: the engine breaks exact-time ties by arrival sequence,
+//! and every sequence is allocated from its session's private band
+//! (`session << 32 | request index`), so the committed schedule does not
+//! depend on how the racing session threads interleaved — and the
+//! admission journal ([`HostReport::journal`]) replays offline to the
+//! byte-identical schedule ([`crate::Journal::replay`]).
+//!
+//! Backpressure: every channel is bounded. A session that stops draining
+//! its outbox eventually stalls the router and then the engine — on TCP
+//! the per-connection writer thread always drains (a dead socket fails
+//! the write, which drops the outbox). In-process callers should drain
+//! [`HostSession::take_responses`] promptly or size
+//! [`crate::ServiceConfig::notice_queue`] generously.
+
+use crate::admission::{AdmissionConfig, AdmissionQueue, TenantId, TenantReport};
+use crate::error::ServiceError;
+use crate::journal::Journal;
+use crate::request::PlacementResponse;
+use crate::service::{PlacementService, ServiceConfig};
+use crate::sync::{join_or_resume, join_owned_or_resume, lock_clean};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use waterwise_cluster::{OnlineReport, PlacementNotice, Scheduler, SimulationReport};
+use waterwise_traces::JobSpec;
+
+/// Configuration of a [`ClusterHost`]: the underlying service (cluster,
+/// telemetry, clock, queue depths) plus the multi-tenant admission
+/// policy.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// The persistent service the host runs sessions against.
+    pub service: ServiceConfig,
+    /// Tenant quotas, fairness, and drain mode.
+    pub admission: AdmissionConfig,
+}
+
+impl HostConfig {
+    /// Host the given service with the default admission policy
+    /// (streaming drain, quota 64, quantum 8, no auto-close).
+    pub fn new(service: ServiceConfig) -> Self {
+        Self {
+            service,
+            admission: AdmissionConfig::default(),
+        }
+    }
+
+    /// Override the admission policy.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+}
+
+/// What a completed host run reports: one campaign spanning every
+/// session, plus the admission journal and per-tenant accounting.
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// The campaign-level simulation report across all sessions,
+    /// identical in structure to an offline run's.
+    pub report: SimulationReport,
+    /// Every admitted job in engine receipt order with its stamped
+    /// submit time.
+    pub trace: Vec<JobSpec>,
+    /// The admission journal: replaying it offline
+    /// ([`crate::Journal::replay`]) reproduces `report`'s schedule
+    /// byte-identically.
+    pub journal: Journal,
+    /// Requests admitted into the engine.
+    pub accepted: usize,
+    /// Requests shed before the engine (duplicates, quota).
+    pub rejected: usize,
+    /// Placement responses delivered to sessions.
+    pub served: usize,
+    /// Sessions opened over the host's lifetime.
+    pub sessions: usize,
+    /// Per-tenant admission statistics.
+    pub tenants: BTreeMap<TenantId, TenantReport>,
+}
+
+impl HostReport {
+    /// FNV-1a digest of the committed schedule — the value the journal
+    /// replay and the golden snapshots compare against.
+    pub fn schedule_digest(&self) -> u64 {
+        waterwise_cluster::schedule_digest(&self.report.outcomes)
+    }
+}
+
+/// A long-lived multi-session placement server over one persistent
+/// engine run. See the module docs for the thread topology.
+///
+/// ```
+/// use waterwise_core::{build_scheduler, SchedulerKind, WaterWiseConfig};
+/// use waterwise_service::{
+///     AdmissionConfig, AdmissionMode, ClusterHost, HostConfig, ServiceConfig,
+/// };
+/// use waterwise_sustain::FootprintEstimator;
+/// use waterwise_sustain::{KilowattHours, Seconds};
+/// use waterwise_telemetry::Region;
+/// use waterwise_traces::{Benchmark, JobId, JobSpec};
+///
+/// let config = HostConfig::new(ServiceConfig::small_demo(42)).with_admission(AdmissionConfig {
+///     // Auto-close once both expected sessions end their streams, so
+///     // the engine drains and `shutdown` can report.
+///     mode: AdmissionMode::Streaming { close_after_sessions: Some(2) },
+///     ..AdmissionConfig::default()
+/// });
+/// let service = waterwise_service::PlacementService::new(config.service.clone()).unwrap();
+/// let scheduler = build_scheduler(
+///     SchedulerKind::WaterWise,
+///     service.telemetry(),
+///     FootprintEstimator::new(config.service.simulation.datacenter),
+///     &WaterWiseConfig::default(),
+///     None,
+/// );
+/// let host = ClusterHost::start_with_service(service, config.admission, scheduler).unwrap();
+///
+/// let spec = |id: u64, t: f64| JobSpec {
+///     id: JobId(id),
+///     benchmark: Benchmark::Blackscholes,
+///     submit_time: Seconds::new(t),
+///     home_region: Region::Milan,
+///     actual_execution_time: Seconds::new(300.0),
+///     actual_energy: KilowattHours::new(0.02),
+///     estimated_execution_time: Seconds::new(300.0),
+///     estimated_energy: KilowattHours::new(0.02),
+///     package_bytes: 1 << 20,
+/// };
+/// let a = host.open_session("acme").unwrap();
+/// let b = host.open_session("umbrella").unwrap();
+/// a.submit(spec(1, 0.0)).unwrap();
+/// b.submit(spec(2, 0.0)).unwrap();
+/// // End both streams first: the auto-close (and with it the final
+/// // drain) fires when the last expected session ends.
+/// a.finish();
+/// b.finish();
+/// let (a, b) = (a.drain(), b.drain());
+/// assert_eq!((a.len(), b.len()), (1, 1));
+/// let report = host.shutdown().unwrap();
+/// assert_eq!(report.served, 2);
+/// assert_eq!(report.journal.entries.len(), 2);
+/// ```
+pub struct ClusterHost {
+    service: Arc<PlacementService>,
+    admission: Arc<AdmissionQueue>,
+    engine: JoinHandle<Result<OnlineReport, ServiceError>>,
+    outbox_depth: usize,
+}
+
+impl ClusterHost {
+    /// Build the service and start the host's engine run.
+    pub fn start(config: HostConfig, scheduler: Box<dyn Scheduler>) -> Result<Self, ServiceError> {
+        let service = PlacementService::new(config.service)?;
+        Self::start_with_service(service, config.admission, scheduler)
+    }
+
+    /// Start the host over an already-built service (useful when the
+    /// caller needs the service's telemetry to build the scheduler).
+    pub fn start_with_service(
+        service: PlacementService,
+        admission: AdmissionConfig,
+        mut scheduler: Box<dyn Scheduler>,
+    ) -> Result<Self, ServiceError> {
+        let service = Arc::new(service);
+        let admission = Arc::new(AdmissionQueue::new(admission));
+        let outbox_depth = service.config().notice_queue.max(1);
+        let ingest_depth = service.config().ingest_queue.max(1);
+        let clock = service.config().clock;
+        let engine = std::thread::spawn({
+            let service = service.clone();
+            let admission = admission.clone();
+            move || -> Result<OnlineReport, ServiceError> {
+                let (job_tx, job_rx) = std::sync::mpsc::sync_channel(ingest_depth);
+                let (notice_tx, notice_rx) =
+                    std::sync::mpsc::sync_channel::<PlacementNotice>(outbox_depth);
+                let result = std::thread::scope(|scope| {
+                    let admission = &admission;
+                    let service = &service;
+                    let feeder = scope.spawn(move || {
+                        while let Some(job) = admission.next_job() {
+                            if job_tx.send(job).is_err() {
+                                // The engine bailed; its error is the story.
+                                break;
+                            }
+                        }
+                    });
+                    let router = scope.spawn(move || {
+                        for notice in notice_rx.iter() {
+                            let Some(route) = admission.route(notice.job) else {
+                                continue;
+                            };
+                            let response = service.enrich(notice, &route.spec);
+                            // A dead session's responses are discarded;
+                            // the host stays healthy.
+                            let sent = match route.sink {
+                                Some(sink) => sink.send(response).is_ok(),
+                                None => false,
+                            };
+                            admission.delivered(&route.tenant, route.session, sent);
+                        }
+                    });
+                    let report = service.simulator().run_online_sequenced(
+                        scheduler.as_mut(),
+                        job_rx,
+                        notice_tx,
+                        clock,
+                    );
+                    // On an engine failure the feeder may still be blocked
+                    // in the admission queue: close it (without releasing
+                    // a pending gate) so the feeder exits. On the normal
+                    // path admission is already closed and drained.
+                    if report.is_err() {
+                        admission.hang_up_sessions();
+                    }
+                    join_or_resume(feeder);
+                    join_or_resume(router);
+                    report
+                });
+                // No further responses can ever flow: unblock every
+                // session still draining its outbox.
+                admission.hang_up_sessions();
+                result.map_err(ServiceError::from)
+            }
+        });
+        Ok(Self {
+            service,
+            admission,
+            engine,
+            outbox_depth,
+        })
+    }
+
+    /// The persistent service backing the host (telemetry, estimator,
+    /// configuration).
+    pub fn service(&self) -> &PlacementService {
+        &self.service
+    }
+
+    /// Open a session under `tenant` (the default tenant of its
+    /// submissions). Sessions are cheap; open one per connection or per
+    /// logical request stream.
+    pub fn open_session(&self, tenant: impl Into<TenantId>) -> Result<HostSession, ServiceError> {
+        let (sink, responses) = std::sync::mpsc::sync_channel(self.outbox_depth);
+        let id = self.admission.open_session(sink)?;
+        Ok(HostSession {
+            admission: self.admission.clone(),
+            id,
+            tenant: tenant.into(),
+            responses: Mutex::new(Some(responses)),
+            finished: AtomicBool::new(false),
+        })
+    }
+
+    /// Stop admitting, drain the engine, and report the whole campaign.
+    /// Blocks until every admitted job has completed. Safe to call while
+    /// sessions are still open: their queued requests drain, their
+    /// outboxes close after their last response.
+    pub fn shutdown(self) -> Result<HostReport, ServiceError> {
+        self.admission.close();
+        let report = join_owned_or_resume(self.engine)?;
+        let (mut journal, accepted, rejected, served, tenants) = self.admission.take_report_parts();
+        // Under the real-time clock the engine stamps arrivals itself at
+        // ingestion; backfill the journal from the trace (both are in
+        // engine receipt order) so a replay re-derives the same event
+        // keys. Under the discrete clock this is a no-op: the admission
+        // watermark mirrors the engine's stamp floor exactly.
+        for (entry, stamped) in journal.entries.iter_mut().zip(&report.trace) {
+            if entry.spec.id == stamped.id {
+                entry.spec.submit_time = stamped.submit_time;
+            }
+        }
+        Ok(HostReport {
+            report: report.report,
+            trace: report.trace,
+            journal,
+            accepted,
+            rejected,
+            served,
+            sessions: self.admission.sessions_opened(),
+            tenants,
+        })
+    }
+}
+
+/// One request stream multiplexed onto a [`ClusterHost`]. Submissions
+/// are admitted under the session's default tenant (or any explicit
+/// tenant via [`HostSession::submit_as`]); responses arrive on the
+/// session's own bounded outbox in placement-commit order.
+///
+/// Dropping the session ends its stream (as does [`HostSession::finish`]
+/// or [`HostSession::drain`]); on an auto-closing or gated host the last
+/// stream end is what lets the engine drain and the host report.
+pub struct HostSession {
+    admission: Arc<AdmissionQueue>,
+    id: usize,
+    tenant: TenantId,
+    /// The outbox receiver, handed out once (`Receiver` is not `Sync`, so
+    /// a shared session cannot expose it by reference).
+    responses: Mutex<Option<Receiver<PlacementResponse>>>,
+    finished: AtomicBool,
+}
+
+impl HostSession {
+    /// The session's default tenant.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// Submit a request under the session's default tenant. Fails fast
+    /// with [`ServiceError::AdmissionRejected`] /
+    /// [`ServiceError::DuplicateRequest`] without consuming the request's
+    /// quota slot.
+    pub fn submit(&self, spec: JobSpec) -> Result<(), ServiceError> {
+        self.admission.submit(self.id, &self.tenant, spec)
+    }
+
+    /// Submit a request under an explicit tenant (the TCP front-end's
+    /// per-request `tenant` field).
+    pub fn submit_as(&self, tenant: &TenantId, spec: JobSpec) -> Result<(), ServiceError> {
+        self.admission.submit(self.id, tenant, spec)
+    }
+
+    /// Take the session's response outbox (available exactly once —
+    /// `None` thereafter). Responses keep arriving after
+    /// [`HostSession::finish`] until every admitted request is answered,
+    /// then the channel closes. Dropping the receiver discards undelivered
+    /// responses without disturbing the host.
+    pub fn take_responses(&self) -> Option<Receiver<PlacementResponse>> {
+        lock_clean(&self.responses).take()
+    }
+
+    /// End the session's request stream (idempotent). Outstanding
+    /// requests still complete and arrive on the outbox.
+    pub fn finish(&self) {
+        if !self.finished.swap(true, Ordering::AcqRel) {
+            self.admission.end_session(self.id);
+        }
+    }
+
+    /// End the stream and collect every remaining response. Blocks until
+    /// the session's last admitted job completes — which, under the
+    /// discrete clock, requires other sessions (or an auto-close) to
+    /// advance simulated time past the session's jobs.
+    pub fn drain(self) -> Vec<PlacementResponse> {
+        self.finish();
+        match self.take_responses() {
+            Some(responses) => responses.iter().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The session died without finishing cleanly (TCP writer failure):
+    /// drop its outbox so pending deliveries are discarded instead of
+    /// blocking.
+    pub(crate) fn abandon(&self) {
+        self.admission.mark_session_dead(self.id);
+        self.finish();
+    }
+}
+
+impl Drop for HostSession {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}

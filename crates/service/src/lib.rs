@@ -17,6 +17,18 @@
 //! slow scheduler fills the ingestion channel, which blocks the request
 //! source, which (on TCP) stops reading the socket.
 //!
+//! ## Multi-tenant hosting
+//!
+//! [`ClusterHost`] promotes the one-session service into a long-lived
+//! multi-session server: one persistent engine run (warm solution cache,
+//! warm solver workspace) multiplexing many concurrent sessions through a
+//! shared admission queue with per-tenant in-flight quotas
+//! ([`ServiceError::AdmissionRejected`] in-band when exceeded) and
+//! deficit-round-robin fairness. [`TcpClusterServer`] serves concurrent
+//! TCP clients against one host; requests may carry a `tenant` wire
+//! field. Every admitted request is journaled ([`Journal`]) with its
+//! arrival sequence.
+//!
 //! ## Determinism
 //!
 //! The service preserves the workspace's byte-identity discipline: an
@@ -26,21 +38,33 @@
 //! schedule — under either engine mode and either
 //! [`waterwise_cluster::ClockMode`]. The property test
 //! `tests/online_equivalence.rs` enforces this, and the `fig17_service`
-//! benchmark re-asserts it over the TCP path. See `docs/ONLINE_SERVICE.md`
-//! for the operator-facing picture (wire format, clock modes, shutdown).
+//! benchmark re-asserts it over the TCP path. Multi-session runs extend
+//! the discipline: tie order is pinned by per-session sequence bands, and
+//! replaying the admission journal offline ([`Journal::replay`])
+//! reproduces the live schedule byte-identically regardless of how the
+//! session threads interleaved (`tests/multi_session_equivalence.rs`).
+//! See `docs/ONLINE_SERVICE.md` for the operator-facing picture (wire
+//! format, tenancy, clock modes, shutdown).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod admission;
 pub mod error;
+pub mod host;
+pub mod journal;
 pub mod request;
 pub mod service;
 pub mod source;
+mod sync;
 pub mod tcp;
 pub mod wire;
 
+pub use admission::{AdmissionConfig, AdmissionMode, TenantId, TenantReport};
 pub use error::ServiceError;
+pub use host::{ClusterHost, HostConfig, HostReport, HostSession};
+pub use journal::{Journal, JournalEntry, ReplayOutcome};
 pub use request::{PlacementRequest, PlacementResponse};
 pub use service::{PlacementService, ServiceConfig, ServiceReport};
 pub use source::{channel_source, ChannelSource, RequestSender, RequestSource};
-pub use tcp::TcpPlacementServer;
+pub use tcp::{TcpClusterServer, TcpPlacementServer};

@@ -4,6 +4,7 @@
 use crate::error::ServiceError;
 use crate::request::PlacementResponse;
 use crate::source::RequestSource;
+use crate::sync::{join_or_resume, lock_clean};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
@@ -214,10 +215,7 @@ impl PlacementService {
                             source.reject(&request, &ServiceError::DuplicateRequest { id });
                             continue;
                         }
-                        in_flight
-                            .lock()
-                            .expect("in-flight map lock")
-                            .insert(id, request.spec.clone());
+                        lock_clean(in_flight).insert(id, request.spec.clone());
                         if job_tx.send(request.spec).is_err() {
                             // The engine stopped (its error surfaces from
                             // run_online); stop pulling requests.
@@ -235,10 +233,7 @@ impl PlacementService {
                 move || -> Result<usize, ServiceError> {
                     let mut served = 0usize;
                     for notice in notice_rx.iter() {
-                        let spec = in_flight
-                            .lock()
-                            .expect("in-flight map lock")
-                            .remove(&notice.job);
+                        let spec = lock_clean(in_flight).remove(&notice.job);
                         // Every notice stems from an ingested request, so
                         // the spec is always present; tolerate its absence
                         // rather than poisoning the session.
@@ -268,8 +263,8 @@ impl PlacementService {
                     interrupt();
                 }
             }
-            let ingestion_result = ingestion.join().expect("ingestion thread panicked");
-            let enrichment_result = enrichment.join().expect("enrichment thread panicked");
+            let ingestion_result = join_or_resume(ingestion);
+            let enrichment_result = join_or_resume(enrichment);
 
             // Error priority: the source's own failure, then a closed
             // response sink (the root cause behind the engine's
@@ -300,9 +295,15 @@ impl PlacementService {
         std::thread::scope(|scope| {
             let collector = scope.spawn(move || rx.iter().collect::<Vec<_>>());
             let report = self.serve(source, scheduler, tx);
-            let responses = collector.join().expect("collector thread panicked");
+            let responses = join_or_resume(collector);
             Ok((report?, responses))
         })
+    }
+
+    /// The simulator backing the service — the multi-session host drives
+    /// its persistent engine run (and journal replays) through this.
+    pub(crate) fn simulator(&self) -> &Simulator<Arc<SyntheticTelemetry>> {
+        &self.simulator
     }
 
     /// Turn an engine placement notice into a client-facing response:
@@ -310,7 +311,7 @@ impl PlacementService {
     /// at the projected start and evaluate deadline feasibility — all on
     /// the scheduler-visible *estimates*, mirroring the information the
     /// placement was made with.
-    fn enrich(&self, notice: PlacementNotice, spec: &JobSpec) -> PlacementResponse {
+    pub(crate) fn enrich(&self, notice: PlacementNotice, spec: &JobSpec) -> PlacementResponse {
         let conditions = self
             .telemetry
             .conditions(notice.region, notice.projected_start);

@@ -1,0 +1,47 @@
+//! Poison-recovering synchronization helpers.
+//!
+//! The service shares small maps and the admission state across its
+//! ingestion/enrichment/session threads behind mutexes. A panicking holder
+//! poisons the lock, and the default `.lock().expect(...)` response turns
+//! that one panic into a cascade that takes the whole host down with an
+//! unrelated message — the DET003 failure class the workspace lint bans in
+//! schedule-affecting crates. These helpers implement the sanctioned
+//! recovery instead: locks are taken poison-recovering (every protected
+//! invariant here survives a mid-update panic, because updates are either
+//! single writes or are re-validated by the reader), and joined threads
+//! re-raise their own panic payload via [`std::panic::resume_unwind`] so
+//! the original failure surfaces with its original message.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{JoinHandle, ScopedJoinHandle};
+
+/// Lock `mutex`, recovering the guard from a poisoned lock. Callers must
+/// only protect state that stays consistent across a panicking holder (see
+/// module docs).
+pub(crate) fn lock_clean<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on `condvar`, recovering the re-acquired guard from a poisoned
+/// lock.
+pub(crate) fn wait_clean<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Join a scoped thread, propagating its panic — if any — with the
+/// original payload instead of a generic `.expect` message.
+pub(crate) fn join_or_resume<T>(handle: ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// [`join_or_resume`] for owned (non-scoped) threads — the host's
+/// long-lived engine thread.
+pub(crate) fn join_owned_or_resume<T>(handle: JoinHandle<T>) -> T {
+    match handle.join() {
+        Ok(value) => value,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}

@@ -10,15 +10,29 @@
 //! remaining responses, and closes. See `docs/ONLINE_SERVICE.md` for the
 //! full protocol, a worked example, and the shutdown semantics.
 
+use crate::admission::TenantId;
 use crate::error::ServiceError;
+use crate::host::{ClusterHost, HostSession};
 use crate::request::PlacementRequest;
 use crate::service::{PlacementService, ServiceReport};
 use crate::source::RequestSource;
+use crate::sync::{join_or_resume, lock_clean};
 use crate::wire;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use waterwise_cluster::Scheduler;
+
+/// The typed `code` field of in-band error lines, by failure class.
+pub(crate) fn error_code_for(error: &ServiceError) -> &'static str {
+    match error {
+        ServiceError::MalformedRequest { .. } => "malformed",
+        ServiceError::DuplicateRequest { .. } => "duplicate",
+        ServiceError::AdmissionRejected { .. } => "admission_rejected",
+        ServiceError::ServiceStopped | ServiceError::SessionLimit { .. } => "session_closed",
+        _ => "error",
+    }
+}
 
 /// A TCP listener serving the placement wire protocol.
 ///
@@ -88,7 +102,7 @@ impl TcpPlacementServer {
                 move || -> Result<(), ServiceError> {
                     for response in response_rx.iter() {
                         let line = wire::encode_response(&response);
-                        let mut guard = writer.lock().expect("response writer lock");
+                        let mut guard = lock_clean(&writer);
                         guard.write_all(line.as_bytes())?;
                         guard.write_all(b"\n")?;
                         guard.flush()?;
@@ -97,7 +111,7 @@ impl TcpPlacementServer {
                 }
             });
             let report = service.serve(source, scheduler, response_tx);
-            let written = response_writer.join().expect("response writer panicked");
+            let written = join_or_resume(response_writer);
             let report = report?;
             // A broken client pipe surfaces as ResponseSinkClosed through
             // `serve` (the writer drops the receiver); only report a write
@@ -120,14 +134,201 @@ struct TcpSource {
 }
 
 impl TcpSource {
-    fn write_error(&self, job: Option<waterwise_traces::JobId>, message: &str) {
-        let line = wire::encode_error(job, message);
-        if let Ok(mut guard) = self.writer.lock() {
-            // A client that hung up cannot receive its error report;
-            // dropping it is fine (the read side notices the hangup).
-            let _ = guard.write_all(line.as_bytes());
-            let _ = guard.write_all(b"\n");
-            let _ = guard.flush();
+    fn write_error(&self, code: &str, job: Option<waterwise_traces::JobId>, message: &str) {
+        write_error_line(&self.writer, code, job, message);
+    }
+}
+
+/// Write one in-band error line under the shared writer lock. A client
+/// that hung up cannot receive its error report; dropping it is fine (the
+/// read side notices the hangup).
+pub(crate) fn write_error_line(
+    writer: &Mutex<TcpStream>,
+    code: &str,
+    job: Option<waterwise_traces::JobId>,
+    message: &str,
+) {
+    let line = wire::encode_error(code, job, message);
+    let mut guard = lock_clean(writer);
+    let _ = guard.write_all(line.as_bytes());
+    let _ = guard.write_all(b"\n");
+    let _ = guard.flush();
+}
+
+/// The multi-session TCP front-end: concurrent client connections served
+/// against one [`ClusterHost`] (one persistent engine run, shared
+/// admission queue, per-tenant quotas and fairness).
+///
+/// The wire protocol is the single-session one plus an optional `tenant`
+/// string field per request: absent, a request is admitted under its
+/// connection's default tenant (`client-<accept index>`). Per-request
+/// failures — malformed lines, duplicate ids, quota rejections
+/// (`"code":"admission_rejected"`) — are answered in-band and the session
+/// keeps going; a client ends its session by half-closing, and its
+/// remaining responses are flushed before the server closes the
+/// connection. An abrupt disconnect discards that session's undelivered
+/// responses without disturbing the other sessions or the host.
+pub struct TcpClusterServer {
+    listener: TcpListener,
+}
+
+impl TcpClusterServer {
+    /// Bind the listener (port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServiceError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Accept `sessions` connections and serve them **concurrently**
+    /// against `host`, returning once every session has ended and
+    /// drained. Pair the session count with the host's admission mode
+    /// ([`crate::AdmissionMode::Streaming`] `close_after_sessions` or
+    /// [`crate::AdmissionMode::Gated`] `sessions`): the host auto-closing
+    /// after the final session is what lets the engine drain the last
+    /// placements (under the discrete clock nothing else advances time),
+    /// and therefore what lets this call return.
+    ///
+    /// The first session-level failure (transport setup, session-limit) is
+    /// returned after all sessions finish; in-band per-request errors are
+    /// not failures.
+    pub fn serve_sessions(&self, host: &ClusterHost, sessions: usize) -> Result<(), ServiceError> {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(sessions);
+            let mut accept_error = None;
+            for index in 0..sessions {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        handles.push(scope.spawn(move || {
+                            serve_host_session(
+                                host,
+                                stream,
+                                TenantId::new(format!("client-{index}")),
+                            )
+                        }));
+                    }
+                    Err(e) => {
+                        accept_error = Some(ServiceError::from(e));
+                        break;
+                    }
+                }
+            }
+            let mut result = match accept_error {
+                Some(error) => Err(error),
+                None => Ok(()),
+            };
+            for handle in handles {
+                let session_result = join_or_resume(handle);
+                if result.is_ok() {
+                    result = session_result;
+                }
+            }
+            result
+        })
+    }
+}
+
+/// Serve one accepted connection as one host session: read requests (with
+/// optional per-request tenant override), answer failures in-band, stream
+/// placements back from the session outbox, and end the session at EOF.
+fn serve_host_session(
+    host: &ClusterHost,
+    stream: TcpStream,
+    default_tenant: TenantId,
+) -> Result<(), ServiceError> {
+    let session = match host.open_session(default_tenant) {
+        Ok(session) => session,
+        Err(error) => {
+            // Tell the client why before hanging up.
+            let writer = Mutex::new(stream);
+            write_error_line(&writer, error_code_for(&error), None, &error.to_string());
+            return Err(error);
+        }
+    };
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    let responses = session.take_responses();
+    std::thread::scope(|scope| {
+        let response_writer = scope.spawn({
+            let writer = writer.clone();
+            move || -> bool {
+                let Some(responses) = responses else {
+                    return true;
+                };
+                for response in responses.iter() {
+                    let line = wire::encode_response(&response);
+                    let mut guard = lock_clean(&writer);
+                    let written = guard
+                        .write_all(line.as_bytes())
+                        .and_then(|_| guard.write_all(b"\n"))
+                        .and_then(|_| guard.flush());
+                    if written.is_err() {
+                        // Dead client: stop draining; the reader notices
+                        // the hangup and the session is abandoned.
+                        return false;
+                    }
+                }
+                true
+            }
+        });
+        read_session_requests(&session, &mut reader, &writer);
+        session.finish();
+        let client_alive = join_or_resume(response_writer);
+        if !client_alive {
+            // Discard undelivered responses instead of filling the outbox.
+            session.abandon();
+        }
+    });
+    Ok(())
+}
+
+/// The per-connection read loop: parse, submit, report failures in-band.
+/// Returns at EOF or on a transport error (both end the request stream).
+fn read_session_requests(
+    session: &HostSession,
+    reader: &mut BufReader<TcpStream>,
+    writer: &Arc<Mutex<TcpStream>>,
+) {
+    let mut line_no = 0usize;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF: client half-closed its write side.
+            Ok(_) => {}
+            Err(_) => return, // Abrupt disconnect: treat as end of stream.
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue; // Blank lines are keep-alive no-ops.
+        }
+        match wire::parse_tenant_request(trimmed) {
+            Ok((tenant, request)) => {
+                let id = request.spec.id;
+                let submitted = match tenant {
+                    Some(name) => session.submit_as(&TenantId::from(name), request.spec),
+                    None => session.submit(request.spec),
+                };
+                if let Err(error) = submitted {
+                    write_error_line(writer, error_code_for(&error), Some(id), &error.to_string());
+                    if matches!(error, ServiceError::ServiceStopped) {
+                        // The host is gone; nothing further can be served.
+                        return;
+                    }
+                }
+            }
+            Err(message) => {
+                let error = ServiceError::MalformedRequest {
+                    line: line_no,
+                    message,
+                };
+                write_error_line(writer, error_code_for(&error), None, &error.to_string());
+            }
         }
     }
 }
@@ -157,14 +358,18 @@ impl RequestSource for TcpSource {
                         line: self.line,
                         message,
                     };
-                    self.write_error(None, &error.to_string());
+                    self.write_error(error_code_for(&error), None, &error.to_string());
                 }
             }
         }
     }
 
     fn reject(&mut self, request: &PlacementRequest, error: &ServiceError) {
-        self.write_error(Some(request.spec.id), &error.to_string());
+        self.write_error(
+            error_code_for(error),
+            Some(request.spec.id),
+            &error.to_string(),
+        );
     }
 
     fn interrupter(&self) -> Option<Box<dyn Fn() + Send>> {

@@ -29,7 +29,7 @@ use waterwise_traces::{Benchmark, JobId, JobSpec};
 
 /// A parsed flat JSON value.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Number(f64),
     String(String),
     Bool(bool),
@@ -49,8 +49,10 @@ impl Value {
 
 /// Parse one flat JSON object (`{"key": value, ...}` with number / string /
 /// boolean / null values) into a key→value map. Nested objects and arrays
-/// are rejected — the wire format never uses them.
-fn parse_flat_object(line: &str) -> Result<HashMap<String, Value>, String> {
+/// are rejected — the wire format never uses them. Shared with the
+/// admission journal codec (`crate::journal`), which reuses the request
+/// grammar plus `seq`/`tenant` fields.
+pub(crate) fn parse_flat_object(line: &str) -> Result<HashMap<String, Value>, String> {
     let mut chars = line.char_indices().peekable();
     let mut fields = HashMap::new();
 
@@ -162,7 +164,7 @@ fn parse_flat_object(line: &str) -> Result<HashMap<String, Value>, String> {
     Ok(fields)
 }
 
-fn number(fields: &HashMap<String, Value>, key: &str) -> Result<Option<f64>, String> {
+pub(crate) fn number(fields: &HashMap<String, Value>, key: &str) -> Result<Option<f64>, String> {
     match fields.get(key) {
         None | Some(Value::Null) => Ok(None),
         // Rust's f64 parser accepts "inf"/"NaN", and a valid-JSON 1e999
@@ -188,7 +190,10 @@ fn non_negative(value: f64, key: &str) -> Result<f64, String> {
     }
 }
 
-fn string<'a>(fields: &'a HashMap<String, Value>, key: &str) -> Result<Option<&'a str>, String> {
+pub(crate) fn string<'a>(
+    fields: &'a HashMap<String, Value>,
+    key: &str,
+) -> Result<Option<&'a str>, String> {
     match fields.get(key) {
         None | Some(Value::Null) => Ok(None),
         Some(Value::String(s)) => Ok(Some(s)),
@@ -213,7 +218,29 @@ fn string<'a>(fields: &'a HashMap<String, Value>, key: &str) -> Result<Option<&'
 /// error instead of reaching the engine and failing the whole session.
 pub fn parse_request(line: &str) -> Result<PlacementRequest, String> {
     let fields = parse_flat_object(line)?;
-    let id = number(&fields, "id")?.ok_or("missing required field: id")?;
+    request_from_fields(&fields)
+}
+
+/// [`parse_request`] plus the multi-tenant host's optional `tenant` field
+/// (a non-empty string naming the tenant the request is admitted and
+/// quota-accounted under; absent/null means the session's default tenant).
+pub fn parse_tenant_request(line: &str) -> Result<(Option<String>, PlacementRequest), String> {
+    let fields = parse_flat_object(line)?;
+    let tenant = match string(&fields, "tenant")? {
+        None => None,
+        Some("") => return Err("tenant must be a non-empty string".to_string()),
+        Some(name) => Some(name.to_string()),
+    };
+    Ok((tenant, request_from_fields(&fields)?))
+}
+
+/// The request grammar over already-parsed fields — shared by
+/// [`parse_request`], [`parse_tenant_request`], and the admission journal
+/// codec.
+pub(crate) fn request_from_fields(
+    fields: &HashMap<String, Value>,
+) -> Result<PlacementRequest, String> {
+    let id = number(fields, "id")?.ok_or("missing required field: id")?;
     // Ids ride through an f64 (the JSON number type), which is exact only
     // up to 2^53; a larger id would silently round, answering the client
     // with a different id than it sent and colliding distinct ids into
@@ -227,47 +254,43 @@ pub fn parse_request(line: &str) -> Result<PlacementRequest, String> {
             "id must be a non-negative integer below 2^53, got {id}"
         ));
     }
-    let benchmark_name =
-        string(&fields, "benchmark")?.ok_or("missing required field: benchmark")?;
+    let benchmark_name = string(fields, "benchmark")?.ok_or("missing required field: benchmark")?;
     let benchmark = Benchmark::from_name(benchmark_name)
         .ok_or_else(|| format!("unknown benchmark {benchmark_name:?}"))?;
     let region_name =
-        string(&fields, "home_region")?.ok_or("missing required field: home_region")?;
+        string(fields, "home_region")?.ok_or("missing required field: home_region")?;
     let home_region = Region::from_name(region_name)
         .ok_or_else(|| format!("unknown home_region {region_name:?}"))?;
 
-    let plain_time = number(&fields, "execution_time")?;
+    let plain_time = number(fields, "execution_time")?;
     let actual_execution_time = non_negative(
-        number(&fields, "actual_execution_time")?
+        number(fields, "actual_execution_time")?
             .or(plain_time)
             .ok_or("missing execution time: provide execution_time or actual_execution_time")?,
         "execution time",
     )?;
     let estimated_execution_time = non_negative(
-        number(&fields, "estimated_execution_time")?
+        number(fields, "estimated_execution_time")?
             .or(plain_time)
             .unwrap_or(actual_execution_time),
         "estimated_execution_time",
     )?;
-    let plain_energy = number(&fields, "energy")?;
+    let plain_energy = number(fields, "energy")?;
     let actual_energy = non_negative(
-        number(&fields, "actual_energy")?
+        number(fields, "actual_energy")?
             .or(plain_energy)
             .ok_or("missing energy: provide energy or actual_energy")?,
         "energy",
     )?;
     let estimated_energy = non_negative(
-        number(&fields, "estimated_energy")?
+        number(fields, "estimated_energy")?
             .or(plain_energy)
             .unwrap_or(actual_energy),
         "estimated_energy",
     )?;
 
-    let submit_time = non_negative(
-        number(&fields, "submit_time")?.unwrap_or(0.0),
-        "submit_time",
-    )?;
-    let package_bytes = match number(&fields, "package_bytes")? {
+    let submit_time = non_negative(number(fields, "submit_time")?.unwrap_or(0.0), "submit_time")?;
+    let package_bytes = match number(fields, "package_bytes")? {
         None => 0,
         Some(b) if b >= 0.0 && b.fract() == 0.0 && b <= u64::MAX as f64 => b as u64,
         Some(b) => {
@@ -317,10 +340,28 @@ pub fn parse_request(line: &str) -> Result<PlacementRequest, String> {
 /// assert_eq!(wire::parse_request(&line).unwrap().spec, spec);
 /// ```
 pub fn encode_request(spec: &JobSpec) -> String {
+    format!("{{{}}}", request_fields(spec))
+}
+
+/// [`encode_request`] with the multi-tenant host's `tenant` field — the
+/// stream shape multi-session clients (and the `fig17_service` benchmark's
+/// tenant cells) write.
+pub fn encode_tenant_request(tenant: &str, spec: &JobSpec) -> String {
     format!(
-        "{{\"id\":{},\"benchmark\":{},\"home_region\":{},\"submit_time\":{},\
+        "{{\"tenant\":{},{}}}",
+        json_string(tenant),
+        request_fields(spec)
+    )
+}
+
+/// The request's field list without the surrounding braces, so wrappers
+/// (tenant requests, journal entries) can prepend their own fields while
+/// keeping exactly one codec for the spec itself.
+pub(crate) fn request_fields(spec: &JobSpec) -> String {
+    format!(
+        "\"id\":{},\"benchmark\":{},\"home_region\":{},\"submit_time\":{},\
          \"actual_execution_time\":{},\"estimated_execution_time\":{},\
-         \"actual_energy\":{},\"estimated_energy\":{},\"package_bytes\":{}}}",
+         \"actual_energy\":{},\"estimated_energy\":{},\"package_bytes\":{}",
         spec.id.0,
         json_string(spec.benchmark.name()),
         json_string(spec.home_region.name()),
@@ -351,7 +392,7 @@ pub fn placement_job_id(line: &str) -> Option<u64> {
 
 /// Render a JSON number (non-finite values become `null`, which the engine
 /// rejects before they could ever reach a response anyway).
-fn json_number(value: f64) -> String {
+pub(crate) fn json_number(value: f64) -> String {
     if value.is_finite() {
         format!("{value}")
     } else {
@@ -360,7 +401,7 @@ fn json_number(value: f64) -> String {
 }
 
 /// Escape a string for embedding in a JSON value position.
-fn json_string(value: &str) -> String {
+pub(crate) fn json_string(value: &str) -> String {
     let mut out = String::with_capacity(value.len() + 2);
     out.push('"');
     for c in value.chars() {
@@ -414,18 +455,38 @@ pub fn encode_response(response: &PlacementResponse) -> String {
 }
 
 /// Encode one in-band error line (without the trailing newline), reported
-/// for requests that never reached the engine.
-pub fn encode_error(job: Option<JobId>, message: &str) -> String {
+/// for requests that never reached the engine. `code` is the typed,
+/// machine-matchable failure class (`"malformed"`, `"duplicate"`,
+/// `"admission_rejected"`, `"session_closed"`); `message` is the
+/// human-readable rendering.
+pub fn encode_error(code: &str, job: Option<JobId>, message: &str) -> String {
     match job {
         Some(job) => format!(
-            "{{\"type\":\"error\",\"job\":{},\"message\":{}}}",
+            "{{\"type\":\"error\",\"code\":{},\"job\":{},\"message\":{}}}",
+            json_string(code),
             job.0,
             json_string(message)
         ),
         None => format!(
-            "{{\"type\":\"error\",\"message\":{}}}",
+            "{{\"type\":\"error\",\"code\":{},\"message\":{}}}",
+            json_string(code),
             json_string(message)
         ),
+    }
+}
+
+/// Extract the `code` of an in-band error line; `None` for non-error lines
+/// or garbage. The client-side inverse of [`encode_error`], used by tests
+/// and load generators to assert on typed rejections.
+pub fn error_code(line: &str) -> Option<String> {
+    let fields = parse_flat_object(line).ok()?;
+    match fields.get("type") {
+        Some(Value::String(kind)) if kind == "error" => {}
+        _ => return None,
+    }
+    match fields.get("code") {
+        Some(Value::String(code)) => Some(code.clone()),
+        _ => None,
     }
 }
 
@@ -563,10 +624,47 @@ mod tests {
         assert_eq!(fields["deadline_feasible"], Value::Bool(true));
         assert_eq!(fields["solver_pivots"], Value::Number(40.0));
 
-        let error = encode_error(Some(JobId(4)), "duplicate \"id\"");
+        let error = encode_error("duplicate", Some(JobId(4)), "duplicate \"id\"");
         let fields = parse_flat_object(&error).unwrap();
         assert_eq!(fields["type"], Value::String("error".into()));
+        assert_eq!(fields["code"], Value::String("duplicate".into()));
         assert_eq!(fields["message"], Value::String("duplicate \"id\"".into()));
+        assert_eq!(error_code(&error).as_deref(), Some("duplicate"));
+        assert_eq!(error_code(&line), None);
+        assert_eq!(error_code("garbage"), None);
+    }
+
+    #[test]
+    fn tenant_requests_round_trip() {
+        let spec = JobSpec {
+            id: JobId(11),
+            benchmark: Benchmark::Canneal,
+            submit_time: Seconds::new(30.0),
+            home_region: Region::Oregon,
+            actual_execution_time: Seconds::new(120.0),
+            actual_energy: KilowattHours::new(0.02),
+            estimated_execution_time: Seconds::new(120.0),
+            estimated_energy: KilowattHours::new(0.02),
+            package_bytes: 64,
+        };
+        let line = encode_tenant_request("team-a", &spec);
+        let (tenant, request) = parse_tenant_request(&line).unwrap();
+        assert_eq!(tenant.as_deref(), Some("team-a"));
+        assert_eq!(request.spec, spec);
+
+        // Plain requests parse with no tenant; plain `parse_request`
+        // ignores (and tolerates) the tenant field.
+        let (tenant, _) = parse_tenant_request(&encode_request(&spec)).unwrap();
+        assert_eq!(tenant, None);
+        assert_eq!(parse_request(&line).unwrap().spec, spec);
+
+        // An empty or non-string tenant is malformed, in-band.
+        assert!(parse_tenant_request(r#"{"tenant":"","id":1}"#)
+            .unwrap_err()
+            .contains("tenant"));
+        assert!(parse_tenant_request(r#"{"tenant":7,"id":1}"#)
+            .unwrap_err()
+            .contains("string"));
     }
 
     #[test]
