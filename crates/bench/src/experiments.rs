@@ -171,8 +171,16 @@ pub fn validate_scenarios(names: &[&str]) -> Result<(), String> {
 }
 
 /// The golden-snapshotted scenarios: the fig binaries' defaults in fig
-/// order, plus the multi-session host scenario pinned over live TCP.
-pub const SCENARIO_NAMES: [&str; 5] = ["fig05", "fig08", "fig14", "fig17", "server_multi"];
+/// order, plus the multi-session host scenario pinned over live TCP and
+/// the save→restart→resume persistence scenario.
+pub const SCENARIO_NAMES: [&str; 6] = [
+    "fig05",
+    "fig08",
+    "fig14",
+    "fig17",
+    "server_multi",
+    "server_resume",
+];
 
 // ---------------------------------------------------------------------------
 // Fig. 1 — carbon intensity and EWIF per energy source
@@ -1857,6 +1865,220 @@ pub fn sens_request_rate(scale: ExperimentScale) -> Vec<Table> {
         table.row(&[format!("{multiplier:.1}x"), pct(carbon), pct(water)]);
     }
     vec![table]
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 19 — durable warm state: sweep → snapshot save → fresh load → re-sweep
+// (this reproduction's own study; not a figure of the paper)
+// ---------------------------------------------------------------------------
+
+/// One sweep of the Fig. 19 persistence study: the schedule digest plus the
+/// cache traffic and decision latency the sweep produced.
+///
+/// [`Fig19Run::encode`] / [`Fig19Run::parse`] carry a run across a process
+/// boundary as a single machine-readable line — the `fig19_persist` binary
+/// runs the resumed sweep in a freshly spawned process so the snapshot file
+/// is the *only* state shared with the cold sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig19Run {
+    /// `cold` or `resumed`.
+    pub label: String,
+    /// Jobs scheduled by the sweep.
+    pub jobs: usize,
+    /// Order-sensitive digest of the sweep's schedule.
+    pub digest: u64,
+    /// Exact cache hits during the sweep.
+    pub exact_hits: usize,
+    /// Total cache lookups during the sweep.
+    pub lookups: usize,
+    /// Mean per-decision scheduler latency, milliseconds.
+    pub mean_decision_ms: f64,
+    /// Whole-sweep wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Cache entries at the end of the sweep.
+    pub cache_entries: usize,
+}
+
+impl Fig19Run {
+    /// Fraction of lookups answered by an exact hit (0.0 when the sweep
+    /// never consulted the cache).
+    pub fn exact_hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.exact_hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// The single-line wire form: `fig19-run key=value ...`.
+    pub fn encode(&self) -> String {
+        format!(
+            "fig19-run label={} jobs={} digest={:016x} exact_hits={} lookups={} \
+             mean_decision_ms={:?} wall_ms={:?} cache_entries={}",
+            self.label,
+            self.jobs,
+            self.digest,
+            self.exact_hits,
+            self.lookups,
+            self.mean_decision_ms,
+            self.wall_ms,
+            self.cache_entries,
+        )
+    }
+
+    /// Parse one [`Fig19Run::encode`] line; `None` for any other line.
+    pub fn parse(line: &str) -> Option<Self> {
+        let rest = line.trim().strip_prefix("fig19-run ")?;
+        let mut run = Fig19Run {
+            label: String::new(),
+            jobs: 0,
+            digest: 0,
+            exact_hits: 0,
+            lookups: 0,
+            mean_decision_ms: f64::NAN,
+            wall_ms: f64::NAN,
+            cache_entries: 0,
+        };
+        for pair in rest.split_whitespace() {
+            let (key, value) = pair.split_once('=')?;
+            match key {
+                "label" => run.label = value.to_string(),
+                "jobs" => run.jobs = value.parse().ok()?,
+                "digest" => run.digest = u64::from_str_radix(value, 16).ok()?,
+                "exact_hits" => run.exact_hits = value.parse().ok()?,
+                "lookups" => run.lookups = value.parse().ok()?,
+                "mean_decision_ms" => run.mean_decision_ms = value.parse().ok()?,
+                "wall_ms" => run.wall_ms = value.parse().ok()?,
+                "cache_entries" => run.cache_entries = value.parse().ok()?,
+                _ => return None,
+            }
+        }
+        if run.label.is_empty() {
+            return None;
+        }
+        Some(run)
+    }
+}
+
+/// One Fig. 19 sweep against the snapshot at `cache_path`: build the
+/// campaign with [`Campaign::try_new`] (warm-loading the snapshot if it
+/// exists), run WaterWise once, persist the cache back, and report the
+/// sweep's digest, cache traffic, and latency.
+fn fig19_sweep(scenario: &Scenario, cache_path: &Path, label: &str) -> Fig19Run {
+    use std::time::Instant;
+    let config = scenario.config.clone().with_cache_path(cache_path);
+    let campaign = Campaign::try_new(config).expect("fig19 campaign must build");
+    let cache = campaign
+        .solution_cache()
+        .expect("a cache path implies a cache handle")
+        .clone();
+    let before = cache.stats();
+    let started = Instant::now();
+    let outcome = campaign
+        .run(SchedulerKind::WaterWise)
+        .expect("fig19 campaign must run");
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let after = cache.stats();
+    campaign.save_cache().expect("fig19 snapshot must save");
+    Fig19Run {
+        label: label.to_string(),
+        jobs: outcome.summary.total_jobs,
+        digest: waterwise_cluster::schedule_digest(&outcome.report.outcomes),
+        exact_hits: after.exact_hits - before.exact_hits,
+        lookups: after.lookups() - before.lookups(),
+        mean_decision_ms: outcome.summary.mean_decision_time.value() * 1000.0,
+        wall_ms,
+        cache_entries: cache.len(),
+    }
+}
+
+/// The cold half of Fig. 19: sweep from an empty cache (the snapshot file
+/// must not exist yet) and save the snapshot.
+pub fn fig19_cold(scenario: &Scenario, cache_path: &Path) -> Fig19Run {
+    assert!(
+        !cache_path.exists(),
+        "fig19 cold sweep requires a fresh snapshot path"
+    );
+    fig19_sweep(scenario, cache_path, "cold")
+}
+
+/// The resumed half of Fig. 19: warm-load the snapshot written by
+/// [`fig19_cold`] and re-sweep. Panics if the snapshot did not actually
+/// arrive warm.
+pub fn fig19_resumed(scenario: &Scenario, cache_path: &Path) -> Fig19Run {
+    assert!(
+        cache_path.exists(),
+        "fig19 resumed sweep requires the saved snapshot at {}",
+        cache_path.display()
+    );
+    let run = fig19_sweep(scenario, cache_path, "resumed");
+    assert!(
+        run.cache_entries > 0,
+        "the resumed sweep loaded an empty snapshot"
+    );
+    run
+}
+
+/// Render the Fig. 19 comparison and enforce its acceptance properties:
+/// the resumed sweep's schedule is byte-identical to the cold sweep's
+/// (same digest) and at least 90% of its lookups are exact hits.
+pub fn fig19_tables(cold: &Fig19Run, resumed: &Fig19Run) -> Vec<Table> {
+    assert_eq!(
+        cold.digest, resumed.digest,
+        "resumed-from-snapshot sweep diverged from the cold sweep"
+    );
+    assert_eq!(cold.jobs, resumed.jobs, "sweeps scheduled different jobs");
+    assert!(
+        resumed.exact_hit_rate() >= 0.9,
+        "resumed sweep exact-hit rate {:.1}% is below the 90% floor ({} / {} lookups)",
+        resumed.exact_hit_rate() * 100.0,
+        resumed.exact_hits,
+        resumed.lookups,
+    );
+    let mut table = Table::new(
+        "Fig. 19 — durable warm state: cold sweep vs resumed-from-snapshot sweep",
+        &[
+            "mode",
+            "jobs",
+            "cache entries",
+            "exact hits",
+            "lookups",
+            "exact-hit rate",
+            "mean decision (ms)",
+            "sweep wall (ms)",
+            "digest",
+        ],
+    );
+    for run in [cold, resumed] {
+        table.row(&[
+            run.label.clone(),
+            run.jobs.to_string(),
+            run.cache_entries.to_string(),
+            run.exact_hits.to_string(),
+            run.lookups.to_string(),
+            format!("{:.0}%", run.exact_hit_rate() * 100.0),
+            fmt2(run.mean_decision_ms),
+            fmt2(run.wall_ms),
+            format!("{:016x}", run.digest),
+        ]);
+    }
+    vec![table]
+}
+
+/// Fig. 19 in one process: cold sweep, snapshot save, warm-load into a
+/// brand-new campaign, re-sweep. The `fig19_persist` binary runs the
+/// resumed half in a *spawned* process instead — same functions, with the
+/// snapshot file as the only shared state.
+pub fn fig19_persist(scenario: &Scenario) -> Vec<Table> {
+    let dir = std::env::temp_dir().join(format!("ww-fig19-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create fig19 scratch dir");
+    let cache_path = dir.join("cache.snapshot");
+    let _ = std::fs::remove_file(&cache_path);
+    let cold = fig19_cold(scenario, &cache_path);
+    let resumed = fig19_resumed(scenario, &cache_path);
+    let tables = fig19_tables(&cold, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+    tables
 }
 
 #[cfg(test)]

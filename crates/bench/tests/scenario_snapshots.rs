@@ -371,6 +371,50 @@ fn server_multi_scenario_live_tcp_sessions_match_golden() {
     );
 }
 
+#[test]
+fn server_resume_scenario_pins_a_save_restart_resume_cycle() {
+    let scenario = load("server_resume");
+    let dir = std::env::temp_dir().join(format!("ww-resume-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let cache_path = dir.join("cache.snapshot");
+    let _ = std::fs::remove_file(&cache_path);
+    let config = scenario.config.clone().with_cache_path(&cache_path);
+
+    // Cold half: sweep from an empty cache, persist the snapshot.
+    let cold_campaign = Campaign::try_new(config.clone()).expect("cold start");
+    let cold = cold_campaign
+        .run(SchedulerKind::WaterWise)
+        .expect("cold campaign must run");
+    assert!(cold_campaign.save_cache().expect("snapshot must save"));
+
+    // "Restart": a brand-new campaign whose only link to the cold run is
+    // the snapshot file on disk.
+    let resumed_campaign = Campaign::try_new(config).expect("warm load");
+    let cache = resumed_campaign
+        .solution_cache()
+        .expect("cache path implies a handle");
+    assert!(!cache.is_empty(), "the snapshot must arrive warm");
+    let resumed = resumed_campaign
+        .run(SchedulerKind::WaterWise)
+        .expect("resumed campaign must run");
+
+    // resume == uninterrupted (ARCHITECTURE.md invariant table).
+    assert_eq!(
+        cold.report.outcomes, resumed.report.outcomes,
+        "resumed-from-disk schedule diverged from the cold run"
+    );
+    assert!(
+        cache.stats().exact_hits > 0,
+        "the resumed sweep never hit the loaded entries"
+    );
+
+    let mut snap = Snapshot::new();
+    add_outcome(&mut snap, "cold", &cold);
+    add_outcome(&mut snap, "resumed", &resumed);
+    assert_snapshot(&snapshots_dir(), "server_resume", &snap.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------------
 // Determinism sweep: engine mode × warm/cold × cache mode, per scenario
 // ---------------------------------------------------------------------------

@@ -51,4 +51,7 @@ pub use sched::{
 // Engine-mode types, re-exported so campaign drivers can pick the pipelined
 // engine without depending on `waterwise-cluster` directly.
 pub use waterwise_cluster::{EngineMode, PipelineStats};
-pub use waterwise_milp::{CacheStats, SolutionCache, SolutionCacheHandle};
+pub use waterwise_milp::{
+    solver_config_hash, CacheAutosave, CachePersistError, CacheStats, SolutionCache,
+    SolutionCacheHandle,
+};

@@ -201,6 +201,13 @@ impl Scenario {
             "estimate_water_error = {:?}",
             c.estimate_water_error
         ));
+        line(format!(
+            "cache_path = {}",
+            c.cache_path
+                .as_ref()
+                .map_or_else(|| "none".to_string(), |p| p.display().to_string())
+        ));
+        line(format!("cache_autosave = {}", c.cache_autosave));
         out
     }
 }
@@ -449,6 +456,8 @@ struct RawSpec {
     campaign_parallelism: Option<Parallelism>,
     estimate_carbon_error: Option<f64>,
     estimate_water_error: Option<f64>,
+    cache_path: Option<Option<std::path::PathBuf>>,
+    cache_autosave: Option<bool>,
 }
 
 /// Parse spec text into a [`Scenario`]. Strict: every line must be blank, a
@@ -784,6 +793,31 @@ fn set_key(
             key,
             line,
         ),
+        // `none` is the explicit no-persistence sentinel: `#` starts a
+        // comment anywhere on a line, so a literal path is any other
+        // non-empty `#`-free string.
+        (Section::Campaign, "cache_path") => store(
+            &mut raw.cache_path,
+            match value {
+                "none" => None,
+                "" => {
+                    return Err(ScenarioError::InvalidValue {
+                        line,
+                        key: "cache_path",
+                        message: "expected `none` or a snapshot file path".to_string(),
+                    })
+                }
+                path => Some(std::path::PathBuf::from(path)),
+            },
+            key,
+            line,
+        ),
+        (Section::Campaign, "cache_autosave") => store(
+            &mut raw.cache_autosave,
+            parse_bool(value, "cache_autosave", line)?,
+            key,
+            line,
+        ),
         (section, key) => Err(ScenarioError::UnknownKey {
             line,
             section: section.name(),
@@ -866,6 +900,8 @@ impl RawSpec {
         if let Some(error) = self.estimate_water_error {
             config.estimate_water_error = error;
         }
+        config.cache_path = self.cache_path.unwrap_or(None);
+        config.cache_autosave = self.cache_autosave.unwrap_or(false);
         if let Some(regions) = self.regions {
             config = config.with_regions(&regions);
         }

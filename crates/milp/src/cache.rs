@@ -73,55 +73,70 @@ pub type SolutionCacheHandle = Arc<SolutionCache>;
 const SHARDS: usize = 16;
 
 /// Default total entry capacity across all shards.
-const DEFAULT_CAPACITY: usize = 1024;
+///
+/// Sized from the observed shape of a persisted campaign sweep (the
+/// `fig15`/`fig19` 3×3 tolerance-by-weight matrix at a quarter day): each
+/// cell re-solves the same few dozen structural keys, and the nine cells
+/// write up to nine exact variants per key, so a full sweep occupies on the
+/// order of several hundred entries. The previous 1024-entry default left a
+/// warmed snapshot evicting its own tail once two sweeps shared a handle;
+/// 4096 keeps a saved-and-reloaded sweep fully resident (a snapshot of that
+/// size is a few hundred KiB on disk) while still bounding a long-lived
+/// host.
+const DEFAULT_CAPACITY: usize = 4096;
 
 /// Maximum exact-hash variants retained per structural key. Sized to cover a
 /// typical sweep axis (a 3×3 weight/tolerance matrix writes nine variants
-/// per key) with headroom; the oldest variant is evicted beyond this.
+/// per key) with headroom — which is also what makes a persisted snapshot
+/// useful: every axis cell of the saved sweep reloads as an exact hit
+/// instead of only the most recent one. The oldest variant is evicted
+/// beyond this.
 pub const VARIANTS_PER_KEY: usize = 16;
 
-/// 64-bit FNV-1a, the workspace's dependency-free hash.
+/// 64-bit FNV-1a, the workspace's dependency-free hash. Shared with the
+/// persistence codec ([`crate::persist`]), whose content checksum must be
+/// exactly this hash.
 #[derive(Debug, Clone, Copy)]
-struct Fnv(u64);
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write_u8(&mut self, byte: u8) {
+    pub(crate) fn write_u8(&mut self, byte: u8) {
         self.0 ^= u64::from(byte);
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
     }
 
-    fn write_u64(&mut self, value: u64) {
+    pub(crate) fn write_u64(&mut self, value: u64) {
         for byte in value.to_le_bytes() {
             self.write_u8(byte);
         }
     }
 
-    fn write_usize(&mut self, value: usize) {
+    pub(crate) fn write_usize(&mut self, value: usize) {
         self.write_u64(value as u64);
     }
 
-    fn write_i64(&mut self, value: i64) {
+    pub(crate) fn write_i64(&mut self, value: i64) {
         self.write_u64(value as u64);
     }
 
-    fn write_f64(&mut self, value: f64) {
+    pub(crate) fn write_f64(&mut self, value: f64) {
         // `to_bits` distinguishes -0.0 from 0.0 and every NaN payload; exact
         // hashes must be exactly as strict as `f64` equality-of-bits.
         self.write_u64(value.to_bits());
     }
 
-    fn write_str(&mut self, s: &str) {
+    pub(crate) fn write_str(&mut self, s: &str) {
         self.write_usize(s.len());
         for byte in s.as_bytes() {
             self.write_u8(*byte);
         }
     }
 
-    fn finish(self) -> u64 {
+    pub(crate) fn finish(self) -> u64 {
         self.0
     }
 }
@@ -559,6 +574,89 @@ impl SolutionCache {
             evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
+
+    /// Flatten the cache into a deterministic entry stream for the
+    /// persistence codec: shards in index order, keys in ascending
+    /// (`BTreeMap`) order within each shard, variants in bucket order.
+    /// [`SolutionCache::import`] rebuilds exactly this layout, so
+    /// export → import → export is byte-stable.
+    pub(crate) fn export(&self) -> CacheExport {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let shard = read_shard(shard);
+            for (key, bucket) in shard.iter() {
+                for entry in bucket {
+                    entries.push(ExportedEntry {
+                        key: *key,
+                        exact: entry.exact,
+                        status: entry.status,
+                        objective: entry.objective,
+                        values: entry.values.clone(),
+                        stamp: entry.stamp,
+                    });
+                }
+            }
+        }
+        CacheExport {
+            capacity: self.capacity(),
+            next_stamp: self.stamp.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    /// Rebuild a cache from an exported snapshot. Entries are placed
+    /// directly into their buckets (shard routing is a pure function of the
+    /// key, and bucket order follows the stream), bypassing [`Self::insert`]
+    /// so stored stamps survive verbatim and no insertion/eviction counters
+    /// move. Usage counters start at zero: they describe *this process's*
+    /// cache traffic, not the lifetime of the snapshot.
+    pub(crate) fn import(export: CacheExport) -> SolutionCache {
+        let cache = SolutionCache::with_capacity(export.capacity);
+        for entry in export.entries {
+            let mut shard = write_shard(cache.shard(entry.key));
+            shard.entry(entry.key).or_default().push(CacheEntry {
+                exact: entry.exact,
+                status: entry.status,
+                objective: entry.objective,
+                values: entry.values,
+                stamp: entry.stamp,
+            });
+        }
+        cache.stamp.store(export.next_stamp, Ordering::Relaxed);
+        cache
+    }
+}
+
+/// A flattened, order-stable snapshot of a cache's contents, the in-memory
+/// side of the [`crate::persist`] codec.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct CacheExport {
+    /// Total capacity the cache was created with (already rounded to a
+    /// multiple of the shard count by `with_capacity`, so reimporting with
+    /// the same value reproduces the same shard capacity).
+    pub(crate) capacity: usize,
+    /// The stamp counter's next value; restoring it keeps recency-based
+    /// eviction ordering consistent across a save/load cycle.
+    pub(crate) next_stamp: u64,
+    /// Every cached variant, in export order (see [`SolutionCache::export`]).
+    pub(crate) entries: Vec<ExportedEntry>,
+}
+
+/// One cached exact variant, flattened for serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ExportedEntry {
+    /// Structural cache key the variant is bucketed under.
+    pub(crate) key: u64,
+    /// Exact content hash of the model + solver configuration.
+    pub(crate) exact: u64,
+    /// Solve status of the stored solution.
+    pub(crate) status: SolveStatus,
+    /// Stored objective value.
+    pub(crate) objective: f64,
+    /// Stored variable values.
+    pub(crate) values: Vec<f64>,
+    /// Insertion stamp (recency order for eviction).
+    pub(crate) stamp: u64,
 }
 
 #[cfg(test)]

@@ -21,6 +21,9 @@
 //! * [`cache`] — a sharded, thread-safe model-fingerprint → solution cache
 //!   shared across repeated (and concurrent) campaigns; exact fingerprint
 //!   matches skip the solve, structural matches warm-start it.
+//! * [`persist`] — a versioned, checksummed on-disk snapshot codec for the
+//!   cache with crash-safe (temp file + fsync + atomic rename) writes, so
+//!   warm state survives process restarts.
 //!
 //! The scheduling MILPs WaterWise builds (binary assignment variables with
 //! per-job equality constraints and per-region capacity constraints) have LP
@@ -50,6 +53,7 @@ pub mod cache;
 pub mod error;
 pub mod expr;
 pub mod model;
+pub mod persist;
 pub mod simplex;
 pub mod solution;
 pub mod workspace;
@@ -59,6 +63,7 @@ pub use cache::{CacheLookup, CacheStats, ModelFingerprint, SolutionCache, Soluti
 pub use error::MilpError;
 pub use expr::{LinExpr, Var};
 pub use model::{Constraint, Model, Sense, VarKind};
+pub use persist::{solver_config_hash, CacheAutosave, CachePersistError};
 pub use simplex::{
     solve_dual_from_snapshot, solve_with_basis_capture, BasisSnapshot, DualOutcome, LpConstraint,
     LpProblem, SimplexConfig, SimplexOutcome,

@@ -1,0 +1,316 @@
+//! Persistence battery for the solution-cache snapshot codec: property-based
+//! save↔load roundtrips (byte-equal re-encode, every bucket/variant/stamp
+//! preserved) and the file-level corruption negatives (truncation, flipped
+//! bytes, foreign/future headers, solver-config mismatches) — each of which
+//! must surface as its own typed [`CachePersistError`], never a panic and
+//! never a silently garbled cache.
+
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+use waterwise_milp::persist::{decode_cache, encode_cache, CACHE_HEADER};
+use waterwise_milp::{
+    solver_config_hash, BranchBoundConfig, CacheAutosave, CacheLookup, CachePersistError,
+    ModelFingerprint, SimplexConfig, Solution, SolutionCache, SolveStatus,
+};
+
+/// A scratch directory unique to this test binary's process.
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ww-persist-{label}-{}", std::process::id()));
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+fn status_of(code: u64) -> SolveStatus {
+    match code % 5 {
+        0 => SolveStatus::Optimal,
+        1 => SolveStatus::Feasible,
+        2 => SolveStatus::Infeasible,
+        3 => SolveStatus::Unbounded,
+        _ => SolveStatus::IterationLimit,
+    }
+}
+
+/// Build a cache from generated (key, exact, status, values) tuples. Keys
+/// are folded onto a small space so buckets accumulate multiple variants.
+fn build_cache(entries: &[(u64, u64, u64, Vec<f64>)]) -> SolutionCache {
+    let cache = SolutionCache::with_capacity(256);
+    for (key, exact, status_code, values) in entries {
+        let solution = Solution {
+            status: status_of(*status_code),
+            objective: values.iter().sum(),
+            values: values.clone(),
+            simplex_iterations: 2,
+            nodes_explored: 1,
+        };
+        let fingerprint = ModelFingerprint {
+            key: key % 23,
+            exact: *exact,
+        };
+        cache.insert(fingerprint, &solution);
+    }
+    cache
+}
+
+fn default_config_hash() -> u64 {
+    solver_config_hash(&SimplexConfig::default(), &BranchBoundConfig::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn save_load_reencode_is_byte_equal(
+        entries in prop::collection::vec(
+            (0u64..1000, 0u64..1_000_000, 0u64..5, prop::collection::vec(-10.0f64..10.0, 1..6)),
+            0..40,
+        ),
+    ) {
+        let cache = build_cache(&entries);
+        let config = default_config_hash();
+        let bytes = encode_cache(&cache, config);
+        let loaded = decode_cache(&bytes, config, Path::new("mem")).expect("roundtrip decode");
+        // Byte-equal re-encode means every bucket, variant, value, stamp,
+        // and the stamp counter itself survived verbatim.
+        prop_assert_eq!(encode_cache(&loaded, config), bytes);
+        prop_assert_eq!(loaded.len(), cache.len());
+        prop_assert_eq!(loaded.capacity(), cache.capacity());
+    }
+
+    #[test]
+    fn loaded_cache_answers_exactly_like_the_original(
+        entries in prop::collection::vec(
+            (0u64..100, 0u64..1000, 0u64..5, prop::collection::vec(-5.0f64..5.0, 1..4)),
+            1..25,
+        ),
+        probes in prop::collection::vec((0u64..100, 0u64..1000), 1..20),
+    ) {
+        let cache = build_cache(&entries);
+        let config = default_config_hash();
+        let bytes = encode_cache(&cache, config);
+        let loaded = decode_cache(&bytes, config, Path::new("mem")).expect("roundtrip decode");
+        for (key, exact) in probes {
+            let fingerprint = ModelFingerprint { key: key % 23, exact };
+            prop_assert_eq!(cache.lookup(fingerprint), loaded.lookup(fingerprint));
+        }
+    }
+
+    #[test]
+    fn any_flipped_payload_byte_is_a_checksum_error(
+        entries in prop::collection::vec(
+            (0u64..50, 0u64..100, 0u64..5, prop::collection::vec(-1.0f64..1.0, 1..3)),
+            1..10,
+        ),
+        position in 0.0f64..1.0,
+        flip in 1u64..256,
+    ) {
+        let config = default_config_hash();
+        let mut bytes = encode_cache(&build_cache(&entries), config);
+        // Flip one byte anywhere in the content region (after the header,
+        // before the stored checksum).
+        let lo = CACHE_HEADER.len();
+        let hi = bytes.len() - 8;
+        let target = lo + ((position * (hi - lo) as f64) as usize).min(hi - lo - 1);
+        bytes[target] ^= flip as u8;
+        match decode_cache(&bytes, config, Path::new("mem")) {
+            Err(CachePersistError::ChecksumMismatch { expected, actual, .. }) => {
+                prop_assert_ne!(expected, actual);
+            }
+            other => prop_assert!(false, "expected checksum mismatch, got {:?}", other),
+        }
+    }
+}
+
+#[test]
+fn save_then_load_from_disk_roundtrips() {
+    let dir = scratch("roundtrip");
+    let path = dir.join("cache.snapshot");
+    let cache = build_cache(&[
+        (1, 10, 0, vec![1.0, 0.0]),
+        (1, 11, 1, vec![0.5]),
+        (7, 70, 0, vec![-0.0, f64::MAX]),
+    ]);
+    let config = default_config_hash();
+    cache.save(&path, config).expect("save");
+    let loaded = SolutionCache::load(&path, config).expect("load");
+    assert_eq!(encode_cache(&loaded, config), encode_cache(&cache, config));
+    match loaded.lookup(ModelFingerprint { key: 1, exact: 11 }) {
+        CacheLookup::Exact(solution) => assert_eq!(solution.values, vec![0.5]),
+        other => panic!("expected exact hit after reload, got {other:?}"),
+    }
+    // Saving over an existing snapshot replaces it atomically.
+    cache.save(&path, config).expect("re-save over existing");
+    assert!(SolutionCache::load(&path, config).is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_file_is_a_typed_io_error_naming_the_path() {
+    let path = scratch("missing").join("never-written.snapshot");
+    match SolutionCache::load(&path, default_config_hash()) {
+        Err(CachePersistError::Io { path: reported, .. }) => assert_eq!(reported, path),
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_snapshot_is_a_typed_error() {
+    let dir = scratch("truncated");
+    let path = dir.join("cache.snapshot");
+    let config = default_config_hash();
+    let cache = build_cache(&[(1, 10, 0, vec![1.0, 2.0, 3.0]), (2, 20, 1, vec![4.0])]);
+    cache.save(&path, config).expect("save");
+    let full = fs::read(&path).expect("read back");
+    // Every proper prefix must fail typed, never panic or yield a partial
+    // cache: Truncated for mid-content cuts, BadHeader for cuts inside the
+    // header, and ChecksumMismatch when the cut leaves enough bytes that
+    // the decoder reads a (shifted, hence wrong) checksum trailer.
+    for keep in [
+        0,
+        5,
+        CACHE_HEADER.len(),
+        CACHE_HEADER.len() + 9,
+        full.len() - 1,
+    ] {
+        fs::write(&path, &full[..keep]).expect("write truncated");
+        let error = SolutionCache::load(&path, config).expect_err("truncated must not load");
+        match &error {
+            CachePersistError::Truncated { path: reported, .. }
+            | CachePersistError::BadHeader { path: reported, .. }
+            | CachePersistError::ChecksumMismatch { path: reported, .. } => {
+                assert_eq!(reported, &path, "error must name the offending file")
+            }
+            other => panic!("unexpected error for prefix {keep}: {other:?}"),
+        }
+        assert!(
+            error.to_string().contains("cache.snapshot"),
+            "message must name the path: {error}"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_byte_on_disk_is_a_checksum_error() {
+    let dir = scratch("flip");
+    let path = dir.join("cache.snapshot");
+    let config = default_config_hash();
+    build_cache(&[(1, 10, 0, vec![1.0])])
+        .save(&path, config)
+        .expect("save");
+    let mut bytes = fs::read(&path).expect("read back");
+    let mid = CACHE_HEADER.len() + 12;
+    bytes[mid] ^= 0x40;
+    fs::write(&path, &bytes).expect("write corrupted");
+    match SolutionCache::load(&path, config) {
+        Err(CachePersistError::ChecksumMismatch { path: reported, .. }) => {
+            assert_eq!(reported, path)
+        }
+        other => panic!("expected checksum mismatch, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_version_header_is_a_typed_error() {
+    let dir = scratch("version");
+    let path = dir.join("cache.snapshot");
+    fs::write(&path, b"waterwise-cache/2\nfuture bytes").expect("write");
+    match SolutionCache::load(&path, default_config_hash()) {
+        Err(CachePersistError::UnsupportedVersion {
+            path: reported,
+            found,
+        }) => {
+            assert_eq!(reported, path);
+            assert!(found.starts_with("waterwise-cache/2"), "found {found:?}");
+        }
+        other => panic!("expected unsupported version, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_file_is_a_bad_header_error() {
+    let dir = scratch("foreign");
+    let path = dir.join("cache.snapshot");
+    fs::write(&path, b"{\"not\": \"a snapshot\"}").expect("write");
+    match SolutionCache::load(&path, default_config_hash()) {
+        Err(CachePersistError::BadHeader { path: reported, .. }) => assert_eq!(reported, path),
+        other => panic!("expected bad header, got {other:?}"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn solver_config_mismatch_is_a_typed_error() {
+    let dir = scratch("config");
+    let path = dir.join("cache.snapshot");
+    let saved_config = default_config_hash();
+    build_cache(&[(1, 10, 0, vec![1.0])])
+        .save(&path, saved_config)
+        .expect("save");
+    let mut other_bb = BranchBoundConfig::default();
+    other_bb.use_dual_restart = !other_bb.use_dual_restart;
+    let other_config = solver_config_hash(&SimplexConfig::default(), &other_bb);
+    match SolutionCache::load(&path, other_config) {
+        Err(CachePersistError::ConfigMismatch {
+            path: reported,
+            expected,
+            found,
+        }) => {
+            assert_eq!(reported, path);
+            assert_eq!(expected, other_config);
+            assert_eq!(found, saved_config);
+        }
+        other => panic!("expected config mismatch, got {other:?}"),
+    }
+    // The same file still loads under the configuration it was saved with.
+    assert!(SolutionCache::load(&path, saved_config).is_ok());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn no_temp_files_survive_a_successful_save() {
+    let dir = scratch("tempfiles");
+    let path = dir.join("cache.snapshot");
+    build_cache(&[(1, 10, 0, vec![1.0])])
+        .save(&path, default_config_hash())
+        .expect("save");
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.file_name().to_string_lossy().into_owned())
+        .filter(|name| name != "cache.snapshot")
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn autosave_guard_saves_on_drop_and_on_finish() {
+    let dir = scratch("autosave");
+    let config = default_config_hash();
+
+    let drop_path = dir.join("dropped.snapshot");
+    {
+        let cache = build_cache(&[(3, 30, 0, vec![2.0])]).into_handle();
+        let _guard = CacheAutosave::new(cache, drop_path.clone(), config);
+        assert!(!drop_path.exists(), "guard must not save before drop");
+    }
+    let reloaded = SolutionCache::load(&drop_path, config).expect("drop-path save");
+    assert_eq!(reloaded.len(), 1);
+
+    let finish_path = dir.join("finished.snapshot");
+    let cache = build_cache(&[(4, 40, 1, vec![5.0]), (4, 41, 0, vec![6.0])]).into_handle();
+    let guard = CacheAutosave::new(cache.clone(), finish_path.clone(), config);
+    guard.finish().expect("finish save");
+    let reloaded = SolutionCache::load(&finish_path, config).expect("finish-path load");
+    assert_eq!(
+        encode_cache(&reloaded, config),
+        encode_cache(&cache, config)
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

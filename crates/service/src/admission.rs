@@ -31,7 +31,7 @@
 //! session start order is a race.
 
 use crate::error::ServiceError;
-use crate::journal::{Journal, JournalEntry};
+use crate::journal::{Journal, JournalEntry, JournalWriter};
 use crate::request::PlacementResponse;
 use crate::sync::{lock_clean, wait_clean};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -211,6 +211,12 @@ struct AdmissionState {
     /// DRR rotation of tenants with non-empty queues.
     active: VecDeque<TenantId>,
     sessions: Vec<SessionState>,
+    /// First session id of *this* host run. A resumed host starts its
+    /// bands above every band the recovered journal used, so re-fed
+    /// recovered jobs and new submissions can never collide on a
+    /// sequence. Public session ids are `session_base + index` into
+    /// `sessions`; zero for a fresh host.
+    session_base: usize,
     /// Sessions whose stream has not ended yet.
     sessions_open: usize,
     /// Pending placements by job id (also carries the spec for response
@@ -228,9 +234,21 @@ struct AdmissionState {
     /// engine failure).
     closed: bool,
     journal: Vec<JournalEntry>,
+    /// Streams every journal entry to disk as it is recorded (under this
+    /// lock, so the file order is exactly the drain order). Dropped on a
+    /// write failure: durability degrades, the host does not die mid-run.
+    sink: Option<JournalWriter>,
     accepted: usize,
     rejected: usize,
     served: usize,
+}
+
+impl AdmissionState {
+    /// Translate a public session id into its `sessions` index; `None`
+    /// for ids below the resume base or never opened.
+    fn slot(&self, session: SessionId) -> Option<usize> {
+        session.checked_sub(self.session_base)
+    }
 }
 
 /// The shared admission queue of one [`crate::ClusterHost`]. All methods
@@ -256,6 +274,47 @@ impl AdmissionQueue {
         }
     }
 
+    /// Build a queue resuming from a recovered journal: the recovered
+    /// entries become the journal prefix, their job ids are pre-seen
+    /// (host-wide duplicate detection spans the restart), the watermark
+    /// continues from the last recovered stamp, and new sessions allocate
+    /// sequence bands strictly above every recovered band. When a disk
+    /// sink is given, the recovered prefix is rewritten through it first —
+    /// repairing any torn tail the crash left — then new entries stream
+    /// as they drain.
+    pub(crate) fn with_recovery(
+        config: AdmissionConfig,
+        recovered: &[JournalEntry],
+        mut sink: Option<JournalWriter>,
+    ) -> Result<Self, ServiceError> {
+        let mut session_base = 0usize;
+        let mut watermark = f64::NEG_INFINITY;
+        let mut seen_ids = BTreeSet::new();
+        for entry in recovered {
+            session_base = session_base.max((entry.seq >> 32) as usize + 1);
+            watermark = watermark.max(entry.spec.submit_time.value());
+            seen_ids.insert(entry.spec.id);
+        }
+        if let Some(writer) = sink.as_mut() {
+            for entry in recovered {
+                writer.append(entry)?;
+            }
+            writer.sync()?;
+        }
+        Ok(Self {
+            config,
+            state: Mutex::new(AdmissionState {
+                watermark,
+                session_base,
+                seen_ids,
+                journal: recovered.to_vec(),
+                sink,
+                ..AdmissionState::default()
+            }),
+            ready: Condvar::new(),
+        })
+    }
+
     /// Open a session, registering its response outbox. Fails once the
     /// host is closed, the expected session count was reached, or the
     /// session band space is exhausted.
@@ -274,7 +333,9 @@ impl AdmissionQueue {
                 close_after_sessions,
             } => close_after_sessions,
         };
-        if opened >= MAX_SESSIONS || expected.is_some_and(|n| opened >= n) {
+        // The band space bounds *public* ids (base + index): a resumed
+        // host inherits however much of the band its ancestors used.
+        if state.session_base + opened >= MAX_SESSIONS || expected.is_some_and(|n| opened >= n) {
             return Err(ServiceError::SessionLimit { sessions: opened });
         }
         state.sessions.push(SessionState {
@@ -284,7 +345,7 @@ impl AdmissionQueue {
             ended: false,
         });
         state.sessions_open += 1;
-        Ok(opened)
+        Ok(state.session_base + opened)
     }
 
     /// Submit one request under `tenant`. Fail-fast (never blocks): quota
@@ -301,7 +362,8 @@ impl AdmissionQueue {
         if state.closed {
             return Err(ServiceError::ServiceStopped);
         }
-        match state.sessions.get(session) {
+        let slot = state.slot(session);
+        match slot.and_then(|slot| state.sessions.get(slot)) {
             None => return Err(ServiceError::ServiceStopped),
             Some(s) if s.ended => return Err(ServiceError::ServiceStopped),
             Some(s) if s.submitted >= MAX_SESSION_REQUESTS => {
@@ -309,6 +371,9 @@ impl AdmissionQueue {
             }
             Some(_) => {}
         }
+        // Checked non-None just above; the unwrap-free fallback cannot
+        // fire (DET003).
+        let slot = slot.unwrap_or(0);
         if state.seen_ids.contains(&spec.id) {
             state.rejected += 1;
             if let Some(t) = state.tenants.get_mut(tenant) {
@@ -338,9 +403,11 @@ impl AdmissionQueue {
         state
             .routes
             .insert(spec.id, (tenant.clone(), session, spec.clone()));
-        let k = state.sessions[session].submitted;
-        state.sessions[session].submitted = k + 1;
-        state.sessions[session].outstanding += 1;
+        let k = state.sessions[slot].submitted;
+        state.sessions[slot].submitted = k + 1;
+        state.sessions[slot].outstanding += 1;
+        // The band's high half is the *public* id, so bands stay unique
+        // across a resume chain.
         let band_seq = ((session as u64) << 32) | k;
         if let Some(tenant_state) = state.tenants.get_mut(tenant) {
             tenant_state
@@ -355,7 +422,10 @@ impl AdmissionQueue {
     /// Idempotent. May release the gate or auto-close the host.
     pub(crate) fn end_session(&self, session: SessionId) {
         let mut state = lock_clean(&self.state);
-        let Some(s) = state.sessions.get_mut(session) else {
+        let Some(s) = state
+            .slot(session)
+            .and_then(|slot| state.sessions.get_mut(slot))
+        else {
             return;
         };
         if s.ended {
@@ -394,7 +464,10 @@ impl AdmissionQueue {
     /// discarded at delivery.
     pub(crate) fn mark_session_dead(&self, session: SessionId) {
         let mut state = lock_clean(&self.state);
-        if let Some(s) = state.sessions.get_mut(session) {
+        if let Some(s) = state
+            .slot(session)
+            .and_then(|slot| state.sessions.get_mut(slot))
+        {
             s.sink = None;
         }
     }
@@ -463,8 +536,8 @@ impl AdmissionQueue {
         let mut state = lock_clean(&self.state);
         let (tenant, session, spec) = state.routes.remove(&job)?;
         let sink = state
-            .sessions
-            .get(session)
+            .slot(session)
+            .and_then(|slot| state.sessions.get(slot))
             .and_then(|s| s.sink.as_ref().cloned());
         Some(DeliveryRoute {
             tenant,
@@ -490,7 +563,10 @@ impl AdmissionQueue {
         if sent {
             state.served += 1;
         }
-        if let Some(s) = state.sessions.get_mut(session) {
+        if let Some(s) = state
+            .slot(session)
+            .and_then(|slot| state.sessions.get_mut(slot))
+        {
             s.outstanding = s.outstanding.saturating_sub(1);
             if !sent {
                 // The session cannot receive responses anymore.
@@ -521,6 +597,11 @@ impl AdmissionQueue {
         BTreeMap<TenantId, TenantReport>,
     ) {
         let mut state = lock_clean(&self.state);
+        if let Some(writer) = state.sink.as_mut() {
+            // Final flush of the on-disk journal; best-effort, as the
+            // in-memory journal below is the authoritative report.
+            let _ = writer.sync();
+        }
         let journal = Journal {
             entries: std::mem::take(&mut state.journal),
         };
@@ -630,11 +711,20 @@ fn stamp_and_journal(
     let stamp = spec.submit_time.value().max(state.watermark);
     state.watermark = stamp;
     spec.submit_time = Seconds::new(stamp);
-    state.journal.push(JournalEntry {
+    let entry = JournalEntry {
         seq,
         tenant,
         spec: spec.clone(),
-    });
+    };
+    if let Some(writer) = state.sink.as_mut() {
+        if writer.append(&entry).is_err() {
+            // Journal durability degrades to in-memory only; failing the
+            // whole live run over a disk hiccup would be worse. The
+            // in-memory journal (and the shutdown report) stay complete.
+            state.sink = None;
+        }
+    }
+    state.journal.push(entry);
     SequencedJob { spec, seq }
 }
 

@@ -32,13 +32,18 @@
 //! | `WATERWISE_TENANT_QUOTA` | — | Per-tenant in-flight quota (default 64). |
 //! | `WATERWISE_DRR_QUANTUM` | — | Deficit-round-robin quantum (default 8). |
 //! | `WATERWISE_JOURNAL` | — | Multi-session: write the admission journal to this path. |
+//! | `WATERWISE_CACHE_PATH` | `[campaign] cache_path` | Warm-load the solution cache from this snapshot at startup and persist it back at shutdown. |
+//! | `WATERWISE_JOURNAL_PATH` | — | Multi-session: *stream* the admission journal to this file as entries are admitted (crash durability). |
+//! | `WATERWISE_RESUME` | — | `1`/`true`: replay a recovered `WATERWISE_JOURNAL_PATH` journal at startup, rebuilding warm state before new sessions. |
 
 use std::path::{Path, PathBuf};
 use waterwise_cluster::{ClockMode, EngineMode};
-use waterwise_core::{build_scheduler, Scenario, SchedulerKind};
+use waterwise_core::{
+    build_scheduler, CacheAutosave, Scenario, SchedulerKind, SolutionCache, SolutionCacheHandle,
+};
 use waterwise_service::{
-    AdmissionConfig, AdmissionMode, ClusterHost, PlacementService, ServiceConfig, TcpClusterServer,
-    TcpPlacementServer,
+    AdmissionConfig, AdmissionMode, ClusterHost, HostPersistence, Journal, PlacementService,
+    ServiceConfig, TcpClusterServer, TcpPlacementServer,
 };
 use waterwise_sustain::FootprintEstimator;
 
@@ -107,6 +112,77 @@ fn clock_override() -> Option<ClockMode> {
     Some(ClockMode::RealTime { scale })
 }
 
+/// The solution-cache persistence setup: `WATERWISE_CACHE_PATH` (falling
+/// back to the spec's `[campaign] cache_path`) names a snapshot that is
+/// warm-loaded at startup (missing file = cold start, corrupt file =
+/// startup error) and written back by the returned autosave guard at
+/// shutdown.
+fn cache_setup(scenario: &Scenario) -> (Option<SolutionCacheHandle>, Option<CacheAutosave>) {
+    let path = std::env::var_os("WATERWISE_CACHE_PATH")
+        .map(PathBuf::from)
+        .or_else(|| scenario.config.cache_path.clone());
+    let Some(path) = path else {
+        return (None, None);
+    };
+    let config_hash = scenario.config.solver_config_hash();
+    let cache = if path.exists() {
+        match SolutionCache::load(&path, config_hash) {
+            Ok(cache) => {
+                eprintln!(
+                    "solution cache warm-loaded: {} entries from {}",
+                    cache.len(),
+                    path.display()
+                );
+                cache.into_handle()
+            }
+            Err(error) => exit_with(format_args!("failed to load cache snapshot: {error}")),
+        }
+    } else {
+        SolutionCache::shared()
+    };
+    let guard = CacheAutosave::new(cache.clone(), path, config_hash);
+    (Some(cache), Some(guard))
+}
+
+/// Finish the autosave guard, surfacing (but not dying on) write errors —
+/// the placements were already served; a failed snapshot only costs the
+/// next process its warm start.
+fn finish_autosave(guard: Option<CacheAutosave>) {
+    if let Some(guard) = guard {
+        if let Err(error) = guard.finish() {
+            eprintln!("failed to persist the solution cache: {error}");
+        }
+    }
+}
+
+/// Journal durability from the environment: `WATERWISE_JOURNAL_PATH`
+/// streams the admission journal to disk; `WATERWISE_RESUME=1` first
+/// replays whatever journal survived at that path.
+fn persistence_setup() -> HostPersistence {
+    let mut persistence = HostPersistence::default();
+    let Some(path) = std::env::var_os("WATERWISE_JOURNAL_PATH").map(PathBuf::from) else {
+        return persistence;
+    };
+    let resume = matches!(
+        std::env::var("WATERWISE_RESUME").as_deref(),
+        Ok("1") | Ok("true")
+    );
+    if resume && path.exists() {
+        match Journal::load(&path) {
+            Ok(journal) => {
+                eprintln!(
+                    "resuming: {} admitted entries recovered from {}",
+                    journal.entries.len(),
+                    path.display()
+                );
+                persistence = persistence.with_resume(journal);
+            }
+            Err(error) => exit_with(format_args!("failed to recover journal: {error}")),
+        }
+    }
+    persistence.with_journal_path(path)
+}
+
 /// The multi-session admission policy from the environment.
 fn admission_config(concurrent: usize) -> AdmissionConfig {
     let mut config = AdmissionConfig {
@@ -136,15 +212,17 @@ fn serve_multi_session(
     addr: &str,
     concurrent: usize,
 ) {
+    let (cache, autosave) = cache_setup(scenario);
     let scheduler = build_scheduler(
         SchedulerKind::WaterWise,
         service.telemetry(),
         FootprintEstimator::new(service.config().simulation.datacenter),
         &scenario.config.waterwise,
-        None,
+        cache,
     );
     let admission = admission_config(concurrent);
-    let host = match ClusterHost::start_with_service(service, admission, scheduler) {
+    let persistence = persistence_setup();
+    let host = match ClusterHost::start_persistent(service, admission, scheduler, persistence) {
         Ok(host) => host,
         Err(error) => exit_with(format_args!("failed to start cluster host: {error}")),
     };
@@ -189,6 +267,7 @@ fn serve_multi_session(
         }
         Err(error) => exit_with(format_args!("host failed: {error}")),
     }
+    finish_autosave(autosave);
 }
 
 fn main() {
@@ -244,15 +323,17 @@ fn main() {
         Err(error) => exit_with(format_args!("listener has no local address: {error}")),
     }
 
+    let (cache, autosave) = cache_setup(&scenario);
     for session in 0..sessions {
         // One fresh WaterWise scheduler per session: sessions are
-        // independent campaigns.
+        // independent campaigns — but they share the (optionally
+        // persistent) solution cache, so later sessions start warm.
         let mut scheduler = build_scheduler(
             SchedulerKind::WaterWise,
             service.telemetry(),
             FootprintEstimator::new(service.config().simulation.datacenter),
             &scenario.config.waterwise,
-            None,
+            cache.clone(),
         );
         match server.serve_connection(&service, scheduler.as_mut()) {
             Ok(report) => eprintln!(
@@ -268,4 +349,5 @@ fn main() {
             Err(error) => eprintln!("session {session} failed: {error}"),
         }
     }
+    finish_autosave(autosave);
 }

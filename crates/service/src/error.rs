@@ -1,7 +1,9 @@
 //! Typed errors of the online placement service.
 
 use std::fmt;
+use std::path::PathBuf;
 use waterwise_cluster::{ConfigError, SimulationError};
+use waterwise_core::CachePersistError;
 use waterwise_traces::JobId;
 
 /// Everything that can go wrong while serving placement requests.
@@ -76,6 +78,23 @@ pub enum ServiceError {
         /// What was wrong with it.
         message: String,
     },
+    /// The on-disk admission journal could not be read or written.
+    JournalIo {
+        /// The journal file.
+        path: PathBuf,
+        /// Stringified OS error.
+        message: String,
+    },
+    /// A solution-cache snapshot failed to save or load (see the inner
+    /// error for which gate — header, checksum, solver config — rejected
+    /// it and which file it names).
+    CachePersist(CachePersistError),
+    /// The host was asked to resume from a recovered journal under a
+    /// configuration that cannot reproduce the original schedule.
+    ResumeUnsupported {
+        /// Which configuration requirement was violated.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -116,6 +135,13 @@ impl fmt::Display for ServiceError {
             ServiceError::JournalMalformed { line, message } => {
                 write!(f, "malformed journal entry on line {line}: {message}")
             }
+            ServiceError::JournalIo { path, message } => {
+                write!(f, "journal i/o failure at {}: {message}", path.display())
+            }
+            ServiceError::CachePersist(e) => write!(f, "cache persistence failure: {e}"),
+            ServiceError::ResumeUnsupported { reason } => {
+                write!(f, "cannot resume from a recovered journal: {reason}")
+            }
         }
     }
 }
@@ -125,8 +151,15 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Config(e) => Some(e),
             ServiceError::Simulation(e) => Some(e),
+            ServiceError::CachePersist(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<CachePersistError> for ServiceError {
+    fn from(e: CachePersistError) -> Self {
+        ServiceError::CachePersist(e)
     }
 }
 

@@ -38,18 +38,21 @@
 //! [`HostSession::take_responses`] promptly or size
 //! [`crate::ServiceConfig::notice_queue`] generously.
 
-use crate::admission::{AdmissionConfig, AdmissionQueue, TenantId, TenantReport};
+use crate::admission::{AdmissionConfig, AdmissionMode, AdmissionQueue, TenantId, TenantReport};
 use crate::error::ServiceError;
-use crate::journal::Journal;
+use crate::journal::{Journal, JournalWriter};
 use crate::request::PlacementResponse;
 use crate::service::{PlacementService, ServiceConfig};
 use crate::sync::{join_or_resume, join_owned_or_resume, lock_clean};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use waterwise_cluster::{OnlineReport, PlacementNotice, Scheduler, SimulationReport};
+use waterwise_cluster::{
+    ClockMode, OnlineReport, PlacementNotice, Scheduler, SequencedJob, SimulationReport,
+};
 use waterwise_traces::JobSpec;
 
 /// Configuration of a [`ClusterHost`]: the underlying service (cluster,
@@ -76,6 +79,35 @@ impl HostConfig {
     /// Override the admission policy.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = admission;
+        self
+    }
+}
+
+/// Durability knobs of a [`ClusterHost`]: where the admission journal
+/// streams to, and the recovered journal to resume from. See
+/// [`ClusterHost::start_persistent`].
+#[derive(Debug, Default)]
+pub struct HostPersistence {
+    /// Stream the admission journal to this file as entries are admitted
+    /// (truncated at startup; a resumed host first rewrites the recovered
+    /// prefix, so the file is always the full combined journal).
+    pub journal_path: Option<PathBuf>,
+    /// Resume from this recovered journal: its entries are re-fed to the
+    /// fresh engine as the head of the live stream, so the combined run is
+    /// byte-identical to one that was never interrupted.
+    pub resume: Option<Journal>,
+}
+
+impl HostPersistence {
+    /// Stream the journal to `path`.
+    pub fn with_journal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Resume from a recovered journal.
+    pub fn with_resume(mut self, journal: Journal) -> Self {
+        self.resume = Some(journal);
         self
     }
 }
@@ -187,10 +219,92 @@ impl ClusterHost {
     pub fn start_with_service(
         service: PlacementService,
         admission: AdmissionConfig,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Result<Self, ServiceError> {
+        Self::start_inner(
+            service,
+            AdmissionQueue::new(admission),
+            scheduler,
+            Vec::new(),
+        )
+    }
+
+    /// Start the host with durability: stream the admission journal to
+    /// disk and/or resume from a recovered one.
+    ///
+    /// Resume re-feeds the recovered entries — same specs, same
+    /// sequences, same order — as the **head** of the fresh engine run,
+    /// before anything new drains. The engine orders work purely by
+    /// `(time, sequence)` event keys, so the resumed run's combined
+    /// schedule is byte-identical to a never-interrupted run over the same
+    /// submissions (the `restart_identity` battery pins this). New
+    /// sessions allocate sequence bands above every recovered band, the
+    /// recovered stamps seed the watermark, and recovered job ids stay
+    /// duplicate-rejected across the restart.
+    ///
+    /// Resuming requires a configuration that can reproduce the original
+    /// event keys: streaming admission (a gated host's one-shot canonical
+    /// batch cannot be re-opened) and the discrete clock (a real-time
+    /// clock would re-stamp the recovered head with fresh wall-clock
+    /// times). Anything else fails fast with
+    /// [`ServiceError::ResumeUnsupported`].
+    ///
+    /// Recovered jobs were admitted by a previous process, so their
+    /// placements have no live session to route to and are discarded at
+    /// the router; the report's admission counters likewise cover this
+    /// process's sessions only, while [`HostReport::journal`] and
+    /// [`HostReport::trace`] span the combined run.
+    pub fn start_persistent(
+        service: PlacementService,
+        admission: AdmissionConfig,
+        scheduler: Box<dyn Scheduler>,
+        persistence: HostPersistence,
+    ) -> Result<Self, ServiceError> {
+        let resume = persistence.resume.unwrap_or_default();
+        if !resume.entries.is_empty() {
+            if matches!(admission.mode, AdmissionMode::Gated { .. }) {
+                return Err(ServiceError::ResumeUnsupported {
+                    reason: "gated admission releases one canonical batch and closes; \
+                             resuming requires streaming mode"
+                        .into(),
+                });
+            }
+            if service.config().clock != ClockMode::Discrete {
+                return Err(ServiceError::ResumeUnsupported {
+                    reason: "the real-time clock would re-stamp the recovered entries with \
+                             fresh wall-clock arrivals; resuming requires the discrete clock"
+                        .into(),
+                });
+            }
+        }
+        let sink = persistence
+            .journal_path
+            .as_deref()
+            .map(JournalWriter::create)
+            .transpose()?;
+        let queue = AdmissionQueue::with_recovery(admission, &resume.entries, sink)?;
+        let recovered = resume
+            .entries
+            .into_iter()
+            .map(|entry| SequencedJob {
+                spec: entry.spec,
+                seq: entry.seq,
+            })
+            .collect();
+        Self::start_inner(service, queue, scheduler, recovered)
+    }
+
+    /// Shared startup: spawn the engine thread with its feeder/router
+    /// scope. `recovered` is fed to the engine before the admission queue
+    /// drains anything new.
+    fn start_inner(
+        service: PlacementService,
+        admission: AdmissionQueue,
         mut scheduler: Box<dyn Scheduler>,
+        recovered: Vec<SequencedJob>,
     ) -> Result<Self, ServiceError> {
         let service = Arc::new(service);
-        let admission = Arc::new(AdmissionQueue::new(admission));
+        let admission = Arc::new(admission);
         let outbox_depth = service.config().notice_queue.max(1);
         let ingest_depth = service.config().ingest_queue.max(1);
         let clock = service.config().clock;
@@ -205,6 +319,14 @@ impl ClusterHost {
                     let admission = &admission;
                     let service = &service;
                     let feeder = scope.spawn(move || {
+                        // A resumed host replays the recovered journal as
+                        // the head of the live stream: same specs, same
+                        // sequences, same order as the interrupted run.
+                        for job in recovered {
+                            if job_tx.send(job).is_err() {
+                                return;
+                            }
+                        }
                         while let Some(job) = admission.next_job() {
                             if job_tx.send(job).is_err() {
                                 // The engine bailed; its error is the story.

@@ -26,6 +26,8 @@ use crate::service::PlacementService;
 use crate::sync::join_or_resume;
 use crate::wire;
 use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use waterwise_cluster::{
     ClockMode, OnlineReport, Scheduler, SequencedJob, ONLINE_ARRIVAL_SEQ_LIMIT,
 };
@@ -82,6 +84,30 @@ impl Journal {
             })?);
         }
         Ok(Self { entries })
+    }
+
+    /// Load a journal from its on-disk line-delimited form (the file a
+    /// [`JournalWriter`] streams).
+    ///
+    /// Recovery semantics: the writer terminates every entry with a
+    /// newline before the next one starts, so a crash can tear at most the
+    /// *final, unterminated* line — which is silently dropped here (the
+    /// entry never fully reached disk, exactly as if the crash had come
+    /// one request earlier). Any *complete* line that does not parse is
+    /// real corruption and fails typed
+    /// ([`ServiceError::JournalMalformed`]); an unreadable file fails as
+    /// [`ServiceError::JournalIo`] naming the path.
+    pub fn load(path: &Path) -> Result<Self, ServiceError> {
+        let text = std::fs::read_to_string(path).map_err(|error| ServiceError::JournalIo {
+            path: path.to_path_buf(),
+            message: error.to_string(),
+        })?;
+        let complete = match text.rfind('\n') {
+            Some(last_newline) => &text[..last_newline + 1],
+            // No newline at all: nothing fully reached disk.
+            None => "",
+        };
+        Self::parse(complete)
     }
 
     /// Replay the journal offline: feed every entry, in order, through a
@@ -162,6 +188,72 @@ impl ReplayOutcome {
     /// [`crate::HostReport::schedule_digest`].
     pub fn schedule_digest(&self) -> u64 {
         waterwise_cluster::schedule_digest(&self.report.report.outcomes)
+    }
+}
+
+/// How many appended entries may accumulate between `fsync`s of the
+/// journal file. Every append reaches the OS immediately (unbuffered
+/// `write_all`), so a host *crash* loses nothing; only a whole-machine
+/// power loss can cost up to this many tail entries — and a torn tail is
+/// recovered cleanly by [`Journal::load`].
+const SYNC_EVERY: u64 = 32;
+
+/// Streams admission-journal entries to disk as the host admits them, in
+/// the line-delimited [`Journal::encode`] form. The file is truncated on
+/// creation (a resumed host first rewrites its recovered prefix through
+/// the writer, repairing any torn tail), then grows one line per admitted
+/// request, so at every instant the file is a loadable journal of
+/// everything admitted so far.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: std::fs::File,
+    path: PathBuf,
+    appended: u64,
+}
+
+impl JournalWriter {
+    /// Create (truncating) the journal file at `path`.
+    pub fn create(path: &Path) -> Result<Self, ServiceError> {
+        let file = std::fs::File::create(path).map_err(|error| journal_io(path, &error))?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            appended: 0,
+        })
+    }
+
+    /// Append one entry as a newline-terminated line, `fsync`ing every
+    /// `SYNC_EVERY` (32) appends.
+    pub fn append(&mut self, entry: &JournalEntry) -> Result<(), ServiceError> {
+        let mut line = encode_entry(entry);
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .map_err(|error| journal_io(&self.path, &error))?;
+        self.appended += 1;
+        if self.appended.is_multiple_of(SYNC_EVERY) {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush everything appended so far to stable storage.
+    pub fn sync(&mut self) -> Result<(), ServiceError> {
+        self.file
+            .sync_data()
+            .map_err(|error| journal_io(&self.path, &error))
+    }
+
+    /// The file this writer streams to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn journal_io(path: &Path, error: &std::io::Error) -> ServiceError {
+    ServiceError::JournalIo {
+        path: path.to_path_buf(),
+        message: error.to_string(),
     }
 }
 

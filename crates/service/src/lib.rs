@@ -62,8 +62,8 @@ pub mod wire;
 
 pub use admission::{AdmissionConfig, AdmissionMode, TenantId, TenantReport};
 pub use error::ServiceError;
-pub use host::{ClusterHost, HostConfig, HostReport, HostSession};
-pub use journal::{Journal, JournalEntry, ReplayOutcome};
+pub use host::{ClusterHost, HostConfig, HostPersistence, HostReport, HostSession};
+pub use journal::{Journal, JournalEntry, JournalWriter, ReplayOutcome};
 pub use request::{PlacementRequest, PlacementResponse};
 pub use service::{PlacementService, ServiceConfig, ServiceReport};
 pub use source::{channel_source, ChannelSource, RequestSender, RequestSource};
